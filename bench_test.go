@@ -1,0 +1,106 @@
+package govp
+
+// The benchmark harness regenerates every experiment of the
+// reproduction (DESIGN.md §3): one benchmark per table/figure. Each
+// iteration runs the full experiment and asserts that the paper's
+// claimed shape holds, so `go test -bench=. -benchmem` both measures
+// and re-validates the whole evaluation.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.Get(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.ShapeHolds {
+			b.Fatalf("%s shape violated: %s", id, res.ShapeDetail)
+		}
+	}
+}
+
+// BenchmarkE1_AbstractionLadder regenerates the Sec. 2.3 speed-up
+// claim table (gate level → LT+temporal-decoupling).
+func BenchmarkE1_AbstractionLadder(b *testing.B) {
+	old := experiments.E1Items
+	experiments.E1Items = 500
+	defer func() { experiments.E1Items = old }()
+	benchExperiment(b, "E1")
+}
+
+// BenchmarkE2_CrossLayer regenerates the gate-vs-TLM injection
+// divergence table (Sec. 3.4, [40]).
+func BenchmarkE2_CrossLayer(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3_MutationVsCoverage regenerates the testbench-quality
+// metric comparison (Sec. 2.4).
+func BenchmarkE3_MutationVsCoverage(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4_MonteCarloVsGuided regenerates the rare-event search
+// comparison (Sec. 3.4).
+func BenchmarkE4_MonteCarloVsGuided(b *testing.B) {
+	oldB, oldS := experiments.E4Budget, experiments.E4Seeds
+	experiments.E4Budget, experiments.E4Seeds = 200, 3
+	defer func() { experiments.E4Budget, experiments.E4Seeds = oldB, oldS }()
+	benchExperiment(b, "E4")
+}
+
+// BenchmarkE5_MissionProfile regenerates the profile-derived vs
+// uniform campaign comparison (Sec. 3.2).
+func BenchmarkE5_MissionProfile(b *testing.B) {
+	old := experiments.E5Runs
+	experiments.E5Runs = 30
+	defer func() { experiments.E5Runs = old }()
+	benchExperiment(b, "E5")
+}
+
+// BenchmarkE6_QuantumSweep regenerates the temporal-decoupling
+// accuracy/speed sweep (Sec. 3.4).
+func BenchmarkE6_QuantumSweep(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7_SimFTA regenerates the simulation-synthesized fault
+// tree comparison (Sec. 2.1, [8]).
+func BenchmarkE7_SimFTA(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8_SingleFaultCAPS regenerates the exhaustive single-fault
+// campaign and FMEDA tables (Sec. 1 safety goal).
+func BenchmarkE8_SingleFaultCAPS(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9_MutationSchemata regenerates the schemata-vs-rebuild
+// efficiency table (Sec. 2.4, [21]).
+func BenchmarkE9_MutationSchemata(b *testing.B) {
+	old := experiments.E9Repeats
+	experiments.E9Repeats = 7
+	defer func() { experiments.E9Repeats = old }()
+	benchExperiment(b, "E9")
+}
+
+// BenchmarkF2_MissionProfilePipeline regenerates Fig. 2 as an
+// executable pipeline.
+func BenchmarkF2_MissionProfilePipeline(b *testing.B) { benchExperiment(b, "F2") }
+
+// BenchmarkF3_ClosedLoop regenerates Fig. 3 as an executable
+// coverage-closure loop.
+func BenchmarkF3_ClosedLoop(b *testing.B) { benchExperiment(b, "F3") }
+
+// BenchmarkX1_ConcolicATPG regenerates the extension experiment:
+// concolic test generation closing mutation-score gaps.
+func BenchmarkX1_ConcolicATPG(b *testing.B) { benchExperiment(b, "X1") }
+
+// BenchmarkX2_MechanismAblation regenerates the safety-mechanism
+// ablation table (DESIGN.md §4).
+func BenchmarkX2_MechanismAblation(b *testing.B) { benchExperiment(b, "X2") }
+
+// BenchmarkX3_FaultSimAcceleration regenerates the bit-parallel
+// fault-grading comparison (Sec. 2.2 acceleration).
+func BenchmarkX3_FaultSimAcceleration(b *testing.B) { benchExperiment(b, "X3") }

@@ -1,0 +1,84 @@
+// Command capsim runs the CAPS virtual prototype under a user-
+// specified fault scenario, written in the textual fault description
+// syntax of fault.ParseDescriptor.
+//
+// Usage:
+//
+//	capsim -faults "short-to-supply @caps.accel0.harness from 10ms"
+//	capsim -world crash -unprotected \
+//	       -faults "omission @caps.can.bus from 15ms; open @caps.accel0.harness from 5ms"
+//	capsim -sites     # list injection sites
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/caps"
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+func main() {
+	world := flag.String("world", "normal", "environment: normal or crash")
+	unprotected := flag.Bool("unprotected", false, "disable the safety mechanisms")
+	faults := flag.String("faults", "", "semicolon-separated fault descriptions")
+	horizonFlag := flag.String("horizon", "80ms", "simulated duration")
+	listSites := flag.Bool("sites", false, "list injection sites and exit")
+	flag.Parse()
+
+	cfg := caps.Protected()
+	if *unprotected {
+		cfg = caps.Unprotected()
+	}
+	var w *caps.World
+	switch *world {
+	case "normal":
+		w = caps.NormalDriving()
+	case "crash":
+		w = caps.CrashAt(sim.MS(20))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown world %q\n", *world)
+		os.Exit(2)
+	}
+	horizon, err := fault.ParseDuration(*horizonFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	runner, err := caps.NewRunner(cfg, w, horizon)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *listSites {
+		for _, s := range runner.Sites() {
+			fmt.Println(s)
+		}
+		return
+	}
+	if *faults == "" {
+		fmt.Fprintln(os.Stderr, "need -faults (or -sites); see fault.ParseDescriptor syntax")
+		os.Exit(2)
+	}
+	sc, err := fault.ParseScenario("cli", *faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	o := runner.RunScenario(sc)
+	fmt.Printf("world:     %s\n", *world)
+	fmt.Printf("config:    protected=%v\n", !*unprotected)
+	for _, d := range sc.Faults {
+		fmt.Printf("fault:     %s\n", d)
+	}
+	fmt.Printf("outcome:   %s\n", o.Class)
+	if o.Detail != "" {
+		fmt.Printf("detail:    %s\n", o.Detail)
+	}
+	if o.Class == fault.SafetyCritical {
+		os.Exit(1)
+	}
+}

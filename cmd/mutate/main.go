@@ -1,0 +1,133 @@
+// Command mutate qualifies a testbench against an MDL behavioural
+// model via mutation analysis: it generates the mutant set, runs the
+// suite against each mutant and reports the mutation score next to
+// the structural coverage of the same suite.
+//
+// Usage:
+//
+//	mutate -model model.mdl -tests "fire:60,50,1;fire:10,10,1"
+//	mutate -demo           # run the built-in airbag-decision demo
+//
+// Test syntax: semicolon-separated "func:arg,arg,..." vectors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/mdl"
+	"repro/internal/mutation"
+	"repro/internal/report"
+)
+
+const demoModel = `
+func severity(accel, speed) {
+  return accel * 2 + speed
+}
+func fire(accel, speed, armed) {
+  let s = severity(accel, speed)
+  if (s > 100) && (accel > 40) && (armed != 0) {
+    return 1
+  }
+  return 0
+}
+`
+
+const demoTests = "fire:60,50,1;fire:60,50,0;fire:41,20,1;fire:40,120,1;fire:10,10,1;severity:3,4"
+
+func main() {
+	modelPath := flag.String("model", "", "MDL model file")
+	testsFlag := flag.String("tests", "", "test vectors: func:a,b,...;func:...")
+	demo := flag.Bool("demo", false, "run the built-in demo model and suite")
+	showSurvivors := flag.Bool("survivors", true, "list surviving mutants")
+	flag.Parse()
+
+	src, tests := demoModel, demoTests
+	if !*demo {
+		if *modelPath == "" || *testsFlag == "" {
+			fmt.Fprintln(os.Stderr, "need -model and -tests (or -demo)")
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(*modelPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		src, tests = string(data), *testsFlag
+	}
+
+	prog, err := mdl.Parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	suite, err := parseTests(tests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep, err := mutation.Qualify(prog, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	t := &report.Table{
+		Title:   "Testbench qualification",
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("tests", len(suite))
+	t.AddRow("mutants", rep.Total)
+	t.AddRow("killed", rep.Killed)
+	t.AddRow("mutation score", fmt.Sprintf("%.1f%%", rep.Score*100))
+	t.AddRow("statement coverage", fmt.Sprintf("%.1f%%", rep.StatementCoverage*100))
+	fmt.Println(t.Render())
+
+	if *showSurvivors {
+		survivors := rep.Survivors()
+		if len(survivors) == 0 {
+			fmt.Println("no survivors — suite kills every mutant")
+			return
+		}
+		st := &report.Table{
+			Title:   "Surviving mutants (testbench holes or equivalent mutants)",
+			Columns: []string{"id", "operator", "description"},
+		}
+		for _, m := range survivors {
+			st.AddRow(m.ID, m.Operator, m.Description)
+		}
+		fmt.Println(st.Render())
+	}
+}
+
+func parseTests(s string) ([]mutation.Test, error) {
+	var out []mutation.Test
+	for _, chunk := range strings.Split(s, ";") {
+		chunk = strings.TrimSpace(chunk)
+		if chunk == "" {
+			continue
+		}
+		fn, argStr, ok := strings.Cut(chunk, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad test %q (want func:a,b,...)", chunk)
+		}
+		t := mutation.Test{Fn: strings.TrimSpace(fn)}
+		if argStr != "" {
+			for _, a := range strings.Split(argStr, ",") {
+				v, err := strconv.ParseInt(strings.TrimSpace(a), 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad argument %q in %q", a, chunk)
+				}
+				t.Args = append(t.Args, v)
+			}
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty test suite")
+	}
+	return out, nil
+}

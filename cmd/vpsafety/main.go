@@ -1,0 +1,71 @@
+// Command vpsafety runs the reproduction experiments: every table and
+// figure of the evaluation regenerates from the command line.
+//
+// Usage:
+//
+//	vpsafety -list             list experiments
+//	vpsafety -exp E8           run one experiment
+//	vpsafety -exp all          run everything
+//	vpsafety -exp E8 -csv      emit tables as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	exp := flag.String("exp", "", "experiment ID to run (E1..E9, F2, F3, X1..X3, or 'all')")
+	csv := flag.Bool("csv", false, "emit result tables as CSV instead of text")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+	case *exp == "all":
+		failed := 0
+		for _, e := range experiments.All() {
+			if !runOne(e, *csv) {
+				failed++
+			}
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "%d experiment(s) violated their claimed shape\n", failed)
+			os.Exit(1)
+		}
+	case *exp != "":
+		e, ok := experiments.Get(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		if !runOne(e, *csv) {
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(e experiments.Experiment, csv bool) bool {
+	res, err := e.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+		return false
+	}
+	if csv {
+		for _, t := range res.Tables {
+			fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+		}
+	} else {
+		fmt.Println(res.Render())
+	}
+	return res.ShapeHolds
+}

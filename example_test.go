@@ -1,0 +1,26 @@
+package govp_test
+
+import (
+	"fmt"
+
+	"repro/internal/caps"
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// Example shows the shortest path from "I have a virtual prototype"
+// to "I know what a fault does to it": build the CAPS runner, describe
+// a fault in the textual fault DSL, and classify the outcome.
+func Example() {
+	runner, err := caps.NewRunner(caps.Protected(), caps.NormalDriving(), sim.MS(60))
+	if err != nil {
+		panic(err)
+	}
+	d, err := fault.ParseDescriptor("short-to-supply @caps.accel0.harness from 10ms")
+	if err != nil {
+		panic(err)
+	}
+	outcome := runner.RunScenario(fault.Single(d))
+	fmt.Println(outcome.Class)
+	// Output: detected-safe
+}

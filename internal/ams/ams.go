@@ -1,0 +1,430 @@
+// Package ams is an analog/mixed-signal substrate in the style of
+// SystemC-AMS timed dataflow (TDF): single-rate module graphs process
+// sample streams at a fixed timestep, with converter modules bridging
+// into the discrete-event kernel and fault hooks for analog
+// disturbances.
+//
+// The paper (Sec. 3.3) lists the AMS extension as an open need:
+// "Digital based methodologies have to be extended towards AMS
+// (Analogue Mixed Signal) designs. Li et al. [37] target this by
+// including SystemC-AMS in their work." This package is that
+// extension for the Go framework: sensor front-ends, filters and
+// comparators run as dataflow clusters, and fault.AnalogInjector
+// drives their Disturb stages.
+package ams
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Module is one TDF processing node: Process consumes one sample per
+// input and produces one per output, invoked once per timestep in
+// static schedule order.
+type Module interface {
+	// Name is the instance name.
+	Name() string
+	// Arity reports input and output port counts.
+	Arity() (in, out int)
+	// Process computes one timestep.
+	Process(t sim.Time, in []float64, out []float64)
+}
+
+// Stateful is implemented by modules whose outputs at step n depend
+// only on inputs up to step n-1 (unit-delay semantics). They may
+// appear inside feedback loops — like DFFs in a netlist.
+type Stateful interface {
+	Module
+	stateful()
+}
+
+// wire is one connection.
+type wire struct {
+	fromMod, fromPort int
+	value             float64
+}
+
+// Graph is a single-rate TDF cluster bound to the kernel.
+type Graph struct {
+	k        *sim.Kernel
+	name     string
+	Timestep sim.Time
+
+	modules []Module
+	index   map[string]int
+	// inputsOf[m][p] is the wire feeding module m's input port p.
+	inputsOf [][]*wire
+	// outWires[m][p] fan out from module m's output port p.
+	outWires [][][]*wire
+
+	order  []int
+	frozen bool
+	steps  uint64
+}
+
+// NewGraph creates an empty cluster with a 100 us timestep.
+func NewGraph(k *sim.Kernel, name string) *Graph {
+	return &Graph{k: k, name: name, Timestep: sim.US(100), index: map[string]int{}}
+}
+
+// Add registers a module.
+func (g *Graph) Add(m Module) error {
+	if g.frozen {
+		return fmt.Errorf("ams: %s: Add after Elaborate", g.name)
+	}
+	if _, dup := g.index[m.Name()]; dup {
+		return fmt.Errorf("ams: duplicate module %q", m.Name())
+	}
+	g.index[m.Name()] = len(g.modules)
+	g.modules = append(g.modules, m)
+	in, out := m.Arity()
+	g.inputsOf = append(g.inputsOf, make([]*wire, in))
+	fan := make([][]*wire, out)
+	g.outWires = append(g.outWires, fan)
+	return nil
+}
+
+// MustAdd is Add that panics (elaboration-time use).
+func (g *Graph) MustAdd(m Module) Module {
+	if err := g.Add(m); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Connect wires from's output port to to's input port.
+func (g *Graph) Connect(from string, fromPort int, to string, toPort int) error {
+	fi, ok := g.index[from]
+	if !ok {
+		return fmt.Errorf("ams: unknown module %q", from)
+	}
+	ti, ok := g.index[to]
+	if !ok {
+		return fmt.Errorf("ams: unknown module %q", to)
+	}
+	_, fOut := g.modules[fi].Arity()
+	tIn, _ := g.modules[ti].Arity()
+	if fromPort < 0 || fromPort >= fOut {
+		return fmt.Errorf("ams: %s has no output %d", from, fromPort)
+	}
+	if toPort < 0 || toPort >= tIn {
+		return fmt.Errorf("ams: %s has no input %d", to, toPort)
+	}
+	if g.inputsOf[ti][toPort] != nil {
+		return fmt.Errorf("ams: input %s.%d already driven", to, toPort)
+	}
+	w := &wire{fromMod: fi, fromPort: fromPort}
+	g.inputsOf[ti][toPort] = w
+	g.outWires[fi][fromPort] = append(g.outWires[fi][fromPort], w)
+	return nil
+}
+
+// MustConnect is Connect that panics.
+func (g *Graph) MustConnect(from string, fromPort int, to string, toPort int) {
+	if err := g.Connect(from, fromPort, to, toPort); err != nil {
+		panic(err)
+	}
+}
+
+// Elaborate checks connectivity, computes the static schedule and
+// spawns the cluster thread. Feedback loops must contain a Stateful
+// module (unit delay), mirroring SystemC-AMS's delay requirement.
+func (g *Graph) Elaborate() error {
+	if g.frozen {
+		return fmt.Errorf("ams: %s already elaborated", g.name)
+	}
+	for mi, ins := range g.inputsOf {
+		for p, w := range ins {
+			if w == nil {
+				return fmt.Errorf("ams: input %s.%d unconnected", g.modules[mi].Name(), p)
+			}
+		}
+	}
+	// Kahn over non-stateful dependencies.
+	indeg := make([]int, len(g.modules))
+	for mi, ins := range g.inputsOf {
+		if _, isState := g.modules[mi].(Stateful); isState {
+			continue // reads previous-step values only
+		}
+		for _, w := range ins {
+			if _, srcState := g.modules[w.fromMod].(Stateful); !srcState {
+				indeg[mi]++
+			}
+		}
+	}
+	var queue []int
+	for mi := range g.modules {
+		if _, isState := g.modules[mi].(Stateful); isState || indeg[mi] == 0 {
+			if !contains(queue, mi) {
+				queue = append(queue, mi)
+			}
+		}
+	}
+	seen := map[int]bool{}
+	for len(queue) > 0 {
+		mi := queue[0]
+		queue = queue[1:]
+		if seen[mi] {
+			continue
+		}
+		seen[mi] = true
+		g.order = append(g.order, mi)
+		for _, fan := range g.outWires[mi] {
+			for _, w := range fan {
+				for ti, ins := range g.inputsOf {
+					for _, iw := range ins {
+						if iw == w {
+							if _, isState := g.modules[ti].(Stateful); isState {
+								continue
+							}
+							indeg[ti]--
+							if indeg[ti] == 0 {
+								queue = append(queue, ti)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(g.order) != len(g.modules) {
+		return fmt.Errorf("ams: %s contains a delay-free feedback loop", g.name)
+	}
+	g.frozen = true
+	g.k.Thread("ams."+g.name, g.run)
+	return nil
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// run is the cluster thread: one Process sweep per timestep.
+func (g *Graph) run(ctx *sim.ThreadCtx) {
+	inBuf := make([][]float64, len(g.modules))
+	outBuf := make([][]float64, len(g.modules))
+	for mi, m := range g.modules {
+		in, out := m.Arity()
+		inBuf[mi] = make([]float64, in)
+		outBuf[mi] = make([]float64, out)
+	}
+	for {
+		t := ctx.Now()
+		for _, mi := range g.order {
+			m := g.modules[mi]
+			for p, w := range g.inputsOf[mi] {
+				inBuf[mi][p] = w.value
+			}
+			m.Process(t, inBuf[mi], outBuf[mi])
+			for p, fan := range g.outWires[mi] {
+				for _, w := range fan {
+					w.value = outBuf[mi][p]
+				}
+			}
+		}
+		g.steps++
+		ctx.WaitTime(g.Timestep)
+	}
+}
+
+// Steps reports completed timesteps.
+func (g *Graph) Steps() uint64 { return g.steps }
+
+// ---- Module library ----
+
+// base provides Name/Arity bookkeeping.
+type base struct {
+	name    string
+	in, out int
+}
+
+func (b *base) Name() string         { return b.name }
+func (b *base) Arity() (in, out int) { return b.in, b.out }
+
+// Source emits f(t) on its single output.
+type Source struct {
+	base
+	F func(t sim.Time) float64
+}
+
+// NewSource creates a function source.
+func NewSource(name string, f func(t sim.Time) float64) *Source {
+	return &Source{base: base{name: name, out: 1}, F: f}
+}
+
+// Process implements Module.
+func (s *Source) Process(t sim.Time, in, out []float64) { out[0] = s.F(t) }
+
+// NewSine creates a sine source: amp * sin(2π f t) + offset.
+func NewSine(name string, amp, freqHz, offset float64) *Source {
+	return NewSource(name, func(t sim.Time) float64 {
+		return amp*math.Sin(2*math.Pi*freqHz*t.Seconds()) + offset
+	})
+}
+
+// Gain multiplies by K.
+type Gain struct {
+	base
+	K float64
+}
+
+// NewGain creates a gain stage.
+func NewGain(name string, k float64) *Gain {
+	return &Gain{base: base{name: name, in: 1, out: 1}, K: k}
+}
+
+// Process implements Module.
+func (g *Gain) Process(t sim.Time, in, out []float64) { out[0] = g.K * in[0] }
+
+// Adder sums its two inputs.
+type Adder struct{ base }
+
+// NewAdder creates a 2-input adder.
+func NewAdder(name string) *Adder {
+	return &Adder{base: base{name: name, in: 2, out: 1}}
+}
+
+// Process implements Module.
+func (a *Adder) Process(t sim.Time, in, out []float64) { out[0] = in[0] + in[1] }
+
+// LowPass is a discretized first-order RC low-pass filter
+// (y += α(x−y), α = dt/(τ+dt)). It is Stateful: its output is the
+// previous state, so it may close feedback loops.
+type LowPass struct {
+	base
+	// Tau is the RC time constant.
+	Tau sim.Time
+	// dt is bound at first Process call from the graph timestep via
+	// successive call spacing; the graph sets it on elaboration
+	// instead for determinism.
+	Dt sim.Time
+
+	y float64
+}
+
+// NewLowPass creates the filter; dt must equal the graph timestep.
+func NewLowPass(name string, tau, dt sim.Time) *LowPass {
+	return &LowPass{base: base{name: name, in: 1, out: 1}, Tau: tau, Dt: dt}
+}
+
+func (*LowPass) stateful() {}
+
+// Process implements Module.
+func (l *LowPass) Process(t sim.Time, in, out []float64) {
+	out[0] = l.y
+	alpha := float64(l.Dt) / float64(l.Tau+l.Dt)
+	l.y += alpha * (in[0] - l.y)
+}
+
+// Comparator outputs 1 when the input crosses above High and 0 when
+// it falls below Low (hysteresis).
+type Comparator struct {
+	base
+	High, Low float64
+	state     bool
+}
+
+// NewComparator creates a hysteresis comparator.
+func NewComparator(name string, low, high float64) *Comparator {
+	return &Comparator{base: base{name: name, in: 1, out: 1}, High: high, Low: low}
+}
+
+// Process implements Module.
+func (c *Comparator) Process(t sim.Time, in, out []float64) {
+	switch {
+	case in[0] >= c.High:
+		c.state = true
+	case in[0] <= c.Low:
+		c.state = false
+	}
+	if c.state {
+		out[0] = 1
+	} else {
+		out[0] = 0
+	}
+}
+
+// Disturb passes its input through an injectable disturbance: offset
+// and hard override, implementing the fault.AnalogValue contract so
+// fault.AnalogInjector can attack any point of an analog chain.
+type Disturb struct {
+	base
+	offset   float64
+	override float64
+}
+
+// NewDisturb creates a transparent (fault-free) disturbance stage.
+func NewDisturb(name string) *Disturb {
+	return &Disturb{base: base{name: name, in: 1, out: 1}, override: math.NaN()}
+}
+
+// SetDisturbance implements fault.AnalogValue.
+func (d *Disturb) SetDisturbance(offset, override float64) {
+	d.offset = offset
+	d.override = override
+}
+
+// Process implements Module.
+func (d *Disturb) Process(t sim.Time, in, out []float64) {
+	switch {
+	case math.IsInf(d.override, 1):
+		out[0] = 0 // open line
+	case !math.IsNaN(d.override):
+		out[0] = d.override
+	default:
+		out[0] = in[0] + d.offset
+	}
+}
+
+// ToDE samples its input into a discrete-event signal every timestep —
+// the TDF→DE converter.
+type ToDE struct {
+	base
+	Sig *sim.Signal[float64]
+}
+
+// NewToDE creates the converter writing to sig.
+func NewToDE(name string, sig *sim.Signal[float64]) *ToDE {
+	return &ToDE{base: base{name: name, in: 1}, Sig: sig}
+}
+
+// Process implements Module.
+func (c *ToDE) Process(t sim.Time, in, out []float64) { c.Sig.Write(in[0]) }
+
+// FromDE injects a discrete-event signal into the dataflow cluster —
+// the DE→TDF converter.
+type FromDE struct {
+	base
+	Sig *sim.Signal[float64]
+}
+
+// NewFromDE creates the converter reading from sig.
+func NewFromDE(name string, sig *sim.Signal[float64]) *FromDE {
+	return &FromDE{base: base{name: name, out: 1}, Sig: sig}
+}
+
+// Process implements Module.
+func (c *FromDE) Process(t sim.Time, in, out []float64) { out[0] = c.Sig.Read() }
+
+// Probe records every sample of its input (test instrumentation).
+type Probe struct {
+	base
+	Samples []float64
+}
+
+// NewProbe creates a recording sink.
+func NewProbe(name string) *Probe {
+	return &Probe{base: base{name: name, in: 1}}
+}
+
+// Process implements Module.
+func (p *Probe) Process(t sim.Time, in, out []float64) {
+	p.Samples = append(p.Samples, in[0])
+}

@@ -1,0 +1,285 @@
+package ams
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+func graph(t *testing.T, k *sim.Kernel) *Graph {
+	t.Helper()
+	g := NewGraph(k, "g")
+	g.Timestep = sim.US(100)
+	return g
+}
+
+func TestSourceGainProbeChain(t *testing.T) {
+	k := sim.NewKernel()
+	g := graph(t, k)
+	g.MustAdd(NewSource("src", func(t sim.Time) float64 { return 2 }))
+	g.MustAdd(NewGain("amp", 3))
+	probe := g.MustAdd(NewProbe("probe")).(*Probe)
+	g.MustConnect("src", 0, "amp", 0)
+	g.MustConnect("amp", 0, "probe", 0)
+	if err := g.Elaborate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(sim.MS(1)); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if len(probe.Samples) < 10 {
+		t.Fatalf("samples = %d", len(probe.Samples))
+	}
+	for _, s := range probe.Samples {
+		if s != 6 {
+			t.Fatalf("sample = %v, want 6", s)
+		}
+	}
+}
+
+func TestAdder(t *testing.T) {
+	k := sim.NewKernel()
+	g := graph(t, k)
+	g.MustAdd(NewSource("a", func(sim.Time) float64 { return 1.5 }))
+	g.MustAdd(NewSource("b", func(sim.Time) float64 { return 2.5 }))
+	g.MustAdd(NewAdder("sum"))
+	probe := g.MustAdd(NewProbe("p")).(*Probe)
+	g.MustConnect("a", 0, "sum", 0)
+	g.MustConnect("b", 0, "sum", 1)
+	g.MustConnect("sum", 0, "p", 0)
+	if err := g.Elaborate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(sim.US(500)); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if probe.Samples[0] != 4 {
+		t.Errorf("sum = %v", probe.Samples[0])
+	}
+}
+
+func TestLowPassDCGainAndAttenuation(t *testing.T) {
+	// DC gain must converge to 1; a fast sine is attenuated.
+	k := sim.NewKernel()
+	g := graph(t, k)
+	dt := g.Timestep
+	g.MustAdd(NewSource("dc", func(sim.Time) float64 { return 1 }))
+	g.MustAdd(NewLowPass("lp", sim.MS(1), dt))
+	probe := g.MustAdd(NewProbe("p")).(*Probe)
+	g.MustConnect("dc", 0, "lp", 0)
+	g.MustConnect("lp", 0, "p", 0)
+	if err := g.Elaborate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(sim.MS(20)); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	last := probe.Samples[len(probe.Samples)-1]
+	if math.Abs(last-1) > 0.01 {
+		t.Errorf("DC settles to %v, want ~1", last)
+	}
+
+	// High-frequency attenuation.
+	k2 := sim.NewKernel()
+	g2 := graph(t, k2)
+	g2.MustAdd(NewSine("sin", 1, 5000, 0)) // 5 kHz, tau 1 ms -> heavily attenuated
+	g2.MustAdd(NewLowPass("lp", sim.MS(1), g2.Timestep))
+	probe2 := g2.MustAdd(NewProbe("p")).(*Probe)
+	g2.MustConnect("sin", 0, "lp", 0)
+	g2.MustConnect("lp", 0, "p", 0)
+	if err := g2.Elaborate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k2.Run(sim.MS(20)); err != nil {
+		t.Fatal(err)
+	}
+	k2.Shutdown()
+	peak := 0.0
+	for _, s := range probe2.Samples[len(probe2.Samples)/2:] {
+		if math.Abs(s) > peak {
+			peak = math.Abs(s)
+		}
+	}
+	if peak > 0.3 {
+		t.Errorf("5 kHz peak through 1 ms RC = %v, want < 0.3", peak)
+	}
+}
+
+func TestComparatorHysteresis(t *testing.T) {
+	k := sim.NewKernel()
+	g := graph(t, k)
+	vals := []float64{0, 0.4, 0.7, 0.5, 0.4, 0.2, 0.7}
+	i := 0
+	g.MustAdd(NewSource("seq", func(sim.Time) float64 {
+		v := vals[i%len(vals)]
+		i++
+		return v
+	}))
+	g.MustAdd(NewComparator("cmp", 0.3, 0.6))
+	probe := g.MustAdd(NewProbe("p")).(*Probe)
+	g.MustConnect("seq", 0, "cmp", 0)
+	g.MustConnect("cmp", 0, "p", 0)
+	if err := g.Elaborate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(sim.US(650)); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	want := []float64{0, 0, 1, 1, 1, 0, 1} // stays high at 0.5/0.4, drops at 0.2
+	for j, w := range want {
+		if probe.Samples[j] != w {
+			t.Errorf("step %d (in %v): out %v, want %v", j, vals[j], probe.Samples[j], w)
+		}
+	}
+}
+
+func TestFeedbackRequiresDelay(t *testing.T) {
+	// gain -> adder -> gain is a delay-free loop: rejected.
+	k := sim.NewKernel()
+	g := graph(t, k)
+	g.MustAdd(NewSource("src", func(sim.Time) float64 { return 1 }))
+	g.MustAdd(NewAdder("sum"))
+	g.MustAdd(NewGain("fb", 0.5))
+	probe := g.MustAdd(NewProbe("p")).(*Probe)
+	_ = probe
+	g.MustConnect("src", 0, "sum", 0)
+	g.MustConnect("sum", 0, "fb", 0)
+	g.MustConnect("fb", 0, "sum", 1)
+	g.MustConnect("sum", 0, "p", 0)
+	if err := g.Elaborate(); err == nil {
+		t.Fatal("delay-free loop accepted")
+	}
+}
+
+func TestFeedbackThroughStatefulModule(t *testing.T) {
+	// Integrator: sum -> lowpass(state) -> back to sum. Legal.
+	k := sim.NewKernel()
+	g := graph(t, k)
+	g.MustAdd(NewSource("src", func(sim.Time) float64 { return 1 }))
+	g.MustAdd(NewAdder("sum"))
+	g.MustAdd(NewLowPass("lp", sim.MS(1), g.Timestep))
+	probe := g.MustAdd(NewProbe("p")).(*Probe)
+	_ = probe
+	g.MustConnect("src", 0, "sum", 0)
+	g.MustConnect("sum", 0, "lp", 0)
+	g.MustConnect("lp", 0, "sum", 1)
+	g.MustConnect("sum", 0, "p", 0)
+	if err := g.Elaborate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(sim.MS(2)); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+}
+
+func TestDisturbFaultInjection(t *testing.T) {
+	k := sim.NewKernel()
+	g := graph(t, k)
+	g.MustAdd(NewSource("src", func(sim.Time) float64 { return 1 }))
+	dist := g.MustAdd(NewDisturb("harness")).(*Disturb)
+	probe := g.MustAdd(NewProbe("p")).(*Probe)
+	g.MustConnect("src", 0, "harness", 0)
+	g.MustConnect("harness", 0, "p", 0)
+	if err := g.Elaborate(); err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.AnalogInjector("chain.harness", dist, 0, 5)
+
+	if err := k.Run(sim.US(300)); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Inject(fault.Descriptor{Name: "d", Model: fault.ValueOffset, Target: "chain.harness", Param: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(sim.US(300)); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Inject(fault.Descriptor{Name: "d2", Model: fault.ShortToSupply, Target: "chain.harness"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(sim.US(300)); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	s := probe.Samples
+	if s[0] != 1 {
+		t.Errorf("clean sample = %v", s[0])
+	}
+	if s[4] != 1.25 {
+		t.Errorf("offset sample = %v, want 1.25", s[4])
+	}
+	if s[len(s)-1] != 5 {
+		t.Errorf("short-to-supply sample = %v, want 5", s[len(s)-1])
+	}
+}
+
+func TestDEBridges(t *testing.T) {
+	k := sim.NewKernel()
+	deIn := sim.NewSignal(k, "cmd", 2.0)
+	deOut := sim.NewSignal(k, "meas", 0.0)
+	g := graph(t, k)
+	g.MustAdd(NewFromDE("from", deIn))
+	g.MustAdd(NewGain("amp", 10))
+	g.MustAdd(NewToDE("to", deOut))
+	g.MustConnect("from", 0, "amp", 0)
+	g.MustConnect("amp", 0, "to", 0)
+	if err := g.Elaborate(); err != nil {
+		t.Fatal(err)
+	}
+	var mid, end float64
+	k.Thread("de", func(ctx *sim.ThreadCtx) {
+		ctx.WaitTime(sim.US(450))
+		mid = deOut.Read()
+		deIn.Write(7)
+		ctx.WaitTime(sim.US(450))
+		end = deOut.Read()
+	})
+	if err := k.Run(sim.MS(1)); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if mid != 20 {
+		t.Errorf("mid = %v, want 20", mid)
+	}
+	if end != 70 {
+		t.Errorf("end = %v, want 70", end)
+	}
+}
+
+func TestGraphErrors(t *testing.T) {
+	k := sim.NewKernel()
+	g := graph(t, k)
+	g.MustAdd(NewGain("a", 1))
+	if err := g.Add(NewGain("a", 2)); err == nil {
+		t.Error("duplicate module accepted")
+	}
+	if err := g.Connect("a", 0, "nosuch", 0); err == nil {
+		t.Error("connect to unknown module accepted")
+	}
+	if err := g.Connect("a", 5, "a", 0); err == nil {
+		t.Error("bad port accepted")
+	}
+	// Unconnected input rejected at elaboration.
+	if err := g.Elaborate(); err == nil {
+		t.Error("unconnected input accepted")
+	}
+}
+
+func TestDoubleDriveRejected(t *testing.T) {
+	k := sim.NewKernel()
+	g := graph(t, k)
+	g.MustAdd(NewSource("s1", func(sim.Time) float64 { return 1 }))
+	g.MustAdd(NewSource("s2", func(sim.Time) float64 { return 2 }))
+	g.MustAdd(NewGain("g", 1))
+	g.MustConnect("s1", 0, "g", 0)
+	if err := g.Connect("s2", 0, "g", 0); err == nil {
+		t.Error("double-driven input accepted")
+	}
+}

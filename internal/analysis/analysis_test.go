@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/safety"
+	"repro/internal/sim"
+)
+
+func TestClassifyPriorities(t *testing.T) {
+	golden := Observation{Outputs: map[string]string{"y": "1"}}
+	cases := []struct {
+		name string
+		obs  Observation
+		want fault.Classification
+	}{
+		{"goal beats everything", Observation{GoalViolated: true, DeadlineMissed: true, Detected: true, Activated: true}, fault.SafetyCritical},
+		{"deadline beats sdc", Observation{DeadlineMissed: true, Outputs: map[string]string{"y": "2"}}, fault.TimingViolation},
+		{"mismatch undetected is sdc", Observation{Outputs: map[string]string{"y": "2"}}, fault.SDC},
+		{"mismatch detected is safe", Observation{Outputs: map[string]string{"y": "2"}, Detected: true}, fault.DetectedSafe},
+		{"match detected is safe", Observation{Outputs: map[string]string{"y": "1"}, Detected: true}, fault.DetectedSafe},
+		{"latent", Observation{Outputs: map[string]string{"y": "1"}, LatentState: true}, fault.Latent},
+		{"masked", Observation{Outputs: map[string]string{"y": "1"}, Activated: true}, fault.Masked},
+		{"no effect", Observation{Outputs: map[string]string{"y": "1"}}, fault.NoEffect},
+	}
+	for _, c := range cases {
+		if got := Classify(golden, c.obs); got != c.want {
+			t.Errorf("%s: got %s, want %s", c.name, got, c.want)
+		}
+	}
+}
+
+func TestClassifyOutputSets(t *testing.T) {
+	golden := Observation{Outputs: map[string]string{"a": "1", "b": "2"}}
+	missing := Observation{Outputs: map[string]string{"a": "1"}}
+	if Classify(golden, missing) != fault.SDC {
+		t.Error("missing output not a mismatch")
+	}
+	extra := Observation{Outputs: map[string]string{"a": "1", "b": "2", "c": "3"}}
+	if Classify(golden, extra) != fault.SDC {
+		t.Error("extra output not a mismatch")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	if got := Describe(Observation{GoalViolated: true, GoalDetail: "boom"}); !strings.Contains(got, "boom") {
+		t.Errorf("Describe = %q", got)
+	}
+	if got := Describe(Observation{Detected: true, DetectedBy: []string{"ecc", "wd"}}); !strings.Contains(got, "ecc,wd") {
+		t.Errorf("Describe = %q", got)
+	}
+	if Describe(Observation{}) != "" {
+		t.Error("empty describe")
+	}
+}
+
+func TestTrace(t *testing.T) {
+	var tr Trace
+	tr.Record(sim.NS(10), "sensor", "offset")
+	tr.Record(sim.NS(20), "fusion", "wrong severity")
+	tr.Record(sim.NS(30), "fusion", "frame sent")
+	tr.Record(sim.NS(40), "airbag", "fired")
+	if tr.Len() != 4 {
+		t.Errorf("len = %d", tr.Len())
+	}
+	sites := tr.SitesVisited()
+	if len(sites) != 3 || sites[0] != "sensor" || sites[2] != "airbag" {
+		t.Errorf("sites = %v", sites)
+	}
+	s := tr.String()
+	if !strings.Contains(s, "sensor@10 ns(offset) -> fusion@20 ns") {
+		t.Errorf("trace string = %q", s)
+	}
+}
+
+func outcome(class fault.Classification, faults ...string) fault.Outcome {
+	sc := fault.Scenario{ID: strings.Join(faults, "+")}
+	for _, f := range faults {
+		sc.Faults = append(sc.Faults, fault.Descriptor{Name: f, Target: f})
+	}
+	return fault.Outcome{Scenario: sc, Class: class}
+}
+
+func TestSynthesizeFaultTree(t *testing.T) {
+	outcomes := []fault.Outcome{
+		outcome(fault.SafetyCritical, "a"),
+		outcome(fault.Masked, "b"),
+		outcome(fault.SafetyCritical, "b", "c"),
+		outcome(fault.SafetyCritical, "a", "b"), // absorbed by {a}
+		outcome(fault.SDC, "d"),
+	}
+	isFail := func(c fault.Classification) bool { return c == fault.SafetyCritical }
+	probs := map[string]float64{"a": 0.1, "b": 0.2, "c": 0.3}
+	tree := SynthesizeFaultTree("G1", outcomes, isFail, probs, 0.01)
+	mcs := tree.MinimalCutSets()
+	if len(mcs) != 2 {
+		t.Fatalf("mcs = %v", mcs)
+	}
+	p, err := tree.TopEventProbability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.1 + 0.2*0.3 - 0.1*0.2*0.3
+	if math.Abs(p-want) > 1e-12 {
+		t.Errorf("P = %v, want %v", p, want)
+	}
+}
+
+func TestSynthesizeNoFailures(t *testing.T) {
+	tree := SynthesizeFaultTree("G1", []fault.Outcome{outcome(fault.Masked, "a")},
+		func(c fault.Classification) bool { return c.IsFailure() }, nil, 0.1)
+	p, err := tree.TopEventProbability()
+	if err != nil || p != 0 {
+		t.Errorf("no-failure tree P = %v, %v", p, err)
+	}
+}
+
+func TestSynthesizeMatchesAnalytic(t *testing.T) {
+	// Analytic model: top = s1 OR (s2 AND s3). Simulate its truth
+	// table as campaign outcomes and check the synthesized tree agrees.
+	analytic := safety.Or("top",
+		safety.BasicEvent("s1", 0.05),
+		safety.And("g", safety.BasicEvent("s2", 0.1), safety.BasicEvent("s3", 0.2)))
+	var outcomes []fault.Outcome
+	for mask := 1; mask < 8; mask++ {
+		var faults []string
+		for i, name := range []string{"s1", "s2", "s3"} {
+			if mask>>uint(i)&1 == 1 {
+				faults = append(faults, name)
+			}
+		}
+		has := func(n string) bool {
+			for _, f := range faults {
+				if f == n {
+					return true
+				}
+			}
+			return false
+		}
+		class := fault.Masked
+		if has("s1") || (has("s2") && has("s3")) {
+			class = fault.SafetyCritical
+		}
+		outcomes = append(outcomes, outcome(class, faults...))
+	}
+	probs := map[string]float64{"s1": 0.05, "s2": 0.1, "s3": 0.2}
+	synth := SynthesizeFaultTree("top", outcomes,
+		func(c fault.Classification) bool { return c == fault.SafetyCritical }, probs, 0)
+	pa, err := analytic.TopEventProbability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := synth.TopEventProbability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pa-ps) > 1e-12 {
+		t.Errorf("synthesized P = %v, analytic P = %v", ps, pa)
+	}
+	if len(synth.MinimalCutSets()) != len(analytic.MinimalCutSets()) {
+		t.Errorf("cut sets differ: %v vs %v", synth.MinimalCutSets(), analytic.MinimalCutSets())
+	}
+}
+
+func TestEventKeyStripsInstanceSuffix(t *testing.T) {
+	if EventKey(fault.Descriptor{Name: "site/model#1"}) != "site/model" {
+		t.Error("# suffix not stripped")
+	}
+	if EventKey(fault.Descriptor{Name: "site/model+0"}) != "site/model" {
+		t.Error("+ suffix not stripped")
+	}
+	if EventKey(fault.Descriptor{Name: "plain"}) != "plain" {
+		t.Error("plain name mangled")
+	}
+}

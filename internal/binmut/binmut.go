@@ -1,0 +1,271 @@
+// Package binmut implements binary mutation testing for AE32 machine
+// code: mutation operators are applied directly to instruction words
+// of an assembled program, mutants execute on the virtual CPU, and a
+// test suite is scored by its ability to distinguish each mutant's
+// observable behaviour (store trace and halt status) from the golden
+// binary's.
+//
+// This reproduces the XEMU line of work cited by the paper — Becker
+// et al., "XEMU: an efficient QEMU-based binary mutation testing
+// framework for embedded software" [22] and binary mutation through
+// dynamic translation [30] — with the AE32 core standing in for the
+// QEMU-emulated target.
+package binmut
+
+import (
+	"fmt"
+
+	"repro/internal/ecu"
+	"repro/internal/sim"
+	"repro/internal/tlm"
+)
+
+// Mutant is one seeded machine-code fault.
+type Mutant struct {
+	ID int
+	// WordIndex is the mutated instruction's position.
+	WordIndex int
+	// Mutated is the replacement instruction word.
+	Mutated uint32
+	// Operator classifies the mutation.
+	Operator string
+	// Description is human-readable.
+	Description string
+}
+
+// opSwaps maps opcodes to their replacement set.
+var opSwaps = map[ecu.Opcode][]ecu.Opcode{
+	ecu.OpADD: {ecu.OpSUB},
+	ecu.OpSUB: {ecu.OpADD},
+	ecu.OpAND: {ecu.OpOR},
+	ecu.OpOR:  {ecu.OpAND},
+	ecu.OpXOR: {ecu.OpAND},
+	ecu.OpSHL: {ecu.OpSHR},
+	ecu.OpSHR: {ecu.OpSHL},
+	ecu.OpMUL: {ecu.OpADD},
+	ecu.OpBEQ: {ecu.OpBNE},
+	ecu.OpBNE: {ecu.OpBEQ},
+	ecu.OpBLT: {ecu.OpBGE},
+	ecu.OpBGE: {ecu.OpBLT},
+}
+
+// Generate enumerates mutants of an assembled program: opcode
+// replacement (AOR/ROR at ISA level), immediate perturbation (±1 on
+// ADDI and branch offsets), and instruction deletion (SW/ADDI→NOP).
+// Words that do not decode (data words) are skipped.
+func Generate(words []uint32) []Mutant {
+	var out []Mutant
+	add := func(idx int, mutated uint32, op, desc string) {
+		out = append(out, Mutant{ID: len(out), WordIndex: idx, Mutated: mutated, Operator: op, Description: desc})
+	}
+	for i, w := range words {
+		ins, err := ecu.Decode(w)
+		if err != nil {
+			continue
+		}
+		for _, alt := range opSwaps[ins.Op] {
+			m := ins
+			m.Op = alt
+			add(i, ecu.Encode(m), "OPR",
+				fmt.Sprintf("word %d: %s -> %s", i, ins.Op, alt))
+		}
+		switch ins.Op {
+		case ecu.OpADDI:
+			for _, d := range []int32{1, -1} {
+				m := ins
+				m.Imm = clampImm(ins.Imm + d)
+				if m.Imm != ins.Imm {
+					add(i, ecu.Encode(m), "IMM",
+						fmt.Sprintf("word %d: addi imm %d -> %d", i, ins.Imm, m.Imm))
+				}
+			}
+			add(i, ecu.Encode(ecu.Instr{Op: ecu.OpNOP}), "DEL",
+				fmt.Sprintf("word %d: delete %s", i, ins))
+		case ecu.OpBEQ, ecu.OpBNE, ecu.OpBLT, ecu.OpBGE:
+			m := ins
+			m.Imm = clampImm(ins.Imm + 1)
+			if m.Imm != ins.Imm {
+				add(i, ecu.Encode(m), "IMM",
+					fmt.Sprintf("word %d: branch offset %d -> %d", i, ins.Imm, m.Imm))
+			}
+		case ecu.OpSW:
+			add(i, ecu.Encode(ecu.Instr{Op: ecu.OpNOP}), "DEL",
+				fmt.Sprintf("word %d: delete %s", i, ins))
+		}
+	}
+	return out
+}
+
+func clampImm(v int32) int32 {
+	if v > 2047 {
+		return 2047
+	}
+	if v < -2048 {
+		return -2048
+	}
+	return v
+}
+
+// Test is one test vector: initial register values (the program's
+// inputs) plus optional data-memory preloads.
+type Test struct {
+	Regs map[int]uint32
+	Mem  map[uint64][]byte
+}
+
+// trace is the observable behaviour of one run.
+type trace struct {
+	stores []storeRec
+	halted bool
+	trap   bool
+}
+
+type storeRec struct{ addr, val uint32 }
+
+func (a *trace) equal(b *trace) bool {
+	if a.halted != b.halted || a.trap != b.trap || len(a.stores) != len(b.stores) {
+		return false
+	}
+	for i := range a.stores {
+		if a.stores[i] != b.stores[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// programBase is where binaries load and start.
+const programBase = 0x1000
+
+// execute runs a binary against one test and records its trace.
+func execute(words []uint32, t Test, maxInstrs uint64) *trace {
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	cpu := ecu.NewCPU("mut")
+	ram := tlm.NewMemory("ram", 0, 64*1024)
+	bus := tlm.NewRouter("bus")
+	bus.MustMap("ram", 0, 64*1024, ram)
+	cpu.Bus.Bind(bus)
+	ecu.LoadProgram(ram, programBase, words)
+	for addr, data := range t.Mem {
+		ram.Poke(addr, data)
+	}
+	cpu.Reset(programBase)
+	for r, v := range t.Regs {
+		cpu.SetReg(r, v)
+	}
+	tr := &trace{}
+	cpu.StoreHook = func(addr, val uint32) {
+		tr.stores = append(tr.stores, storeRec{addr, val})
+	}
+	k.Thread("cpu", func(ctx *sim.ThreadCtx) {
+		qk := tlm.NewQuantumKeeper(ctx, sim.US(100))
+		if err := cpu.Run(ctx, qk, maxInstrs); err != nil {
+			tr.trap = true
+		}
+	})
+	if err := k.Run(sim.TimeMax); err != nil {
+		tr.trap = true
+	}
+	tr.halted = cpu.Halted()
+	return tr
+}
+
+// Verdict is a mutant's fate.
+type Verdict uint8
+
+const (
+	// Survived: no test distinguished the mutant.
+	Survived Verdict = iota
+	// Killed: a test observed different stores/halt status.
+	Killed
+	// KilledByTrap: the mutant trapped or ran away where the golden
+	// binary did not.
+	KilledByTrap
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Survived:
+		return "survived"
+	case Killed:
+		return "killed"
+	case KilledByTrap:
+		return "killed-trap"
+	default:
+		return fmt.Sprintf("Verdict(%d)", uint8(v))
+	}
+}
+
+// MutantResult pairs a mutant with its verdict.
+type MutantResult struct {
+	Mutant      Mutant
+	Verdict     Verdict
+	KillingTest int // -1 if survived
+}
+
+// Report is the binary mutation analysis outcome.
+type Report struct {
+	Total   int
+	Killed  int
+	Score   float64
+	Results []MutantResult
+}
+
+// Survivors lists unkilled mutants.
+func (r *Report) Survivors() []Mutant {
+	var out []Mutant
+	for _, res := range r.Results {
+		if res.Verdict == Survived {
+			out = append(out, res.Mutant)
+		}
+	}
+	return out
+}
+
+// Qualify scores the test suite against every mutant of the binary.
+// maxInstrs bounds each run (mutants that break loop exits terminate
+// via the bound and count as killed-by-trap when the golden run
+// halted).
+func Qualify(words []uint32, tests []Test, maxInstrs uint64) (*Report, error) {
+	if len(tests) == 0 {
+		return nil, fmt.Errorf("binmut: empty test suite")
+	}
+	golden := make([]*trace, len(tests))
+	for i, t := range tests {
+		golden[i] = execute(words, t, maxInstrs)
+		if golden[i].trap {
+			return nil, fmt.Errorf("binmut: golden run of test %d trapped", i)
+		}
+	}
+	mutants := Generate(words)
+	rep := &Report{Total: len(mutants)}
+	buf := make([]uint32, len(words))
+	for _, m := range mutants {
+		copy(buf, words)
+		buf[m.WordIndex] = m.Mutated
+		res := MutantResult{Mutant: m, Verdict: Survived, KillingTest: -1}
+		for i, t := range tests {
+			tr := execute(buf, t, maxInstrs)
+			if tr.trap || (!tr.halted && golden[i].halted) {
+				res.Verdict = KilledByTrap
+				res.KillingTest = i
+				break
+			}
+			if !tr.equal(golden[i]) {
+				res.Verdict = Killed
+				res.KillingTest = i
+				break
+			}
+		}
+		if res.Verdict != Survived {
+			rep.Killed++
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	if rep.Total > 0 {
+		rep.Score = float64(rep.Killed) / float64(rep.Total)
+	}
+	return rep, nil
+}

@@ -1,0 +1,196 @@
+package binmut
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ecu"
+)
+
+// saturatingSub computes max(r1-r2, 0) and stores the result: a tiny
+// embedded routine with a branch worth mutating.
+const saturatingSub = `
+	blt r1, r2, zero
+	sub r3, r1, r2
+	jal r0, done
+zero:
+	addi r3, r0, 0
+done:
+	sw r3, 256(r0)
+	halt
+`
+
+func words(t *testing.T) []uint32 {
+	t.Helper()
+	w, err := ecu.Assemble(saturatingSub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestGenerateOperators(t *testing.T) {
+	mutants := Generate(words(t))
+	if len(mutants) == 0 {
+		t.Fatal("no mutants")
+	}
+	ops := map[string]int{}
+	for i, m := range mutants {
+		if m.ID != i {
+			t.Errorf("ID %d at %d", m.ID, i)
+		}
+		ops[m.Operator]++
+	}
+	for _, want := range []string{"OPR", "IMM", "DEL"} {
+		if ops[want] == 0 {
+			t.Errorf("no %s mutants (have %v)", want, ops)
+		}
+	}
+}
+
+func TestGenerateSkipsDataWords(t *testing.T) {
+	w, err := ecu.Assemble("halt\n.word 0xffffffff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Generate(w) {
+		if m.WordIndex == 1 {
+			t.Errorf("data word mutated: %s", m.Description)
+		}
+	}
+}
+
+func weakSuite() []Test {
+	// Only exercises the r1 >= r2 path.
+	return []Test{{Regs: map[int]uint32{1: 10, 2: 3}}}
+}
+
+func strongSuite() []Test {
+	return []Test{
+		{Regs: map[int]uint32{1: 10, 2: 3}}, // positive difference
+		{Regs: map[int]uint32{1: 3, 2: 10}}, // saturated path
+		{Regs: map[int]uint32{1: 7, 2: 7}},  // boundary: equal
+		{Regs: map[int]uint32{1: 8, 2: 7}},  // boundary: just above
+		{Regs: map[int]uint32{1: 0, 2: 0}},  // zeros
+	}
+}
+
+func TestQualifyStrongBeatsWeak(t *testing.T) {
+	w := words(t)
+	weak, err := Qualify(w, weakSuite(), 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := Qualify(w, strongSuite(), 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weak.Total != strong.Total {
+		t.Fatalf("totals differ: %d vs %d", weak.Total, strong.Total)
+	}
+	if strong.Score <= weak.Score {
+		t.Errorf("strong %.2f <= weak %.2f", strong.Score, weak.Score)
+	}
+	if len(weak.Survivors()) <= len(strong.Survivors()) {
+		t.Errorf("survivors: weak %d, strong %d", len(weak.Survivors()), len(strong.Survivors()))
+	}
+	t.Logf("binary mutation: weak %.0f%%, strong %.0f%% of %d mutants",
+		weak.Score*100, strong.Score*100, strong.Total)
+}
+
+func TestQualifyDetectsBranchMutation(t *testing.T) {
+	// The blt -> bge mutant must be killed by any suite covering both
+	// branch directions.
+	w := words(t)
+	rep, err := Qualify(w, strongSuite(), 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range rep.Results {
+		if strings.Contains(res.Mutant.Description, "blt -> bge") && res.Verdict == Survived {
+			t.Errorf("branch-inversion mutant survived the strong suite")
+		}
+	}
+}
+
+func TestQualifyEmptySuiteRejected(t *testing.T) {
+	if _, err := Qualify(words(t), nil, 1000); err == nil {
+		t.Error("empty suite accepted")
+	}
+}
+
+func TestQualifyGoldenTrapRejected(t *testing.T) {
+	// A program that loads from an unmapped address traps in the
+	// golden run; Qualify must refuse to score against it.
+	w, err := ecu.Assemble("lui r1, 1024\nlw r2, 0(r1)\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Qualify(w, []Test{{}}, 1000); err == nil {
+		t.Error("golden trap not reported")
+	}
+}
+
+func TestRunawayMutantKilledByBound(t *testing.T) {
+	// A loop whose exit is ADDI-driven: deleting the increment makes
+	// it infinite; the instruction bound must catch it.
+	w, err := ecu.Assemble(`
+		addi r1, r0, 0
+		addi r2, r0, 5
+	loop:
+		addi r1, r1, 1
+		blt  r1, r2, loop
+		sw   r1, 256(r0)
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Qualify(w, []Test{{}}, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trapKills := 0
+	for _, res := range rep.Results {
+		if res.Verdict == KilledByTrap {
+			trapKills++
+		}
+	}
+	if trapKills == 0 {
+		t.Error("no mutants killed by runaway bound")
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	if Survived.String() != "survived" || Killed.String() != "killed" || KilledByTrap.String() != "killed-trap" {
+		t.Error("verdict strings")
+	}
+}
+
+func TestMemPreload(t *testing.T) {
+	// Program sums mem[0x200] + mem[0x204] into 0x208.
+	w, err := ecu.Assemble(`
+		lw r1, 512(r0)
+		lw r2, 516(r0)
+		add r3, r1, r2
+		sw r3, 520(r0)
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []Test{
+		{Mem: map[uint64][]byte{0x200: {3, 0, 0, 0}, 0x204: {4, 0, 0, 0}}},
+		{Mem: map[uint64][]byte{0x200: {0, 0, 0, 0}, 0x204: {0, 0, 0, 0}}},
+	}
+	rep, err := Qualify(w, tests, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// add -> sub must be killed by the 3+4 test.
+	for _, res := range rep.Results {
+		if strings.Contains(res.Mutant.Description, "add -> sub") && res.Verdict == Survived {
+			t.Error("add->sub mutant survived")
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package can
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// NodeState is the CAN fault-confinement state.
+type NodeState uint8
+
+const (
+	// ErrorActive is the healthy state (TEC/REC <= 127).
+	ErrorActive NodeState = iota
+	// ErrorPassive throttles error signalling (TEC or REC > 127).
+	ErrorPassive
+	// BusOff removes the node from the bus (TEC > 255).
+	BusOff
+)
+
+// String names the state.
+func (s NodeState) String() string {
+	switch s {
+	case ErrorActive:
+		return "error-active"
+	case ErrorPassive:
+		return "error-passive"
+	case BusOff:
+		return "bus-off"
+	default:
+		return fmt.Sprintf("NodeState(%d)", uint8(s))
+	}
+}
+
+// Node is one CAN controller attached to a bus.
+type Node struct {
+	name string
+	bus  *Bus
+	// OnReceive delivers accepted frames (all IDs; filtering is the
+	// application's concern).
+	OnReceive func(f Frame, at sim.Time)
+
+	tec, rec int
+	state    NodeState
+	queue    []Frame
+
+	sent, received, errorsSeen uint64
+	// Babbling makes the node continuously transmit highest-priority
+	// junk frames (the babbling-idiot fault).
+	Babbling bool
+}
+
+// Name reports the node name.
+func (n *Node) Name() string { return n.name }
+
+// State reports the fault-confinement state.
+func (n *Node) State() NodeState { return n.state }
+
+// Counters reports the transmit and receive error counters.
+func (n *Node) Counters() (tec, rec int) { return n.tec, n.rec }
+
+// Stats reports frames sent, received and error frames observed.
+func (n *Node) Stats() (sent, received, errors uint64) {
+	return n.sent, n.received, n.errorsSeen
+}
+
+// Send queues a frame for transmission. Bus-off nodes drop it.
+func (n *Node) Send(f Frame) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if n.state == BusOff {
+		return fmt.Errorf("can: node %s is bus-off", n.name)
+	}
+	n.queue = append(n.queue, f.clone())
+	n.bus.kick()
+	return nil
+}
+
+// Pending reports queued frames.
+func (n *Node) Pending() int { return len(n.queue) }
+
+// bumpTxError applies the transmit-error penalty (+8 per the spec)
+// and updates the state machine.
+func (n *Node) bumpTxError() {
+	n.tec += 8
+	n.updateState()
+}
+
+// bumpRxError applies the receive-error penalty (+1).
+func (n *Node) bumpRxError() {
+	n.rec++
+	n.errorsSeen++
+	n.updateState()
+}
+
+// decay rewards successful traffic (spec: -1 per success).
+func (n *Node) decayTx() {
+	if n.tec > 0 {
+		n.tec--
+	}
+	n.updateState()
+}
+
+func (n *Node) decayRx() {
+	if n.rec > 0 {
+		n.rec--
+	}
+	n.updateState()
+}
+
+func (n *Node) updateState() {
+	switch {
+	case n.tec > 255:
+		if n.state != BusOff {
+			n.state = BusOff
+			n.queue = nil
+		}
+	case n.tec > 127 || n.rec > 127:
+		if n.state != BusOff {
+			n.state = ErrorPassive
+		}
+	default:
+		if n.state != BusOff {
+			n.state = ErrorActive
+		}
+	}
+}
+
+// TxRecord is one completed bus transaction in the log.
+type TxRecord struct {
+	At        sim.Time
+	Node      string
+	Frame     Frame
+	Corrupted bool
+	Dropped   bool
+}
+
+// Bus is the shared medium.
+type Bus struct {
+	k *sim.Kernel
+	// BitTime is the duration of one bit (500 kbit/s default).
+	BitTime sim.Time
+	// MaxRetries bounds automatic retransmission per frame.
+	MaxRetries int
+
+	nodes []*Node
+	busy  bool
+	wake  *sim.Event
+	log   []TxRecord
+
+	// fault injection
+	corruptNext  int // corrupt the next n frames in transit
+	dropNext     int // silently drop the next n frames
+	retriesLeft  map[*Node]int
+	babbleFrame  Frame
+	arbitrations uint64
+}
+
+// NewBus creates a bus on the kernel at 500 kbit/s.
+func NewBus(k *sim.Kernel, name string) *Bus {
+	b := &Bus{
+		k:           k,
+		BitTime:     sim.US(2),
+		MaxRetries:  8,
+		wake:        k.NewEvent(name + ".wake"),
+		retriesLeft: make(map[*Node]int),
+		babbleFrame: Frame{ID: 0, Data: []byte{0}},
+	}
+	k.MethodNoInit(name+".arbitrate", b.arbitrate, b.wake)
+	return b
+}
+
+// Attach creates a node on the bus.
+func (b *Bus) Attach(name string) *Node {
+	n := &Node{name: name, bus: b}
+	b.nodes = append(b.nodes, n)
+	return n
+}
+
+// CorruptNextFrames makes the next n frames arrive with a flipped
+// payload bit (detected by CRC at the receivers).
+func (b *Bus) CorruptNextFrames(n int) { b.corruptNext += n }
+
+// DropNextFrames makes the next n frames vanish in transit (the
+// omission fault; receivers see nothing, the sender believes it sent).
+func (b *Bus) DropNextFrames(n int) { b.dropNext += n }
+
+// Log returns the completed transaction records.
+func (b *Bus) Log() []TxRecord { return b.log }
+
+// Arbitrations reports how many arbitration rounds were resolved.
+func (b *Bus) Arbitrations() uint64 { return b.arbitrations }
+
+// kick schedules an arbitration round.
+func (b *Bus) kick() {
+	if !b.busy {
+		b.wake.Notify(0)
+	}
+}
+
+// contenders lists nodes with traffic, including babbling ones.
+func (b *Bus) contenders() []*Node {
+	var out []*Node
+	for _, n := range b.nodes {
+		if n.state == BusOff {
+			continue
+		}
+		if n.Babbling && len(n.queue) == 0 {
+			n.queue = append(n.queue, b.babbleFrame.clone())
+		}
+		if len(n.queue) > 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// arbitrate resolves one arbitration round and schedules the winning
+// frame's completion.
+func (b *Bus) arbitrate() {
+	if b.busy {
+		return
+	}
+	cont := b.contenders()
+	if len(cont) == 0 {
+		return
+	}
+	b.arbitrations++
+	// Lowest ID wins; ties resolve by attachment order (real CAN
+	// cannot have ID ties on a correct network).
+	sort.SliceStable(cont, func(i, j int) bool {
+		return cont[i].queue[0].ID < cont[j].queue[0].ID
+	})
+	winner := cont[0]
+	frame := winner.queue[0]
+	b.busy = true
+	dur := sim.Time(frame.Bits()) * b.BitTime
+	done := b.k.NewEvent("can.txdone")
+	b.k.MethodNoInit("can.complete", func() {
+		b.complete(winner, frame)
+	}, done)
+	done.Notify(dur)
+}
+
+// complete finishes a transmission: apply channel faults, deliver or
+// signal errors, then re-arm arbitration.
+func (b *Bus) complete(sender *Node, frame Frame) {
+	b.busy = false
+	now := b.k.Now()
+
+	switch {
+	case b.dropNext > 0:
+		b.dropNext--
+		// Omission: the frame is gone. The sender still dequeues (a
+		// transceiver-level fault invisible to the controller).
+		sender.queue = sender.queue[1:]
+		sender.sent++
+		b.log = append(b.log, TxRecord{At: now, Node: sender.name, Frame: frame, Dropped: true})
+	case b.corruptNext > 0:
+		b.corruptNext--
+		corrupted := frame.clone()
+		if len(corrupted.Data) > 0 {
+			corrupted.Data[0] ^= 0x01
+		} else {
+			corrupted.ID ^= 0x1
+		}
+		// Receivers detect the CRC mismatch and signal an error frame:
+		// the sender's TEC jumps, receivers' REC tick up, and the
+		// frame is retransmitted unless the retry budget is exhausted.
+		for _, n := range b.nodes {
+			if n != sender && n.state != BusOff {
+				n.bumpRxError()
+			}
+		}
+		sender.bumpTxError()
+		b.log = append(b.log, TxRecord{At: now, Node: sender.name, Frame: corrupted, Corrupted: true})
+		if _, ok := b.retriesLeft[sender]; !ok {
+			b.retriesLeft[sender] = b.MaxRetries
+		}
+		b.retriesLeft[sender]--
+		if b.retriesLeft[sender] <= 0 || sender.state == BusOff {
+			// Give up on this frame.
+			if len(sender.queue) > 0 {
+				sender.queue = sender.queue[1:]
+			}
+			delete(b.retriesLeft, sender)
+		}
+	default:
+		// Clean delivery.
+		sender.queue = sender.queue[1:]
+		sender.sent++
+		sender.decayTx()
+		delete(b.retriesLeft, sender)
+		for _, n := range b.nodes {
+			if n == sender || n.state == BusOff {
+				continue
+			}
+			n.received++
+			n.decayRx()
+			if n.OnReceive != nil {
+				n.OnReceive(frame.clone(), now)
+			}
+		}
+		b.log = append(b.log, TxRecord{At: now, Node: sender.name, Frame: frame})
+	}
+	b.kick()
+}

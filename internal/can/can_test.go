@@ -1,0 +1,314 @@
+package can
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestFrameValidate(t *testing.T) {
+	if err := (Frame{ID: 0x123, Data: []byte{1, 2, 3}}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Frame{ID: 0x800}).Validate(); err == nil {
+		t.Error("12-bit ID accepted")
+	}
+	if err := (Frame{ID: 1, Data: make([]byte, 9)}).Validate(); err == nil {
+		t.Error("9-byte payload accepted")
+	}
+}
+
+func TestCRCProperties(t *testing.T) {
+	f := Frame{ID: 0x123, Data: []byte{0xde, 0xad}}
+	c1 := f.CRC()
+	if c1 > 0x7fff {
+		t.Errorf("CRC %#x exceeds 15 bits", c1)
+	}
+	// Any single payload bit flip changes the CRC.
+	g := f.clone()
+	g.Data[0] ^= 0x01
+	if g.CRC() == c1 {
+		t.Error("payload flip not reflected in CRC")
+	}
+	// ID flip too.
+	h := f.clone()
+	h.ID ^= 0x100
+	if h.CRC() == c1 {
+		t.Error("ID flip not reflected in CRC")
+	}
+}
+
+func TestFrameBits(t *testing.T) {
+	empty := Frame{ID: 1}
+	full := Frame{ID: 1, Data: make([]byte, 8)}
+	if empty.Bits() >= full.Bits() {
+		t.Error("bits not monotone in payload")
+	}
+	if empty.Bits() < 44 || full.Bits() > 140 {
+		t.Errorf("bits out of plausible range: %d, %d", empty.Bits(), full.Bits())
+	}
+}
+
+func busFixture(t *testing.T) (*sim.Kernel, *Bus) {
+	t.Helper()
+	k := sim.NewKernel()
+	return k, NewBus(k, "can0")
+}
+
+func TestCleanDelivery(t *testing.T) {
+	k, b := busFixture(t)
+	tx := b.Attach("sensor")
+	rx := b.Attach("airbag")
+	var got []Frame
+	var at []sim.Time
+	rx.OnReceive = func(f Frame, now sim.Time) {
+		got = append(got, f)
+		at = append(at, now)
+	}
+	if err := tx.Send(Frame{ID: 0x100, Data: []byte{42}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(sim.TimeMax); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Data[0] != 42 {
+		t.Fatalf("got = %v", got)
+	}
+	// Duration: frame bits * 2us.
+	wantAt := sim.Time(Frame{ID: 0x100, Data: []byte{42}}.Bits()) * sim.US(2)
+	if at[0] != wantAt {
+		t.Errorf("delivered at %v, want %v", at[0], wantAt)
+	}
+	sent, _, _ := tx.Stats()
+	_, received, _ := rx.Stats()
+	if sent != 1 || received != 1 {
+		t.Errorf("stats: sent %d, received %d", sent, received)
+	}
+}
+
+func TestArbitrationLowestIDWins(t *testing.T) {
+	k, b := busFixture(t)
+	hi := b.Attach("high-prio")
+	lo := b.Attach("low-prio")
+	mon := b.Attach("monitor")
+	var order []uint16
+	mon.OnReceive = func(f Frame, _ sim.Time) { order = append(order, f.ID) }
+	// Queue in reverse priority order; both contend at time 0.
+	if err := lo.Send(Frame{ID: 0x400, Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := hi.Send(Frame{ID: 0x010, Data: []byte{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(sim.TimeMax); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 0x010 || order[1] != 0x400 {
+		t.Errorf("order = %v, want high priority first", order)
+	}
+}
+
+func TestCorruptionTriggersRetransmit(t *testing.T) {
+	k, b := busFixture(t)
+	tx := b.Attach("tx")
+	rx := b.Attach("rx")
+	var got []Frame
+	rx.OnReceive = func(f Frame, _ sim.Time) { got = append(got, f) }
+	b.CorruptNextFrames(1)
+	if err := tx.Send(Frame{ID: 0x50, Data: []byte{7}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(sim.TimeMax); err != nil {
+		t.Fatal(err)
+	}
+	// First attempt corrupted (no delivery), retransmission clean.
+	if len(got) != 1 || got[0].Data[0] != 7 {
+		t.Fatalf("got = %v", got)
+	}
+	tec, _ := tx.Counters()
+	// +8 for the error, -1 for the successful retransmit.
+	if tec != 7 {
+		t.Errorf("TEC = %d, want 7", tec)
+	}
+	_, rec := rx.Counters()
+	if rec != 0 { // +1 then -1
+		t.Errorf("REC = %d, want 0", rec)
+	}
+	// The log shows both attempts.
+	log := b.Log()
+	if len(log) != 2 || !log[0].Corrupted || log[1].Corrupted {
+		t.Errorf("log = %+v", log)
+	}
+}
+
+func TestOmissionFault(t *testing.T) {
+	k, b := busFixture(t)
+	tx := b.Attach("tx")
+	rx := b.Attach("rx")
+	delivered := 0
+	rx.OnReceive = func(Frame, sim.Time) { delivered++ }
+	b.DropNextFrames(1)
+	if err := tx.Send(Frame{ID: 0x7, Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Send(Frame{ID: 0x7, Data: []byte{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(sim.TimeMax); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Errorf("delivered = %d, want 1 (first dropped silently)", delivered)
+	}
+}
+
+func TestBusOffAfterPersistentErrors(t *testing.T) {
+	k, b := busFixture(t)
+	b.MaxRetries = 1000 // keep retrying the same frame
+	tx := b.Attach("tx")
+	b.Attach("rx")
+	b.CorruptNextFrames(40) // 40 * +8 = 320 > 255
+	if err := tx.Send(Frame{ID: 0x1, Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(sim.TimeMax); err != nil {
+		t.Fatal(err)
+	}
+	if tx.State() != BusOff {
+		tec, _ := tx.Counters()
+		t.Errorf("state = %s (TEC %d), want bus-off", tx.State(), tec)
+	}
+	// Bus-off nodes refuse further traffic.
+	if err := tx.Send(Frame{ID: 0x2}); err == nil {
+		t.Error("bus-off node accepted a frame")
+	}
+}
+
+func TestErrorPassiveTransition(t *testing.T) {
+	k, b := busFixture(t)
+	b.MaxRetries = 17 // 17 corruptions: TEC ~ 16*8 = 128 + ... > 127
+	tx := b.Attach("tx")
+	b.Attach("rx")
+	b.CorruptNextFrames(17)
+	if err := tx.Send(Frame{ID: 0x1, Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(sim.TimeMax); err != nil {
+		t.Fatal(err)
+	}
+	if tx.State() == ErrorActive {
+		tec, _ := tx.Counters()
+		t.Errorf("state = error-active (TEC %d) after 17 errors", tec)
+	}
+}
+
+func TestBabblingIdiotStarvesBus(t *testing.T) {
+	k, b := busFixture(t)
+	babbler := b.Attach("babbler")
+	victim := b.Attach("victim")
+	mon := b.Attach("monitor")
+	babbler.Babbling = true
+	victimDelivered := 0
+	mon.OnReceive = func(f Frame, _ sim.Time) {
+		if f.ID == 0x300 {
+			victimDelivered++
+		}
+	}
+	if err := victim.Send(Frame{ID: 0x300, Data: []byte{9}}); err != nil {
+		t.Fatal(err)
+	}
+	b.kick()
+	if err := k.Run(sim.MS(20)); err != nil {
+		t.Fatal(err)
+	}
+	// The babbler's ID 0 always wins: the victim frame never goes out.
+	if victimDelivered != 0 {
+		t.Errorf("victim frame delivered %d times under babbling idiot", victimDelivered)
+	}
+	if b.Arbitrations() < 10 {
+		t.Errorf("arbitrations = %d; babbler should dominate the bus", b.Arbitrations())
+	}
+	k.Shutdown()
+}
+
+func TestStateStrings(t *testing.T) {
+	if ErrorActive.String() != "error-active" || BusOff.String() != "bus-off" || ErrorPassive.String() != "error-passive" {
+		t.Error("state strings")
+	}
+}
+
+// Property: CRC detects any single-bit payload corruption for random
+// frames.
+func TestPropertyCRCDetectsSingleBit(t *testing.T) {
+	f := func(id uint16, data []byte, bitSel uint16) bool {
+		if len(data) > 8 {
+			data = data[:8]
+		}
+		if len(data) == 0 {
+			return true
+		}
+		fr := Frame{ID: id & 0x7ff, Data: data}
+		orig := fr.CRC()
+		byteIdx := int(bitSel) % len(data)
+		bit := uint(bitSel/8) % 8
+		fr.Data[byteIdx] ^= 1 << bit
+		return fr.CRC() != orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with a clean channel every queued frame is delivered to
+// every other node exactly once, in ID order per arbitration round.
+func TestPropertyCleanBusDeliversAll(t *testing.T) {
+	f := func(ids []uint16) bool {
+		if len(ids) == 0 || len(ids) > 20 {
+			return true
+		}
+		seen := map[uint16]bool{}
+		var unique []uint16
+		for _, id := range ids {
+			id &= 0x7ff
+			if !seen[id] {
+				seen[id] = true
+				unique = append(unique, id)
+			}
+		}
+		k := sim.NewKernel()
+		b := NewBus(k, "can0")
+		tx := b.Attach("tx")
+		rx := b.Attach("rx")
+		got := 0
+		rx.OnReceive = func(Frame, sim.Time) { got++ }
+		for _, id := range unique {
+			if err := tx.Send(Frame{ID: id, Data: []byte{byte(id)}}); err != nil {
+				return false
+			}
+		}
+		if err := k.Run(sim.TimeMax); err != nil {
+			return false
+		}
+		return got == len(unique)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBusThroughput(b *testing.B) {
+	k := sim.NewKernel()
+	bus := NewBus(k, "can0")
+	tx := bus.Attach("tx")
+	bus.Attach("rx")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tx.Send(Frame{ID: uint16(i) & 0x7ff, Data: []byte{byte(i)}}); err != nil {
+			b.Fatal(err)
+		}
+		if err := k.Run(sim.TimeMax); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

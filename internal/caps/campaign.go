@@ -1,0 +1,164 @@
+package caps
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/stressor"
+	"repro/internal/tlm"
+)
+
+// Runner executes fault-injection campaigns on the CAPS prototype:
+// one golden run is cached, then each scenario rebuilds a fresh
+// system, schedules the stressor and classifies the outcome against
+// the golden observation.
+type Runner struct {
+	cfg     Config
+	world   *World
+	horizon sim.Time
+	golden  analysis.Observation
+}
+
+// NewRunner builds the runner and performs the golden run.
+func NewRunner(cfg Config, world *World, horizon sim.Time) (*Runner, error) {
+	r := &Runner{cfg: cfg, world: world, horizon: horizon}
+	sys, err := r.execute(fault.Scenario{ID: "golden"})
+	if err != nil {
+		return nil, err
+	}
+	r.golden = r.observe(sys)
+	if r.golden.GoalViolated {
+		return nil, fmt.Errorf("caps: golden run violates the safety goal: %s", r.golden.GoalDetail)
+	}
+	return r, nil
+}
+
+// Golden exposes the cached golden observation.
+func (r *Runner) Golden() analysis.Observation { return r.golden }
+
+// Sites lists the prototype's injection sites.
+func (r *Runner) Sites() []string {
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	_, reg := Build(k, r.cfg, r.world)
+	return reg.Sites()
+}
+
+// Universe enumerates the exhaustive single-fault space of the
+// prototype at the given activation time — the E8 fault list.
+func (r *Runner) Universe(start sim.Time) []fault.Descriptor {
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	_, reg := Build(k, r.cfg, r.world)
+	models := []fault.Model{
+		fault.StuckAt0, fault.StuckAt1, fault.BitFlip, fault.Open,
+		fault.ShortToGround, fault.ShortToSupply, fault.ValueOffset,
+		fault.Corruption, fault.Omission, fault.Babbling,
+	}
+	u := reg.Universe(models, fault.Permanent, start, 0, 0)
+	for i := range u {
+		// Give analog offsets a meaningful drift and memory faults a
+		// target cell.
+		switch u[i].Model {
+		case fault.ValueOffset:
+			u[i].Param = 0.5 // +10 g equivalent
+		case fault.BitFlip, fault.StuckAt0, fault.StuckAt1:
+			u[i].Address = calibScaleAddr
+			u[i].Bit = 5
+		}
+	}
+	return u
+}
+
+// execute runs one scenario to the horizon and returns the system.
+func (r *Runner) execute(sc fault.Scenario) (*System, error) {
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	sys, reg := Build(k, r.cfg, r.world)
+	var st *stressor.Stressor
+	if len(sc.Faults) > 0 {
+		st = stressor.SpawnThread(k, reg, sc, r.horizon)
+	}
+	if err := k.Run(r.horizon); err != nil {
+		return nil, err
+	}
+	if st != nil {
+		if errs := st.InjectionErrors(); len(errs) > 0 {
+			return nil, fmt.Errorf("caps: scenario %s: %v", sc.ID, errs[0])
+		}
+	}
+	return sys, nil
+}
+
+// observe extracts the run observation.
+func (r *Runner) observe(s *System) analysis.Observation {
+	obs := analysis.Observation{
+		Outputs: map[string]string{
+			"fired": fmt.Sprint(s.Fired),
+			"sev":   fmt.Sprint(s.Severities),
+		},
+		Detected:   len(s.Detections) > 0,
+		DetectedBy: s.Detections,
+	}
+	if r.world.Crash {
+		deadline := r.world.CrashStart + r.cfg.DeployDeadline
+		switch {
+		case !s.Fired:
+			obs.GoalViolated = true
+			obs.GoalDetail = "no deployment in crash (G2)"
+		case s.FiredAt > deadline:
+			obs.DeadlineMissed = true
+		}
+	} else if s.Fired {
+		obs.GoalViolated = true
+		obs.GoalDetail = "inadvertent deployment in normal operation (G1)"
+	}
+	obs.LatentState = r.stateCorrupted(s)
+	return obs
+}
+
+// stateCorrupted compares persistent state against the design values.
+func (r *Runner) stateCorrupted(s *System) bool {
+	if s.threshold != s.cfg.FireThreshold {
+		return true
+	}
+	var d sim.Time
+	p := tlm.NewRead(calibScaleAddr, 4)
+	s.calib.BTransport(p, &d)
+	val := uint32(p.Data[0]) | uint32(p.Data[1])<<8 | uint32(p.Data[2])<<16 | uint32(p.Data[3])<<24
+	if val != 50 {
+		return true
+	}
+	for _, sen := range s.sensors {
+		if sen.Faulted() {
+			return true
+		}
+	}
+	return false
+}
+
+// RunScenario executes and classifies one fault scenario.
+func (r *Runner) RunScenario(sc fault.Scenario) fault.Outcome {
+	o, _ := r.RunScenarioTraced(sc)
+	return o
+}
+
+// RunScenarioTraced is RunScenario plus the error-propagation trace
+// recorded by the prototype (fault → sensor → fusion → airbag hops).
+func (r *Runner) RunScenarioTraced(sc fault.Scenario) (fault.Outcome, *analysis.Trace) {
+	sys, err := r.execute(sc)
+	if err != nil {
+		return fault.Outcome{Scenario: sc, Class: fault.DetectedSafe, Detail: "campaign error: " + err.Error()}, &analysis.Trace{}
+	}
+	obs := r.observe(sys)
+	obs.Activated = len(sc.Faults) > 0
+	class := analysis.Classify(r.golden, obs)
+	return fault.Outcome{Scenario: sc, Class: class, Detail: analysis.Describe(obs)}, &sys.Trace
+}
+
+// RunFunc adapts the runner to the campaign engine.
+func (r *Runner) RunFunc() stressor.RunFunc {
+	return func(sc fault.Scenario) fault.Outcome { return r.RunScenario(sc) }
+}

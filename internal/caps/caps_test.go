@@ -1,0 +1,311 @@
+package caps
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/stressor"
+)
+
+var horizon = sim.MS(100)
+
+func TestWorldProfiles(t *testing.T) {
+	n := NormalDriving()
+	for _, ti := range []sim.Time{0, sim.MS(10), sim.MS(50)} {
+		if g := n.Accel(ti); g < 0 || g > 2 {
+			t.Errorf("normal accel at %v = %g, want sub-2 g", ti, g)
+		}
+	}
+	c := CrashAt(sim.MS(20))
+	if g := c.Accel(sim.MS(10)); g > 2 {
+		t.Errorf("pre-crash accel = %g", g)
+	}
+	if g := c.Accel(sim.MS(30)); g < 70 {
+		t.Errorf("plateau accel = %g, want ~80 g", g)
+	}
+	if g := c.Accel(sim.MS(60)); g > 2 {
+		t.Errorf("post-crash accel = %g", g)
+	}
+}
+
+func TestSensorSampling(t *testing.T) {
+	w := NormalDriving()
+	s := NewSensor("a", w)
+	v := s.Sample(sim.MS(1))
+	if v <= 0 || v > 0.2 {
+		t.Errorf("normal sample = %g V", v)
+	}
+	s.SetDisturbance(0.5, 0)
+	if s.Sample(sim.MS(1)) != 0 {
+		t.Error("override 0 not applied")
+	}
+	s.SetDisturbance(0, mathInf())
+	if s.Sample(sim.MS(1)) != 0 {
+		t.Error("open line should read 0 V")
+	}
+	if !s.Faulted() {
+		t.Error("Faulted false under disturbance")
+	}
+}
+
+func mathInf() float64 { return math.Inf(1) }
+
+func TestGoldenNormalRunDoesNotFire(t *testing.T) {
+	r, err := NewRunner(Protected(), NormalDriving(), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := r.Golden()
+	if g.GoalViolated || g.Detected {
+		t.Errorf("golden = %+v", g)
+	}
+	if g.Outputs["fired"] != "false" {
+		t.Error("golden run fired")
+	}
+}
+
+func TestGoldenCrashRunFiresOnTime(t *testing.T) {
+	world := CrashAt(sim.MS(20))
+	r, err := NewRunner(Protected(), world, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Golden().Outputs["fired"] != "true" {
+		t.Fatal("crash run did not deploy")
+	}
+	if r.Golden().DeadlineMissed {
+		t.Error("crash deployment missed deadline")
+	}
+}
+
+func TestUnprotectedShortToSupplyFires(t *testing.T) {
+	r, err := NewRunner(Unprotected(), NormalDriving(), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := r.RunScenario(fault.Single(fault.Descriptor{
+		Name: "sts", Model: fault.ShortToSupply, Class: fault.Permanent,
+		Target: "caps.accel0.harness", Start: sim.MS(10),
+	}))
+	if o.Class != fault.SafetyCritical {
+		t.Errorf("class = %s (%s), want safety-critical", o.Class, o.Detail)
+	}
+	if !strings.Contains(o.Detail, "inadvertent") {
+		t.Errorf("detail = %q", o.Detail)
+	}
+}
+
+func TestProtectedShortToSupplyDetected(t *testing.T) {
+	r, err := NewRunner(Protected(), NormalDriving(), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := r.RunScenario(fault.Single(fault.Descriptor{
+		Name: "sts", Model: fault.ShortToSupply, Class: fault.Permanent,
+		Target: "caps.accel0.harness", Start: sim.MS(10),
+	}))
+	if o.Class != fault.DetectedSafe {
+		t.Errorf("class = %s (%s), want detected-safe (plausibility)", o.Class, o.Detail)
+	}
+	if !strings.Contains(o.Detail, "plausibility") {
+		t.Errorf("detail = %q", o.Detail)
+	}
+}
+
+func TestThresholdStuckAtZero(t *testing.T) {
+	d := fault.Descriptor{
+		Name: "thr0", Model: fault.StuckAt0, Class: fault.Permanent,
+		Target: "caps.airbag.threshold", Start: sim.MS(10),
+	}
+	ru, err := NewRunner(Unprotected(), NormalDriving(), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := ru.RunScenario(fault.Single(d)); o.Class != fault.SafetyCritical {
+		t.Errorf("unprotected class = %s (%s)", o.Class, o.Detail)
+	}
+	rp, err := NewRunner(Protected(), NormalDriving(), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := rp.RunScenario(fault.Single(d)); o.Class != fault.DetectedSafe {
+		t.Errorf("protected class = %s (%s)", o.Class, o.Detail)
+	}
+}
+
+func TestBabblingIdiot(t *testing.T) {
+	d := fault.Descriptor{
+		Name: "babble", Model: fault.Babbling, Class: fault.Permanent,
+		Target: "caps.can.bus", Start: sim.MS(10),
+	}
+	rp, err := NewRunner(Protected(), NormalDriving(), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := rp.RunScenario(fault.Single(d)); o.Class != fault.DetectedSafe {
+		t.Errorf("protected class = %s (%s), want detected-safe (frame watchdog)", o.Class, o.Detail)
+	}
+	// In a crash, a babbling bus without watchdog means no deployment.
+	ru, err := NewRunner(Unprotected(), CrashAt(sim.MS(20)), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := ru.RunScenario(fault.Single(d)); o.Class != fault.SafetyCritical {
+		t.Errorf("unprotected crash class = %s (%s), want safety-critical (G2)", o.Class, o.Detail)
+	}
+}
+
+func TestCalibBitFlip(t *testing.T) {
+	d := fault.Descriptor{
+		Name: "calib", Model: fault.BitFlip, Class: fault.Permanent,
+		Target: "caps.fusion.calib", Address: calibScaleAddr, Bit: 5, Start: sim.MS(10),
+	}
+	rp, err := NewRunner(Protected(), NormalDriving(), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := rp.RunScenario(fault.Single(d)); o.Class != fault.DetectedSafe {
+		t.Errorf("protected class = %s (%s), want detected-safe (calib CRC)", o.Class, o.Detail)
+	}
+	ru, err := NewRunner(Unprotected(), NormalDriving(), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := ru.RunScenario(fault.Single(d))
+	if o.Class != fault.SDC && o.Class != fault.SafetyCritical {
+		t.Errorf("unprotected class = %s (%s), want sdc or worse", o.Class, o.Detail)
+	}
+}
+
+func TestOpenHarnessProtected(t *testing.T) {
+	r, err := NewRunner(Protected(), NormalDriving(), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := r.RunScenario(fault.Single(fault.Descriptor{
+		Name: "open", Model: fault.Open, Class: fault.Permanent,
+		Target: "caps.accel1.harness", Start: sim.MS(10),
+	}))
+	// Sensor reads 0 V; golden normal readings are tiny, so the
+	// disagreement may stay under tolerance — acceptable outcomes are
+	// detected-safe (plausibility) or latent (dormant wiring defect).
+	if o.Class != fault.DetectedSafe && o.Class != fault.Latent && o.Class != fault.SDC {
+		t.Errorf("class = %s (%s)", o.Class, o.Detail)
+	}
+}
+
+func TestExhaustiveCampaignProtectedHasNoG1Violations(t *testing.T) {
+	r, err := NewRunner(Protected(), NormalDriving(), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scenarios []fault.Scenario
+	for _, d := range r.Universe(sim.MS(10)) {
+		scenarios = append(scenarios, fault.Single(d))
+	}
+	c := &stressor.Campaign{Name: "protected", Run: r.RunFunc()}
+	res, err := c.Execute(scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Tally[fault.SafetyCritical]; n != 0 {
+		for _, o := range res.ByClass(fault.SafetyCritical) {
+			t.Logf("violation: %s -> %s", o.Scenario.ID, o.Detail)
+		}
+		t.Errorf("%d single faults trigger the airbag despite mechanisms (tally %s)", n, res.Tally)
+	}
+}
+
+func TestExhaustiveCampaignUnprotectedHasViolations(t *testing.T) {
+	r, err := NewRunner(Unprotected(), NormalDriving(), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scenarios []fault.Scenario
+	for _, d := range r.Universe(sim.MS(10)) {
+		scenarios = append(scenarios, fault.Single(d))
+	}
+	c := &stressor.Campaign{Name: "unprotected", Run: r.RunFunc()}
+	res, err := c.Execute(scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tally[fault.SafetyCritical] == 0 {
+		t.Errorf("no G1 violations without mechanisms (tally %s) — the mechanisms are not load-bearing", res.Tally)
+	}
+}
+
+func TestSitesEnumerated(t *testing.T) {
+	r, err := NewRunner(Protected(), NormalDriving(), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := r.Sites()
+	want := []string{"caps.accel0.harness", "caps.accel1.harness", "caps.airbag.threshold", "caps.can.bus", "caps.fusion.calib"}
+	if len(sites) != len(want) {
+		t.Fatalf("sites = %v", sites)
+	}
+	for i := range want {
+		if sites[i] != want[i] {
+			t.Errorf("sites[%d] = %s, want %s", i, sites[i], want[i])
+		}
+	}
+}
+
+func TestPropagationTrace(t *testing.T) {
+	// Unprotected: the disturbed sensor value propagates all the way
+	// to deployment, and the trace shows the path.
+	ru, err := NewRunner(Unprotected(), NormalDriving(), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, tr := ru.RunScenarioTraced(fault.Single(fault.Descriptor{
+		Name: "sts", Model: fault.ShortToSupply, Class: fault.Permanent,
+		Target: "caps.accel0.harness", Start: sim.MS(10),
+	}))
+	if o.Class != fault.SafetyCritical {
+		t.Fatalf("class = %s", o.Class)
+	}
+	sites := tr.SitesVisited()
+	want := []string{"caps.accel0", "caps.airbag"}
+	if len(sites) < 2 || sites[0] != want[0] || sites[1] != want[1] {
+		t.Errorf("propagation path = %v, want prefix %v", sites, want)
+	}
+	deployed := false
+	for _, h := range tr.Hops() {
+		if h.Site == "caps.airbag" && h.Detail == "deployment" {
+			deployed = true
+		}
+	}
+	if !deployed {
+		t.Errorf("trace missing the deployment hop: %s", tr)
+	}
+
+	// Protected: the path ends at the plausibility barrier instead.
+	rp, err := NewRunner(Protected(), NormalDriving(), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, tr = rp.RunScenarioTraced(fault.Single(fault.Descriptor{
+		Name: "sts", Model: fault.ShortToSupply, Class: fault.Permanent,
+		Target: "caps.accel0.harness", Start: sim.MS(10),
+	}))
+	if o.Class != fault.DetectedSafe {
+		t.Fatalf("protected class = %s", o.Class)
+	}
+	foundBarrier := false
+	for _, h := range tr.Hops() {
+		if h.Site == "caps.airbag" && h.Detail == "deployment" {
+			t.Error("protected trace reaches deployment")
+		}
+		if h.Site == "caps.fusion" {
+			foundBarrier = true
+		}
+	}
+	if !foundBarrier {
+		t.Errorf("trace missing the fusion barrier hop: %s", tr)
+	}
+}

@@ -1,0 +1,108 @@
+package caps
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/safety"
+	"repro/internal/sim"
+)
+
+// TestFPTCPredictionMatchesSimulation cross-validates the analytic
+// FPTC model of the protected CAPS architecture against the error-
+// effect simulation: the calculus predicts which failure classes reach
+// the airbag, and the virtual prototype must agree.
+func TestFPTCPredictionMatchesSimulation(t *testing.T) {
+	// FPTC network of the protected architecture: two sensor lanes
+	// into a fusion stage whose plausibility check masks single-lane
+	// value failures but passes coincident ones; the bus propagates;
+	// the airbag transforms incoming value failures into commission
+	// (inadvertent deployment).
+	s := safety.NewSystem()
+	for _, lane := range []string{"accel0", "accel1"} {
+		if err := s.Add(&safety.Component{Name: lane, Outputs: []string{"out"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Add(&safety.Component{
+		Name: "fusion", Inputs: []string{"a", "b"}, Outputs: []string{"frame"},
+		Rules: []safety.Rule{
+			{In: []safety.FailureType{safety.ValueF, safety.ValueF}, Out: []safety.FailureType{safety.ValueF}},
+			{In: []safety.FailureType{safety.ValueF, safety.NoFailure}, Out: []safety.FailureType{safety.NoFailure}},
+			{In: []safety.FailureType{safety.NoFailure, safety.ValueF}, Out: []safety.FailureType{safety.NoFailure}},
+			{In: []safety.FailureType{safety.Var, safety.Any}, Out: []safety.FailureType{safety.Var}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(&safety.Component{
+		Name: "airbag", Inputs: []string{"frame"}, Outputs: []string{"squib"},
+		Rules: []safety.Rule{
+			{In: []safety.FailureType{safety.ValueF}, Out: []safety.FailureType{safety.CommissionF}},
+			{In: []safety.FailureType{safety.Var}, Out: []safety.FailureType{safety.Var}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, conn := range [][4]string{
+		{"accel0", "out", "fusion", "a"},
+		{"accel1", "out", "fusion", "b"},
+		{"fusion", "frame", "airbag", "frame"},
+	} {
+		if err := s.Connect(conn[0], conn[1], conn[2], conn[3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// FPTC prediction 1: single-lane value failure never reaches the
+	// squib.
+	res, err := s.Propagate(map[string][]safety.FailureType{"accel0.out": {safety.ValueF}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, singleReaches := res["airbag.squib"]
+
+	// FPTC prediction 2: coincident value failures on both lanes
+	// produce a commission failure at the squib.
+	res, err = s.Propagate(map[string][]safety.FailureType{
+		"accel0.out": {safety.ValueF},
+		"accel1.out": {safety.ValueF},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dualTypes := res["airbag.squib"]
+	dualCommission := false
+	for _, f := range dualTypes {
+		if f == safety.CommissionF {
+			dualCommission = true
+		}
+	}
+
+	if singleReaches {
+		t.Fatal("FPTC model broken: single-lane failure reaches the squib")
+	}
+	if !dualCommission {
+		t.Fatal("FPTC model broken: dual-lane failure does not reach the squib")
+	}
+
+	// Simulation must agree on both predictions.
+	runner, err := NewRunner(Protected(), NormalDriving(), sim.MS(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := runner.RunScenario(fault.Single(fault.Descriptor{
+		Name: "sts0", Model: fault.ShortToSupply, Class: fault.Permanent,
+		Target: "caps.accel0.harness", Start: sim.MS(5),
+	}))
+	if single.Class == fault.SafetyCritical {
+		t.Errorf("simulation contradicts FPTC: single-lane failure fired the airbag")
+	}
+	dual := runner.RunScenario(fault.Scenario{ID: "dual", Faults: []fault.Descriptor{
+		{Name: "sts0", Model: fault.ShortToSupply, Class: fault.Permanent, Target: "caps.accel0.harness", Start: sim.MS(5)},
+		{Name: "sts1", Model: fault.ShortToSupply, Class: fault.Permanent, Target: "caps.accel1.harness", Start: sim.MS(5)},
+	}})
+	if dual.Class != fault.SafetyCritical {
+		t.Errorf("simulation contradicts FPTC: dual-lane failure classified %s, want safety-critical", dual.Class)
+	}
+}

@@ -1,0 +1,301 @@
+package caps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/analysis"
+	"repro/internal/can"
+	"repro/internal/fault"
+	"repro/internal/rtl"
+	"repro/internal/sim"
+	"repro/internal/tlm"
+)
+
+// Config selects the safety mechanisms of the prototype — the knob
+// experiment E8 turns to show their effect on the FMEDA metrics.
+type Config struct {
+	// Redundant uses two accelerometers instead of one.
+	Redundant bool
+	// Plausibility cross-checks the redundant sensors and inhibits on
+	// disagreement.
+	Plausibility bool
+	// CalibCRC protects the calibration memory with a CRC-8 and falls
+	// back to defaults on mismatch.
+	CalibCRC bool
+	// ThresholdRedundant stores the firing threshold twice (inverted)
+	// and inhibits on mismatch.
+	ThresholdRedundant bool
+	// FrameWatchdog inhibits when sensor frames stop arriving.
+	FrameWatchdog bool
+	// Debounce is the number of consecutive over-threshold frames
+	// required to fire (minimum 1).
+	Debounce int
+
+	// FireThreshold is the severity needed to deploy.
+	FireThreshold byte
+	// PlausTolerance is the allowed sensor disagreement in g.
+	PlausTolerance float64
+	// SamplePeriod is the fusion cycle time.
+	SamplePeriod sim.Time
+	// FrameTimeout is the airbag-side reception watchdog window.
+	FrameTimeout sim.Time
+	// DeployDeadline is the allowed crash-to-deployment latency (G2).
+	DeployDeadline sim.Time
+}
+
+// Protected is the full-mechanism configuration.
+func Protected() Config {
+	return Config{
+		Redundant: true, Plausibility: true, CalibCRC: true,
+		ThresholdRedundant: true, FrameWatchdog: true, Debounce: 2,
+		FireThreshold: 60, PlausTolerance: 5,
+		SamplePeriod: sim.MS(1), FrameTimeout: sim.MS(5), DeployDeadline: sim.MS(30),
+	}
+}
+
+// Unprotected disables every optional mechanism (single sensor, no
+// checks, single-frame trigger).
+func Unprotected() Config {
+	c := Protected()
+	c.Redundant = false
+	c.Plausibility = false
+	c.CalibCRC = false
+	c.ThresholdRedundant = false
+	c.FrameWatchdog = false
+	c.Debounce = 1
+	return c
+}
+
+// frameID is the CAN identifier of severity frames.
+const frameID = 0x120
+
+// calibScaleAddr is where the fusion calibration word (gain ×1000)
+// lives in the calibration memory; calibCRCAddr holds its CRC-8.
+const (
+	calibScaleAddr uint64 = 0
+	calibCRCAddr   uint64 = 4
+)
+
+// System is the elaborated CAPS virtual prototype.
+type System struct {
+	cfg   Config
+	world *World
+	k     *sim.Kernel
+
+	sensors  []*Sensor
+	calib    *tlm.Memory
+	bus      *can.Bus
+	fusionTx *can.Node
+	airbagRx *can.Node
+	babbler  *can.Node
+
+	// airbag state
+	threshold     byte
+	thresholdInv  byte // redundant inverted copy
+	debounceCount int
+	inhibited     bool
+	lastFrameAt   sim.Time
+	gotFrame      bool
+
+	// results
+	Fired      bool
+	FiredAt    sim.Time
+	Detections []string
+	Severities []byte // reported severity stream (observable output)
+	// Trace records error propagation through the prototype: every
+	// place a disturbed value passes adds a hop ("track the error
+	// propagation", Sec. 1 of the paper).
+	Trace analysis.Trace
+}
+
+// Build wires the prototype onto the kernel and returns it with its
+// injection-site registry populated.
+func Build(k *sim.Kernel, cfg Config, world *World) (*System, *fault.Registry) {
+	if cfg.Debounce < 1 {
+		cfg.Debounce = 1
+	}
+	s := &System{cfg: cfg, world: world, k: k, threshold: cfg.FireThreshold, thresholdInv: ^cfg.FireThreshold}
+
+	s.sensors = append(s.sensors, NewSensor("accel0", world))
+	if cfg.Redundant {
+		s.sensors = append(s.sensors, NewSensor("accel1", world))
+	}
+
+	// Calibration memory: gain x1000 (= 50 for 0.05 V/g) plus CRC-8.
+	s.calib = tlm.NewMemory("fusion.calib", 0, 64)
+	s.writeCalib(50)
+
+	s.bus = can.NewBus(k, "caps.can")
+	s.fusionTx = s.bus.Attach("fusion")
+	s.airbagRx = s.bus.Attach("airbag")
+	s.babbler = s.bus.Attach("babbler")
+	s.airbagRx.OnReceive = s.onFrame
+
+	k.Thread("caps.fusion", s.fusionLoop)
+	if cfg.FrameWatchdog {
+		k.Thread("caps.framewd", s.frameWatchdog)
+	}
+
+	reg := fault.NewRegistry()
+	for i, sensor := range s.sensors {
+		reg.MustRegister(fault.AnalogInjector(
+			fmt.Sprintf("caps.accel%d.harness", i), sensor, 0, sensor.Rail))
+	}
+	reg.MustRegister(fault.MemoryInjector("caps.fusion.calib", s.calib))
+	reg.MustRegister(&fault.FuncInjector{
+		SiteName: "caps.can.bus",
+		Models:   []fault.Model{fault.Corruption, fault.Omission, fault.Babbling},
+		InjectFn: func(d fault.Descriptor) error {
+			switch d.Model {
+			case fault.Corruption:
+				s.bus.CorruptNextFrames(3)
+			case fault.Omission:
+				s.bus.DropNextFrames(3)
+			case fault.Babbling:
+				s.babbler.Babbling = true
+			}
+			return nil
+		},
+		RevertFn: func(d fault.Descriptor) error {
+			if d.Model == fault.Babbling {
+				s.babbler.Babbling = false
+			}
+			return nil
+		},
+	})
+	reg.MustRegister(&fault.FuncInjector{
+		SiteName: "caps.airbag.threshold",
+		Models:   []fault.Model{fault.BitFlip, fault.StuckAt0, fault.StuckAt1},
+		InjectFn: func(d fault.Descriptor) error {
+			switch d.Model {
+			case fault.BitFlip:
+				s.threshold ^= 1 << (d.Bit % 8)
+			case fault.StuckAt0:
+				s.threshold = 0
+			case fault.StuckAt1:
+				s.threshold = 0xff
+			}
+			return nil
+		},
+	})
+	return s, reg
+}
+
+// writeCalib stores the gain and its CRC.
+func (s *System) writeCalib(scale uint32) {
+	s.calib.Poke(calibScaleAddr, []byte{byte(scale), byte(scale >> 8), byte(scale >> 16), byte(scale >> 24)})
+	s.calib.Poke(calibCRCAddr, []byte{rtl.CRC8([]byte{byte(scale), byte(scale >> 8), byte(scale >> 16), byte(scale >> 24)})})
+}
+
+// readCalib loads the gain, applying the CRC mechanism when enabled.
+func (s *System) readCalib() (scale float64) {
+	var d sim.Time
+	p := tlm.NewRead(calibScaleAddr, 4)
+	s.calib.BTransport(p, &d)
+	raw := []byte{p.Data[0], p.Data[1], p.Data[2], p.Data[3]}
+	val := uint32(raw[0]) | uint32(raw[1])<<8 | uint32(raw[2])<<16 | uint32(raw[3])<<24
+	if s.cfg.CalibCRC {
+		q := tlm.NewRead(calibCRCAddr, 1)
+		s.calib.BTransport(q, &d)
+		if rtl.CRC8(raw) != q.Data[0] {
+			s.detect("calib-crc")
+			return 0.05 // safe default gain
+		}
+	}
+	return float64(val) / 1000
+}
+
+// detect records a safety-mechanism activation (deduplicated).
+func (s *System) detect(which string) {
+	for _, d := range s.Detections {
+		if d == which {
+			return
+		}
+	}
+	s.Detections = append(s.Detections, which)
+}
+
+// fusionLoop samples sensors every cycle, plausibility-checks,
+// computes severity and sends it on the bus.
+func (s *System) fusionLoop(ctx *sim.ThreadCtx) {
+	for {
+		ctx.WaitTime(s.cfg.SamplePeriod)
+		now := ctx.Now()
+		scale := s.readCalib()
+		for i, sen := range s.sensors {
+			if sen.Faulted() {
+				s.Trace.Record(now, fmt.Sprintf("caps.accel%d", i), "disturbed sample")
+			}
+		}
+		g0 := s.sensors[0].Sample(now) / scale
+		g := g0
+		status := byte(0)
+		if s.cfg.Redundant {
+			g1 := s.sensors[1].Sample(now) / scale
+			if s.cfg.Plausibility && math.Abs(g0-g1) > s.cfg.PlausTolerance {
+				s.detect("plausibility")
+				s.Trace.Record(now, "caps.fusion", "plausibility check stopped disagreeing sensors")
+				status = 1 // invalid
+			}
+			g = (g0 + g1) / 2
+		}
+		sev := g * 0.77 // severity scaling: 80 g crash ~ 62 > threshold 60
+		if sev < 0 {
+			sev = 0
+		}
+		if sev > 255 {
+			sev = 255
+		}
+		_ = s.fusionTx.Send(can.Frame{ID: frameID, Data: []byte{byte(sev), status}})
+	}
+}
+
+// onFrame is the airbag ECU's reception handler.
+func (s *System) onFrame(f can.Frame, at sim.Time) {
+	if f.ID != frameID || len(f.Data) < 2 {
+		return
+	}
+	s.gotFrame = true
+	s.lastFrameAt = at
+	sev, status := f.Data[0], f.Data[1]
+	s.Severities = append(s.Severities, sev)
+	if status != 0 {
+		s.inhibited = true
+		return
+	}
+	if s.cfg.ThresholdRedundant && s.threshold != ^s.thresholdInv {
+		s.detect("threshold-redundancy")
+		s.inhibited = true
+		return
+	}
+	if sev >= s.threshold {
+		s.debounceCount++
+		s.Trace.Record(at, "caps.airbag", fmt.Sprintf("over-threshold frame (sev %d >= %d)", sev, s.threshold))
+	} else {
+		s.debounceCount = 0
+	}
+	if s.debounceCount >= s.cfg.Debounce && !s.inhibited && !s.Fired {
+		s.Fired = true
+		s.FiredAt = at
+		s.Trace.Record(at, "caps.airbag", "deployment")
+	}
+}
+
+// frameWatchdog inhibits deployment when the severity stream stalls.
+func (s *System) frameWatchdog(ctx *sim.ThreadCtx) {
+	for {
+		ctx.WaitTime(s.cfg.FrameTimeout)
+		now := ctx.Now()
+		if now < s.cfg.FrameTimeout {
+			continue
+		}
+		if !s.gotFrame || now-s.lastFrameAt > s.cfg.FrameTimeout {
+			s.detect("frame-timeout")
+			s.inhibited = true
+		}
+	}
+}
+
+// Inhibited reports whether a mechanism latched the safe state.
+func (s *System) Inhibited() bool { return s.inhibited }

@@ -1,0 +1,304 @@
+// Package coverage implements the "intelligent coverage models"
+// requirement of Sec. 3.4 and Fig. 3: functional covergroups with
+// bins and crosses (measuring how much of the stimulus space a
+// testbench exercised), and a fault-space coverage model over
+// (injection site × fault model) pairs that measures "the completeness
+// of the error effect simulation" and exposes the holes that the next
+// error-injection scenarios should target (coverage closure).
+package coverage
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Bin is one value range of a coverpoint ([Lo, Hi], inclusive).
+type Bin struct {
+	Name   string
+	Lo, Hi float64
+}
+
+// Contains reports whether v falls into the bin.
+func (b Bin) Contains(v float64) bool { return v >= b.Lo && v <= b.Hi }
+
+// Coverpoint tracks hit counts over its bins.
+type Coverpoint struct {
+	name string
+	bins []Bin
+	hits []uint64
+	// misses counts samples outside every bin (a modeling smell).
+	misses uint64
+}
+
+// NewCoverpoint creates a coverpoint with explicit bins.
+func NewCoverpoint(name string, bins ...Bin) *Coverpoint {
+	return &Coverpoint{name: name, bins: bins, hits: make([]uint64, len(bins))}
+}
+
+// UniformBins builds n equal-width bins spanning [lo, hi].
+func UniformBins(n int, lo, hi float64) []Bin {
+	bins := make([]Bin, n)
+	w := (hi - lo) / float64(n)
+	for i := range bins {
+		bLo := lo + float64(i)*w
+		bHi := bLo + w
+		if i == n-1 {
+			bHi = hi
+		}
+		bins[i] = Bin{Name: fmt.Sprintf("bin%d", i), Lo: bLo, Hi: bHi}
+	}
+	return bins
+}
+
+// Name reports the coverpoint name.
+func (cp *Coverpoint) Name() string { return cp.name }
+
+// Sample records a value; every containing bin counts a hit.
+func (cp *Coverpoint) Sample(v float64) {
+	hit := false
+	for i, b := range cp.bins {
+		if b.Contains(v) {
+			cp.hits[i]++
+			hit = true
+		}
+	}
+	if !hit {
+		cp.misses++
+	}
+}
+
+// Coverage reports the fraction of bins with at least one hit.
+func (cp *Coverpoint) Coverage() float64 {
+	if len(cp.bins) == 0 {
+		return 1
+	}
+	n := 0
+	for _, h := range cp.hits {
+		if h > 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(cp.bins))
+}
+
+// Holes lists bins never hit.
+func (cp *Coverpoint) Holes() []string {
+	var out []string
+	for i, h := range cp.hits {
+		if h == 0 {
+			out = append(out, cp.bins[i].Name)
+		}
+	}
+	return out
+}
+
+// Misses reports out-of-range samples.
+func (cp *Coverpoint) Misses() uint64 { return cp.misses }
+
+// Cross tracks joint coverage of two coverpoints: a cross bin is hit
+// when one Sample2 call lands in both component bins.
+type Cross struct {
+	name  string
+	a, b  *Coverpoint
+	hits  map[[2]int]uint64
+	abins int
+	bbins int
+}
+
+// NewCross creates a cross over two coverpoints.
+func NewCross(name string, a, b *Coverpoint) *Cross {
+	return &Cross{name: name, a: a, b: b, hits: make(map[[2]int]uint64), abins: len(a.bins), bbins: len(b.bins)}
+}
+
+// Sample2 records a joint sample (also sampling both coverpoints).
+func (x *Cross) Sample2(va, vb float64) {
+	x.a.Sample(va)
+	x.b.Sample(vb)
+	for i, ba := range x.a.bins {
+		if !ba.Contains(va) {
+			continue
+		}
+		for j, bb := range x.b.bins {
+			if bb.Contains(vb) {
+				x.hits[[2]int{i, j}]++
+			}
+		}
+	}
+}
+
+// Coverage reports the fraction of cross bins hit.
+func (x *Cross) Coverage() float64 {
+	total := x.abins * x.bbins
+	if total == 0 {
+		return 1
+	}
+	return float64(len(x.hits)) / float64(total)
+}
+
+// Covergroup aggregates coverpoints and crosses.
+type Covergroup struct {
+	name    string
+	points  []*Coverpoint
+	crosses []*Cross
+}
+
+// NewCovergroup creates an empty group.
+func NewCovergroup(name string) *Covergroup {
+	return &Covergroup{name: name}
+}
+
+// AddPoint registers a coverpoint and returns it.
+func (cg *Covergroup) AddPoint(cp *Coverpoint) *Coverpoint {
+	cg.points = append(cg.points, cp)
+	return cp
+}
+
+// AddCross registers a cross and returns it.
+func (cg *Covergroup) AddCross(x *Cross) *Cross {
+	cg.crosses = append(cg.crosses, x)
+	return x
+}
+
+// Coverage is the arithmetic mean over all points and crosses.
+func (cg *Covergroup) Coverage() float64 {
+	n := len(cg.points) + len(cg.crosses)
+	if n == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, p := range cg.points {
+		sum += p.Coverage()
+	}
+	for _, x := range cg.crosses {
+		sum += x.Coverage()
+	}
+	return sum / float64(n)
+}
+
+// Report renders per-point coverage.
+func (cg *Covergroup) Report() string {
+	out := fmt.Sprintf("covergroup %s: %.1f%%\n", cg.name, cg.Coverage()*100)
+	for _, p := range cg.points {
+		out += fmt.Sprintf("  %s: %.1f%% (%d holes, %d misses)\n", p.name, p.Coverage()*100, len(p.Holes()), p.misses)
+	}
+	for _, x := range cg.crosses {
+		out += fmt.Sprintf("  %s (cross): %.1f%%\n", x.name, x.Coverage()*100)
+	}
+	return out
+}
+
+// RoundPct rounds a coverage fraction to whole percent (report
+// stability helper).
+func RoundPct(f float64) int { return int(math.Round(f * 100)) }
+
+// SiteModelKey identifies one cell of the fault-space coverage model.
+type SiteModelKey struct {
+	Site  string
+	Model string
+}
+
+// FaultSpace is the fault-space coverage model of the Fig. 3 loop: it
+// tracks which (site, model) combinations have been injected and the
+// worst outcome class observed per combination. Coverage closure means
+// Holes() is empty.
+type FaultSpace struct {
+	cells    map[SiteModelKey]bool // declared space
+	injected map[SiteModelKey]int  // injection counts
+	worst    map[SiteModelKey]int  // worst observed severity
+}
+
+// NewFaultSpace declares the space from site and model name lists.
+func NewFaultSpace(sites, models []string) *FaultSpace {
+	fs := &FaultSpace{
+		cells:    make(map[SiteModelKey]bool),
+		injected: make(map[SiteModelKey]int),
+		worst:    make(map[SiteModelKey]int),
+	}
+	for _, s := range sites {
+		for _, m := range models {
+			fs.cells[SiteModelKey{s, m}] = true
+		}
+	}
+	return fs
+}
+
+// Declare adds one cell to the space (for heterogeneous sites that
+// support different models).
+func (fs *FaultSpace) Declare(site, model string) {
+	fs.cells[SiteModelKey{site, model}] = true
+}
+
+// Record notes an injection and its outcome severity (use
+// fault.Classification.Severity()). Unknown cells are auto-declared.
+func (fs *FaultSpace) Record(site, model string, severity int) {
+	k := SiteModelKey{site, model}
+	fs.cells[k] = true
+	fs.injected[k]++
+	if severity > fs.worst[k] {
+		fs.worst[k] = severity
+	}
+}
+
+// Coverage is the fraction of declared cells injected at least once.
+func (fs *FaultSpace) Coverage() float64 {
+	if len(fs.cells) == 0 {
+		return 1
+	}
+	return float64(len(fs.injected)) / float64(len(fs.cells))
+}
+
+// Holes lists uninjected cells, sorted — the closure work list.
+func (fs *FaultSpace) Holes() []SiteModelKey {
+	var out []SiteModelKey
+	for k := range fs.cells {
+		if fs.injected[k] == 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		return out[i].Model < out[j].Model
+	})
+	return out
+}
+
+// WorstBySite aggregates the worst severity observed per site,
+// descending — the simulated weak-spot ranking that guided injection
+// feeds on.
+func (fs *FaultSpace) WorstBySite() []SiteSeverity {
+	agg := map[string]int{}
+	for k, sev := range fs.worst {
+		if sev > agg[k.Site] {
+			agg[k.Site] = sev
+		}
+	}
+	out := make([]SiteSeverity, 0, len(agg))
+	for s, sev := range agg {
+		out = append(out, SiteSeverity{Site: s, Severity: sev})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Severity != out[j].Severity {
+			return out[i].Severity > out[j].Severity
+		}
+		return out[i].Site < out[j].Site
+	})
+	return out
+}
+
+// SiteSeverity is one row of the weak-spot ranking.
+type SiteSeverity struct {
+	Site     string
+	Severity int
+}
+
+// Injections reports the total number of recorded injections.
+func (fs *FaultSpace) Injections() int {
+	n := 0
+	for _, c := range fs.injected {
+		n += c
+	}
+	return n
+}

@@ -1,0 +1,188 @@
+package coverage
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinContains(t *testing.T) {
+	b := Bin{Name: "mid", Lo: 10, Hi: 20}
+	if !b.Contains(10) || !b.Contains(20) || !b.Contains(15) {
+		t.Error("inclusive bounds wrong")
+	}
+	if b.Contains(9.999) || b.Contains(20.001) {
+		t.Error("out of range contained")
+	}
+}
+
+func TestUniformBins(t *testing.T) {
+	bins := UniformBins(4, 0, 100)
+	if len(bins) != 4 {
+		t.Fatalf("bins = %v", bins)
+	}
+	if bins[0].Lo != 0 || bins[3].Hi != 100 {
+		t.Errorf("span wrong: %v", bins)
+	}
+	if bins[1].Lo != 25 || bins[1].Hi != 50 {
+		t.Errorf("bin1 = %+v", bins[1])
+	}
+}
+
+func TestCoverpointSampleAndHoles(t *testing.T) {
+	cp := NewCoverpoint("speed", UniformBins(4, 0, 100)...)
+	if cp.Coverage() != 0 {
+		t.Error("fresh coverage nonzero")
+	}
+	cp.Sample(10)
+	cp.Sample(60)
+	if got := cp.Coverage(); got != 0.5 {
+		t.Errorf("coverage = %v, want 0.5", got)
+	}
+	holes := cp.Holes()
+	if len(holes) != 2 || holes[0] != "bin1" || holes[1] != "bin3" {
+		t.Errorf("holes = %v", holes)
+	}
+	cp.Sample(-5)
+	if cp.Misses() != 1 {
+		t.Errorf("misses = %d", cp.Misses())
+	}
+}
+
+func TestCrossCoverage(t *testing.T) {
+	a := NewCoverpoint("a", UniformBins(2, 0, 10)...)
+	b := NewCoverpoint("b", UniformBins(2, 0, 10)...)
+	x := NewCross("axb", a, b)
+	x.Sample2(1, 1) // (0,0)
+	x.Sample2(9, 9) // (1,1)
+	if got := x.Coverage(); got != 0.5 {
+		t.Errorf("cross coverage = %v, want 0.5 (2 of 4)", got)
+	}
+	// Component points sampled too.
+	if a.Coverage() != 1 || b.Coverage() != 1 {
+		t.Error("component coverpoints not sampled")
+	}
+}
+
+func TestCovergroupAggregate(t *testing.T) {
+	cg := NewCovergroup("g")
+	p1 := cg.AddPoint(NewCoverpoint("p1", UniformBins(2, 0, 10)...))
+	p2 := cg.AddPoint(NewCoverpoint("p2", UniformBins(2, 0, 10)...))
+	p1.Sample(1)
+	p1.Sample(9)
+	p2.Sample(1)
+	// p1 = 1.0, p2 = 0.5 -> mean 0.75.
+	if got := cg.Coverage(); got != 0.75 {
+		t.Errorf("group coverage = %v", got)
+	}
+	rep := cg.Report()
+	if !strings.Contains(rep, "75.0%") || !strings.Contains(rep, "p2") {
+		t.Errorf("report:\n%s", rep)
+	}
+	if RoundPct(0.754) != 75 {
+		t.Error("RoundPct")
+	}
+}
+
+func TestEmptyCovergroup(t *testing.T) {
+	if NewCovergroup("e").Coverage() != 1 {
+		t.Error("empty group should be 100%")
+	}
+	if NewCoverpoint("e").Coverage() != 1 {
+		t.Error("empty point should be 100%")
+	}
+}
+
+func TestFaultSpaceCoverageAndHoles(t *testing.T) {
+	fs := NewFaultSpace([]string{"s1", "s2"}, []string{"sa0", "sa1"})
+	if fs.Coverage() != 0 {
+		t.Error("fresh coverage nonzero")
+	}
+	fs.Record("s1", "sa0", 1)
+	fs.Record("s1", "sa1", 4)
+	if got := fs.Coverage(); got != 0.5 {
+		t.Errorf("coverage = %v", got)
+	}
+	holes := fs.Holes()
+	if len(holes) != 2 || holes[0].Site != "s2" {
+		t.Errorf("holes = %v", holes)
+	}
+	fs.Record("s2", "sa0", 0)
+	fs.Record("s2", "sa1", 6)
+	if fs.Coverage() != 1 || len(fs.Holes()) != 0 {
+		t.Error("closure not reached")
+	}
+	if fs.Injections() != 4 {
+		t.Errorf("injections = %d", fs.Injections())
+	}
+}
+
+func TestFaultSpaceWeakSpots(t *testing.T) {
+	fs := NewFaultSpace([]string{"a", "b", "c"}, []string{"m"})
+	fs.Record("a", "m", 2)
+	fs.Record("b", "m", 6)
+	fs.Record("c", "m", 4)
+	ws := fs.WorstBySite()
+	if len(ws) != 3 || ws[0].Site != "b" || ws[1].Site != "c" || ws[2].Site != "a" {
+		t.Errorf("weak spots = %v", ws)
+	}
+}
+
+func TestFaultSpaceAutoDeclare(t *testing.T) {
+	fs := NewFaultSpace(nil, nil)
+	fs.Record("new", "model", 1)
+	if fs.Coverage() != 1 {
+		t.Error("auto-declared cell not covered")
+	}
+	fs.Declare("other", "model")
+	if fs.Coverage() != 0.5 {
+		t.Errorf("coverage = %v", fs.Coverage())
+	}
+}
+
+// Property: coverage is monotone in samples and bounded by [0,1].
+func TestPropertyCoverageMonotone(t *testing.T) {
+	f := func(vals []uint8) bool {
+		cp := NewCoverpoint("p", UniformBins(8, 0, 256)...)
+		prev := 0.0
+		for _, v := range vals {
+			cp.Sample(float64(v))
+			c := cp.Coverage()
+			if c < prev || c < 0 || c > 1 {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a fault space over n sites and m models reaches exactly
+// closure after recording every combination.
+func TestPropertyFaultSpaceClosure(t *testing.T) {
+	f := func(n, m uint8) bool {
+		ns := int(n%5) + 1
+		nm := int(m%4) + 1
+		sites := make([]string, ns)
+		models := make([]string, nm)
+		for i := range sites {
+			sites[i] = string(rune('a' + i))
+		}
+		for i := range models {
+			models[i] = string(rune('x' + i))
+		}
+		fs := NewFaultSpace(sites, models)
+		for _, s := range sites {
+			for _, mo := range models {
+				fs.Record(s, mo, 0)
+			}
+		}
+		return fs.Coverage() == 1 && len(fs.Holes()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

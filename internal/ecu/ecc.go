@@ -1,0 +1,285 @@
+package ecu
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/tlm"
+)
+
+// ECC implements SECDED (single-error-correct, double-error-detect)
+// Hamming coding of 32-bit words: 6 Hamming check bits plus one
+// overall parity bit. It is the canonical memory protection mechanism
+// whose diagnostic coverage the FMEDA experiments credit.
+
+// ECCStatus is the result of decoding a protected word.
+type ECCStatus uint8
+
+const (
+	// ECCOk: no error.
+	ECCOk ECCStatus = iota
+	// ECCCorrected: a single bit error was corrected.
+	ECCCorrected
+	// ECCUncorrectable: a double bit error was detected.
+	ECCUncorrectable
+)
+
+// String names the status.
+func (s ECCStatus) String() string {
+	switch s {
+	case ECCOk:
+		return "ok"
+	case ECCCorrected:
+		return "corrected"
+	case ECCUncorrectable:
+		return "uncorrectable"
+	default:
+		return fmt.Sprintf("ECCStatus(%d)", uint8(s))
+	}
+}
+
+// codeword layout: positions 1..38; check bits at powers of two
+// (1,2,4,8,16,32), data bits fill the remaining 32 positions in
+// ascending order. Position 0 holds the overall parity bit.
+
+// dataPositions[i] is the codeword position of data bit i.
+var dataPositions = func() [32]int {
+	var out [32]int
+	i := 0
+	for pos := 1; pos <= 38 && i < 32; pos++ {
+		if pos&(pos-1) == 0 { // power of two: check bit
+			continue
+		}
+		out[i] = pos
+		i++
+	}
+	return out
+}()
+
+// eccEncode computes the 7 check bits (6 Hamming + overall parity in
+// bit 6) for a data word.
+func eccEncode(data uint32) uint8 {
+	// Hamming bits: parity over codeword positions with that bit set.
+	var check uint8
+	for b := 0; b < 6; b++ {
+		mask := 1 << b
+		parity := 0
+		for i := 0; i < 32; i++ {
+			if dataPositions[i]&mask != 0 && data>>uint(i)&1 == 1 {
+				parity ^= 1
+			}
+		}
+		if parity == 1 {
+			check |= 1 << b
+		}
+	}
+	// Overall parity over data bits and the 6 check bits.
+	parity := 0
+	for i := 0; i < 32; i++ {
+		if data>>uint(i)&1 == 1 {
+			parity ^= 1
+		}
+	}
+	for b := 0; b < 6; b++ {
+		if check>>uint(b)&1 == 1 {
+			parity ^= 1
+		}
+	}
+	if parity == 1 {
+		check |= 1 << 6
+	}
+	return check
+}
+
+// parity32 computes the parity of a 32-bit word.
+func parity32(v uint32) uint8 {
+	v ^= v >> 16
+	v ^= v >> 8
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return uint8(v & 1)
+}
+
+// eccDecode checks and (when possible) corrects a received word.
+// The syndrome compares received check bits against ones recomputed
+// from received data; the overall parity is computed over the whole
+// received codeword (data + check + parity bit), so any single flip —
+// including in a check bit — makes it odd.
+func eccDecode(data uint32, check uint8) (corrected uint32, status ECCStatus) {
+	expect := eccEncode(data)
+	syndrome := (check ^ expect) & 0x3f
+	var chkParity uint8
+	for b := 0; b < 7; b++ {
+		chkParity ^= check >> uint(b) & 1
+	}
+	parityErr := parity32(data)^chkParity == 1
+	switch {
+	case syndrome == 0 && !parityErr:
+		return data, ECCOk
+	case parityErr:
+		// Single-bit error at codeword position = syndrome (0 means
+		// the overall parity bit itself flipped; check-bit positions
+		// mean a check bit flipped — data unaffected either way).
+		if syndrome != 0 && int(syndrome)&(int(syndrome)-1) != 0 {
+			// Data-bit position: locate and flip.
+			for i := 0; i < 32; i++ {
+				if dataPositions[i] == int(syndrome) {
+					return data ^ 1<<uint(i), ECCCorrected
+				}
+			}
+		}
+		return data, ECCCorrected
+	default:
+		// Non-zero syndrome with good parity: double error.
+		return data, ECCUncorrectable
+	}
+}
+
+// ECCMemory is a word-organized memory target with SECDED protection:
+// reads transparently correct single-bit upsets and fail (bus error)
+// on uncorrectable double errors. Accesses must be 4-byte aligned
+// whole words, matching the AE32 bus.
+type ECCMemory struct {
+	name  string
+	base  uint64
+	words []uint32
+	check []uint8
+
+	ReadLatency  sim.Time
+	WriteLatency sim.Time
+
+	corrected     uint64
+	uncorrectable uint64
+	// CorrectionDelay models the extra read latency of an ECC repair
+	// (the "error correction that may cause deadline violations" of
+	// Sec. 3.4).
+	CorrectionDelay sim.Time
+}
+
+// NewECCMemory creates size bytes (rounded down to whole words) at
+// base.
+func NewECCMemory(name string, base uint64, size int) *ECCMemory {
+	n := size / 4
+	m := &ECCMemory{name: name, base: base, words: make([]uint32, n), check: make([]uint8, n)}
+	for i := range m.words {
+		m.check[i] = eccEncode(0)
+	}
+	return m
+}
+
+// Name reports the instance name.
+func (m *ECCMemory) Name() string { return m.name }
+
+// Stats reports corrected and uncorrectable error counts — the
+// diagnostic-coverage evidence for FMEDA.
+func (m *ECCMemory) Stats() (corrected, uncorrectable uint64) {
+	return m.corrected, m.uncorrectable
+}
+
+func (m *ECCMemory) index(addr uint64, n int) (int, bool) {
+	if addr%4 != 0 || n != 4 {
+		return 0, false
+	}
+	if addr < m.base {
+		return 0, false
+	}
+	i := int((addr - m.base) / 4)
+	if i >= len(m.words) {
+		return 0, false
+	}
+	return i, true
+}
+
+// BTransport implements tlm.Target.
+func (m *ECCMemory) BTransport(p *tlm.Payload, delay *sim.Time) {
+	i, ok := m.index(p.Address, len(p.Data))
+	if !ok {
+		if p.Address%4 != 0 || len(p.Data) != 4 {
+			p.Response = tlm.RespBurstError
+		} else {
+			p.Response = tlm.RespAddressError
+		}
+		return
+	}
+	switch p.Command {
+	case tlm.CmdRead:
+		data, status := eccDecode(m.words[i], m.check[i])
+		*delay += m.ReadLatency
+		switch status {
+		case ECCCorrected:
+			m.corrected++
+			*delay += m.CorrectionDelay
+			// Scrub: write back the corrected word.
+			m.words[i] = data
+			m.check[i] = eccEncode(data)
+		case ECCUncorrectable:
+			m.uncorrectable++
+			p.Response = tlm.RespGenericError
+			return
+		}
+		p.Data[0] = byte(data)
+		p.Data[1] = byte(data >> 8)
+		p.Data[2] = byte(data >> 16)
+		p.Data[3] = byte(data >> 24)
+	case tlm.CmdWrite:
+		v := uint32(p.Data[0]) | uint32(p.Data[1])<<8 | uint32(p.Data[2])<<16 | uint32(p.Data[3])<<24
+		m.words[i] = v
+		m.check[i] = eccEncode(v)
+		*delay += m.WriteLatency
+	default:
+		p.Response = tlm.RespCommandError
+		return
+	}
+	p.Response = tlm.RespOK
+}
+
+// TransportDbg implements tlm.DebugTarget (no correction, no stats).
+func (m *ECCMemory) TransportDbg(p *tlm.Payload) int {
+	// Debug access works in whole words from the aligned base.
+	if p.Address%4 != 0 || len(p.Data)%4 != 0 {
+		p.Response = tlm.RespBurstError
+		return 0
+	}
+	n := len(p.Data) / 4
+	for w := 0; w < n; w++ {
+		i, ok := m.index(p.Address+uint64(4*w), 4)
+		if !ok {
+			p.Response = tlm.RespAddressError
+			return 0
+		}
+		switch p.Command {
+		case tlm.CmdRead:
+			v := m.words[i]
+			p.Data[4*w] = byte(v)
+			p.Data[4*w+1] = byte(v >> 8)
+			p.Data[4*w+2] = byte(v >> 16)
+			p.Data[4*w+3] = byte(v >> 24)
+		case tlm.CmdWrite:
+			v := uint32(p.Data[4*w]) | uint32(p.Data[4*w+1])<<8 | uint32(p.Data[4*w+2])<<16 | uint32(p.Data[4*w+3])<<24
+			m.words[i] = v
+			m.check[i] = eccEncode(v)
+		}
+	}
+	p.Response = tlm.RespOK
+	return len(p.Data)
+}
+
+// FlipStoredBit injects an upset directly into the stored codeword:
+// bit 0..31 hits the data word, 32..38 hits the check bits. The ECC
+// logic sees it on the next read.
+func (m *ECCMemory) FlipStoredBit(addr uint64, bit uint) error {
+	i, ok := m.index(addr, 4)
+	if !ok {
+		return fmt.Errorf("ecu: FlipStoredBit(%#x): unmapped or unaligned", addr)
+	}
+	switch {
+	case bit < 32:
+		m.words[i] ^= 1 << bit
+	case bit < 39:
+		m.check[i] ^= 1 << (bit - 32)
+	default:
+		return fmt.Errorf("ecu: FlipStoredBit: bit %d out of codeword", bit)
+	}
+	return nil
+}

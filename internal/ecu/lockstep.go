@@ -1,0 +1,110 @@
+package ecu
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/tlm"
+)
+
+// Lockstep runs two AE32 cores over the same program and compares
+// their store streams — the classic dual-core lockstep safety
+// mechanism of automotive microcontrollers. The cores run against
+// separate memories (so a fault in one does not contaminate the
+// other); the comparator flags the first divergent store. Detection
+// is at store granularity: a corrupted register that never reaches a
+// store stays latent, exactly as in real lockstep designs.
+type Lockstep struct {
+	Primary  *CPU
+	Shadow   *CPU
+	pLog     []storeRec
+	sLog     []storeRec
+	diverged bool
+	detail   string
+}
+
+type storeRec struct {
+	addr, val uint32
+}
+
+// NewLockstep wires the comparator onto two cores.
+func NewLockstep(primary, shadow *CPU) *Lockstep {
+	ls := &Lockstep{Primary: primary, Shadow: shadow}
+	primary.StoreHook = func(addr, val uint32) { ls.record(&ls.pLog, &ls.sLog, addr, val, "primary") }
+	shadow.StoreHook = func(addr, val uint32) { ls.record(&ls.sLog, &ls.pLog, addr, val, "shadow") }
+	return ls
+}
+
+// record appends to own log and compares against the counterpart at
+// the same index if already present.
+func (ls *Lockstep) record(own, other *[]storeRec, addr, val uint32, who string) {
+	idx := len(*own)
+	*own = append(*own, storeRec{addr, val})
+	if idx < len(*other) {
+		o := (*other)[idx]
+		if o.addr != addr || o.val != val {
+			ls.flag(idx, who, addr, val, o)
+		}
+	}
+}
+
+func (ls *Lockstep) flag(idx int, who string, addr, val uint32, o storeRec) {
+	if ls.diverged {
+		return
+	}
+	ls.diverged = true
+	ls.detail = fmt.Sprintf("store %d: %s wrote %#x=%#x, counterpart wrote %#x=%#x",
+		idx, who, addr, val, o.addr, o.val)
+}
+
+// FinalCheck compares store counts after both cores halt: a core that
+// stopped storing (e.g. crashed into a loop) also counts as
+// divergence.
+func (ls *Lockstep) FinalCheck() {
+	if ls.diverged {
+		return
+	}
+	if len(ls.pLog) != len(ls.sLog) {
+		ls.diverged = true
+		ls.detail = fmt.Sprintf("store count mismatch: primary %d, shadow %d", len(ls.pLog), len(ls.sLog))
+	}
+}
+
+// Diverged reports whether the comparator fired.
+func (ls *Lockstep) Diverged() bool { return ls.diverged }
+
+// Detail describes the first divergence.
+func (ls *Lockstep) Detail() string { return ls.detail }
+
+// Stores reports the store counts seen so far.
+func (ls *Lockstep) Stores() (primary, shadow int) { return len(ls.pLog), len(ls.sLog) }
+
+// RunLockstep executes both cores to completion on a fresh kernel
+// thread pair and returns whether the comparator detected divergence.
+// quantum controls temporal decoupling for both cores.
+func RunLockstep(k *sim.Kernel, ls *Lockstep, quantum sim.Time, maxInstrs uint64) (detected bool, err error) {
+	errs := make([]error, 2)
+	k.Thread("lockstep.primary", func(ctx *sim.ThreadCtx) {
+		qk := tlm.NewQuantumKeeper(ctx, quantum)
+		errs[0] = ls.Primary.Run(ctx, qk, maxInstrs)
+	})
+	k.Thread("lockstep.shadow", func(ctx *sim.ThreadCtx) {
+		qk := tlm.NewQuantumKeeper(ctx, quantum)
+		errs[1] = ls.Shadow.Run(ctx, qk, maxInstrs)
+	})
+	if err := k.Run(sim.TimeMax); err != nil {
+		return false, err
+	}
+	ls.FinalCheck()
+	// A trap (bus error / illegal opcode) on either core is likewise a
+	// detection: real lockstep MCUs escalate traps to the safety path.
+	for _, e := range errs {
+		if e != nil {
+			ls.diverged = true
+			if ls.detail == "" {
+				ls.detail = "core trap: " + e.Error()
+			}
+		}
+	}
+	return ls.diverged, nil
+}

@@ -1,0 +1,159 @@
+package ecu
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/tlm"
+)
+
+// Task is one periodic real-time task in the RTOS-lite model: released
+// every Period, consuming WCET of execution time, due Deadline after
+// release. Work is an optional callback executed at each completion
+// (the functional payload); the scheduler itself only models timing —
+// the AUTOSAR-runnable substitution documented in DESIGN.md.
+type Task struct {
+	Name     string
+	Period   sim.Time
+	Deadline sim.Time
+	WCET     sim.Time
+	// Work runs at each job completion with the job index.
+	Work func(job int)
+	// ExtraDelay is added to each job's execution time — the injection
+	// point for delay faults ("the right value at the wrong time").
+	ExtraDelay sim.Time
+}
+
+// JobRecord is one released job's timing. Completion is the exact
+// (temporally decoupled, local-time) completion; ObservedCompletion
+// is the kernel time at which an external monitor could see it —
+// never later than Completion's wall position, so large quanta make
+// external deadline monitors miss true violations (ObservedMissed is
+// a subset of Missed). This observability gap is the accuracy cost of
+// temporal decoupling that experiment E6 sweeps.
+type JobRecord struct {
+	Task               string
+	Job                int
+	Release            sim.Time
+	Completion         sim.Time
+	ObservedCompletion sim.Time
+	Deadline           sim.Time
+	Missed             bool
+	ObservedMissed     bool
+}
+
+// Scheduler runs a periodic task set on the kernel with per-task
+// temporal decoupling and records deadline misses. With quantum 0 the
+// timing is exact; larger quanta trade deadline-detection accuracy
+// for fewer kernel synchronizations (experiment E6).
+type Scheduler struct {
+	k     *sim.Kernel
+	tasks []*Task
+	// Quantum is the temporal-decoupling quantum applied to every
+	// task's execution-time accounting.
+	Quantum sim.Time
+	// Horizon bounds job generation.
+	Horizon sim.Time
+
+	records []JobRecord
+	misses  int
+}
+
+// NewScheduler creates a scheduler on the kernel.
+func NewScheduler(k *sim.Kernel, horizon sim.Time) *Scheduler {
+	return &Scheduler{k: k, Horizon: horizon}
+}
+
+// Add registers a task. Deadline defaults to Period when zero.
+func (s *Scheduler) Add(t *Task) error {
+	if t.Period == 0 || t.WCET == 0 {
+		return fmt.Errorf("ecu: task %q needs period and WCET", t.Name)
+	}
+	if t.Deadline == 0 {
+		t.Deadline = t.Period
+	}
+	if t.WCET > t.Deadline {
+		return fmt.Errorf("ecu: task %q WCET %s exceeds deadline %s", t.Name, t.WCET, t.Deadline)
+	}
+	s.tasks = append(s.tasks, t)
+	return nil
+}
+
+// Spawn elaborates one kernel thread per task. Call before running
+// the kernel.
+func (s *Scheduler) Spawn() {
+	for _, t := range s.tasks {
+		task := t
+		s.k.Thread("rtos."+task.Name, func(ctx *sim.ThreadCtx) {
+			qk := tlm.NewQuantumKeeper(ctx, s.Quantum)
+			for job := 0; ; job++ {
+				release := sim.Time(job) * task.Period
+				if release >= s.Horizon {
+					return
+				}
+				// Wait (in decoupled time) for the release instant.
+				if now := qk.CurrentTime(); now < release {
+					qk.Inc(release - now)
+				}
+				// Execute.
+				qk.Inc(task.WCET + task.ExtraDelay)
+				qk.SyncIfNeeded()
+				completion := qk.CurrentTime()
+				observed := ctx.Now()
+				if task.Work != nil {
+					task.Work(job)
+				}
+				deadline := release + task.Deadline
+				rec := JobRecord{
+					Task:               task.Name,
+					Job:                job,
+					Release:            release,
+					Completion:         completion,
+					ObservedCompletion: observed,
+					Deadline:           deadline,
+					Missed:             completion > deadline,
+					ObservedMissed:     observed > deadline,
+				}
+				if rec.Missed {
+					s.misses++
+				}
+				s.records = append(s.records, rec)
+			}
+		})
+	}
+}
+
+// Run spawns the tasks and advances the kernel to the horizon.
+func (s *Scheduler) Run() error {
+	s.Spawn()
+	return s.k.Run(s.Horizon)
+}
+
+// Records reports every job's timing.
+func (s *Scheduler) Records() []JobRecord { return s.records }
+
+// Misses reports the deadline-miss count.
+func (s *Scheduler) Misses() int { return s.misses }
+
+// ObservedMisses reports how many true misses an external (kernel-
+// time) monitor would have seen.
+func (s *Scheduler) ObservedMisses() int {
+	n := 0
+	for _, r := range s.records {
+		if r.ObservedMissed {
+			n++
+		}
+	}
+	return n
+}
+
+// MissesFor reports misses of one task.
+func (s *Scheduler) MissesFor(name string) int {
+	n := 0
+	for _, r := range s.records {
+		if r.Task == name && r.Missed {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,70 @@
+// Package experiments implements the reproduction harness: one
+// runnable experiment per quantitative claim of the paper (E1..E9)
+// plus executable renditions of its two methodology figures (F2, F3).
+// DESIGN.md §3 maps each experiment to its paper anchor; EXPERIMENTS.md
+// records paper-vs-measured. Every experiment returns text tables and
+// a Check result verifying the claim's *shape* (who wins, what
+// saturates, what degrades), not absolute numbers.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/report"
+)
+
+// Result is one experiment's outcome.
+type Result struct {
+	ID     string
+	Title  string
+	Claim  string // the paper sentence being reproduced
+	Tables []*report.Table
+	// ShapeHolds reports whether the claimed qualitative shape was
+	// observed; ShapeDetail explains.
+	ShapeHolds  bool
+	ShapeDetail string
+}
+
+// Render prints the full result.
+func (r *Result) Render() string {
+	out := fmt.Sprintf("### %s: %s\nClaim: %s\n\n", r.ID, r.Title, r.Claim)
+	for _, t := range r.Tables {
+		out += t.Render() + "\n"
+	}
+	status := "HOLDS"
+	if !r.ShapeHolds {
+		status = "VIOLATED"
+	}
+	out += fmt.Sprintf("Shape %s: %s\n", status, r.ShapeDetail)
+	return out
+}
+
+// Experiment is a registered runnable experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (*Result, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	registry[e.ID] = e
+}
+
+// Get looks up an experiment by ID (e.g. "E1", "F3").
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All lists experiments in ID order.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

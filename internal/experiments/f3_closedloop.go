@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/caps"
+	"repro/internal/coverage"
+	"repro/internal/fault"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+func init() {
+	register(Experiment{ID: "F3", Title: "Fig. 3: error-effect simulation closed loop (executable)", Run: runF3})
+}
+
+// runF3 executes the paper's Fig. 3 loop: the stressor injects error
+// scenarios into the virtual prototype, the monitor classifies the
+// outcome, the fault-space coverage model absorbs the result, and the
+// remaining coverage holes drive the next scenarios — iterating until
+// coverage closure. The loop's own progress is the experiment output.
+func runF3() (*Result, error) {
+	horizon := sim.MS(60)
+	runner, err := caps.NewRunner(caps.Protected(), caps.NormalDriving(), horizon)
+	if err != nil {
+		return nil, err
+	}
+	universe := runner.Universe(sim.MS(10))
+
+	// Declare the fault space from the universe.
+	fs := coverage.NewFaultSpace(nil, nil)
+	byCell := map[coverage.SiteModelKey]fault.Descriptor{}
+	for _, d := range universe {
+		fs.Declare(d.Target, d.Model.String())
+		byCell[coverage.SiteModelKey{Site: d.Target, Model: d.Model.String()}] = d
+	}
+
+	t := &report.Table{
+		Title:   "F3: coverage-closure loop over the CAPS fault space",
+		Columns: []string{"iteration", "scenarios run", "coverage", "open holes", "worst site severity"},
+	}
+
+	const perIteration = 5
+	iterations := 0
+	totalRuns := 0
+	for fs.Coverage() < 1 {
+		iterations++
+		holes := fs.Holes()
+		n := perIteration
+		if n > len(holes) {
+			n = len(holes)
+		}
+		for _, hole := range holes[:n] {
+			d := byCell[hole]
+			o := runner.RunScenario(fault.Single(d))
+			fs.Record(d.Target, d.Model.String(), o.Class.Severity())
+			totalRuns++
+		}
+		worst := 0
+		if ws := fs.WorstBySite(); len(ws) > 0 {
+			worst = ws[0].Severity
+		}
+		t.AddRow(iterations, totalRuns, fmt.Sprintf("%.0f%%", fs.Coverage()*100), len(fs.Holes()), worst)
+		if iterations > 100 {
+			return nil, fmt.Errorf("F3: loop did not converge")
+		}
+	}
+
+	ws := fs.WorstBySite()
+	wt := &report.Table{
+		Title:   "F3a: weak-spot ranking produced by the loop",
+		Columns: []string{"site", "worst severity"},
+	}
+	for _, w := range ws {
+		wt.AddRow(w.Site, w.Severity)
+	}
+
+	holds := fs.Coverage() == 1 && totalRuns == len(universe) && iterations > 1
+	return &Result{
+		ID:         "F3",
+		Title:      "Fig. 3 as an executable closed loop",
+		Claim:      "intelligent coverage models measure the completeness of the error effect simulation and steer injection toward coverage closure (Sec. 3.4, Fig. 3)",
+		Tables:     []*report.Table{t, wt},
+		ShapeHolds: holds,
+		ShapeDetail: fmt.Sprintf(
+			"loop reached 100%% fault-space coverage in %d iterations and %d runs (one per declared cell), emitting the weak-spot ranking",
+			iterations, totalRuns),
+	}, nil
+}

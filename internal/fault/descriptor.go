@@ -1,0 +1,213 @@
+// Package fault defines the formal fault/error description the paper
+// calls for in Sec. 3.3 ("these fault models should be available in a
+// formalized form to enable automatic configuration/generation of the
+// error injectors") plus the injector interfaces that realize them and
+// the fault→error→failure outcome classification used throughout the
+// repository.
+//
+// A Descriptor is a machine-readable fault: what physical/logical
+// effect (Model), its persistence (Class), which system domain it
+// lives in (Domain), where to inject it (Target, a hierarchical
+// injection-site name resolved through a Registry), and when
+// (Start/Duration). Mission profiles derive Descriptors from
+// environmental stresses; the stressor schedules them; injectors
+// execute them.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Model enumerates fault models across abstraction levels — the ASIC
+// fabrication-test models (stuck-at, open, short) the paper notes are
+// available at low level, plus the higher-level equivalents it says
+// are missing and that this framework provides.
+type Model uint8
+
+const (
+	// StuckAt0 forces the target to logic 0 / zero value.
+	StuckAt0 Model = iota
+	// StuckAt1 forces the target to logic 1 / all-ones value.
+	StuckAt1
+	// BitFlip inverts one stored bit once (single-event upset).
+	BitFlip
+	// Open disconnects a wire; the target reads as unknown/floating.
+	Open
+	// ShortToGround ties an (analog or digital) line to ground.
+	ShortToGround
+	// ShortToSupply ties a line to the supply rail.
+	ShortToSupply
+	// Delay adds latency to an operation without corrupting its value
+	// ("the right value at the wrong time can still be an error").
+	Delay
+	// ValueOffset perturbs an analog quantity by Param (sensor drift).
+	ValueOffset
+	// ValueNoise adds bounded random noise of amplitude Param.
+	ValueNoise
+	// Omission drops a communication message entirely.
+	Omission
+	// Corruption alters the payload of a communication message.
+	Corruption
+	// Babbling makes a node transmit uncontrolledly (babbling idiot).
+	Babbling
+)
+
+var modelNames = map[Model]string{
+	StuckAt0: "stuck-at-0", StuckAt1: "stuck-at-1", BitFlip: "bit-flip",
+	Open: "open", ShortToGround: "short-to-ground", ShortToSupply: "short-to-supply",
+	Delay: "delay", ValueOffset: "value-offset", ValueNoise: "value-noise",
+	Omission: "omission", Corruption: "corruption", Babbling: "babbling",
+}
+
+// String names the fault model.
+func (m Model) String() string {
+	if s, ok := modelNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("Model(%d)", uint8(m))
+}
+
+// Class is the persistence class of a fault.
+type Class uint8
+
+const (
+	// Permanent faults stay active from Start on (Duration ignored).
+	Permanent Class = iota
+	// Transient faults are active for one window [Start, Start+Duration).
+	Transient
+	// Intermittent faults toggle: active Duration, inactive Period-
+	// Duration, repeating from Start.
+	Intermittent
+)
+
+// String names the persistence class.
+func (c Class) String() string {
+	switch c {
+	case Permanent:
+		return "permanent"
+	case Transient:
+		return "transient"
+	case Intermittent:
+		return "intermittent"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Domain is the system domain a fault lives in (Sec. 3.4: "errors
+// affect various different domains, e.g., digital hardware, analog
+// hardware and software").
+type Domain uint8
+
+const (
+	// DigitalHW covers gates, registers, memories.
+	DigitalHW Domain = iota
+	// AnalogHW covers sensors, drivers, supplies, wiring harnesses.
+	AnalogHW
+	// Software covers task state, variables, control flow.
+	Software
+	// Communication covers buses and networks.
+	Communication
+)
+
+// String names the domain.
+func (d Domain) String() string {
+	switch d {
+	case DigitalHW:
+		return "digital-hw"
+	case AnalogHW:
+		return "analog-hw"
+	case Software:
+		return "software"
+	case Communication:
+		return "communication"
+	default:
+		return fmt.Sprintf("Domain(%d)", uint8(d))
+	}
+}
+
+// Descriptor is one formalized fault/error: the unit the mission-
+// profile derivation emits, the stressor schedules and an injector
+// executes.
+type Descriptor struct {
+	// Name is a unique scenario-local identifier.
+	Name string
+	// Model is the fault effect.
+	Model Model
+	// Class is the persistence.
+	Class Class
+	// Domain is the affected system domain.
+	Domain Domain
+	// Target names the injection site, resolved via a Registry
+	// (e.g. "caps.accel0.out" or "ecu.mem").
+	Target string
+	// Bit selects the affected bit for bit-level models.
+	Bit uint
+	// Address selects the affected cell for memory models.
+	Address uint64
+	// Param carries the model parameter: delay in picoseconds for
+	// Delay, offset/amplitude for analog models.
+	Param float64
+	// Start is when the fault activates.
+	Start sim.Time
+	// Duration is the active window for Transient/Intermittent faults.
+	Duration sim.Time
+	// Period is the repeat interval for Intermittent faults.
+	Period sim.Time
+	// Rate is the assumed failure rate in FIT (failures per 1e9 h),
+	// used by FMEDA weighting and probabilistic campaigns.
+	Rate float64
+}
+
+// String renders a compact description.
+func (d Descriptor) String() string {
+	return fmt.Sprintf("%s: %s %s on %s @%s", d.Name, d.Class, d.Model, d.Target, d.Start)
+}
+
+// Validate reports structural problems with the descriptor.
+func (d Descriptor) Validate() error {
+	switch {
+	case d.Name == "":
+		return fmt.Errorf("fault: descriptor without name")
+	case d.Target == "":
+		return fmt.Errorf("fault %s: no target", d.Name)
+	case d.Class == Transient && d.Duration == 0:
+		return fmt.Errorf("fault %s: transient with zero duration", d.Name)
+	case d.Class == Intermittent && (d.Duration == 0 || d.Period <= d.Duration):
+		return fmt.Errorf("fault %s: intermittent needs period > duration > 0", d.Name)
+	case d.Bit > 63:
+		return fmt.Errorf("fault %s: bit %d out of range", d.Name, d.Bit)
+	}
+	return nil
+}
+
+// Scenario is an ordered set of faults injected together in one
+// simulation run. Single-fault scenarios dominate ISO 26262 single-
+// point analysis; multi-fault scenarios cover latent/dual-point
+// analysis.
+type Scenario struct {
+	// ID identifies the scenario within a campaign.
+	ID string
+	// Faults are the descriptors to inject.
+	Faults []Descriptor
+}
+
+// Validate checks every contained descriptor.
+func (s Scenario) Validate() error {
+	if s.ID == "" {
+		return fmt.Errorf("fault: scenario without ID")
+	}
+	for _, d := range s.Faults {
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.ID, err)
+		}
+	}
+	return nil
+}
+
+// Single wraps one descriptor in a scenario named after it.
+func Single(d Descriptor) Scenario {
+	return Scenario{ID: d.Name, Faults: []Descriptor{d}}
+}

@@ -1,0 +1,352 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rtl"
+	"repro/internal/sim"
+	"repro/internal/tlm"
+)
+
+func TestDescriptorValidate(t *testing.T) {
+	good := Descriptor{Name: "f1", Model: StuckAt0, Target: "x"}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good descriptor rejected: %v", err)
+	}
+	cases := []Descriptor{
+		{Model: StuckAt0, Target: "x"},                                        // no name
+		{Name: "f", Model: StuckAt0},                                          // no target
+		{Name: "f", Target: "x", Class: Transient},                            // zero duration
+		{Name: "f", Target: "x", Class: Intermittent, Duration: 5, Period: 5}, // period<=duration
+		{Name: "f", Target: "x", Bit: 64},                                     // bit range
+	}
+	for i, d := range cases {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, d)
+		}
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	sc := Scenario{ID: "s", Faults: []Descriptor{{Name: "f", Model: BitFlip, Target: "m"}}}
+	if err := sc.Validate(); err != nil {
+		t.Errorf("good scenario rejected: %v", err)
+	}
+	if err := (Scenario{}).Validate(); err == nil {
+		t.Error("scenario without ID accepted")
+	}
+	bad := Scenario{ID: "s", Faults: []Descriptor{{Name: "", Target: "m"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("scenario with bad fault accepted")
+	}
+	single := Single(Descriptor{Name: "f9", Target: "t"})
+	if single.ID != "f9" || len(single.Faults) != 1 {
+		t.Errorf("Single = %+v", single)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if StuckAt1.String() != "stuck-at-1" || Babbling.String() != "babbling" {
+		t.Error("model strings")
+	}
+	if Permanent.String() != "permanent" || Intermittent.String() != "intermittent" {
+		t.Error("class strings")
+	}
+	if DigitalHW.String() != "digital-hw" || Communication.String() != "communication" {
+		t.Error("domain strings")
+	}
+	d := Descriptor{Name: "f", Model: Open, Class: Transient, Target: "net3", Start: sim.NS(5), Duration: sim.NS(1)}
+	if got := d.String(); !strings.Contains(got, "transient open on net3") {
+		t.Errorf("descriptor string = %q", got)
+	}
+}
+
+func TestClassificationOrder(t *testing.T) {
+	order := []Classification{NoEffect, Masked, DetectedSafe, Latent, SDC, TimingViolation, SafetyCritical}
+	for i := 1; i < len(order); i++ {
+		if order[i].Severity() <= order[i-1].Severity() {
+			t.Errorf("severity(%s) <= severity(%s)", order[i], order[i-1])
+		}
+	}
+	if !SDC.IsFailure() || !SafetyCritical.IsFailure() || !TimingViolation.IsFailure() {
+		t.Error("IsFailure wrong")
+	}
+	if DetectedSafe.IsFailure() || Masked.IsFailure() {
+		t.Error("non-failures flagged")
+	}
+	if !Latent.IsDangerous() || Masked.IsDangerous() {
+		t.Error("IsDangerous wrong")
+	}
+}
+
+func TestTally(t *testing.T) {
+	tally := make(Tally)
+	tally.Add(Outcome{Class: Masked})
+	tally.Add(Outcome{Class: Masked})
+	tally.Add(Outcome{Class: SDC})
+	if tally.Total() != 3 || tally.Failures() != 1 {
+		t.Errorf("tally = %v", tally)
+	}
+	s := tally.String()
+	if !strings.Contains(s, "masked=2") || !strings.Contains(s, "sdc=1") {
+		t.Errorf("tally string = %q", s)
+	}
+	if (make(Tally)).String() != "empty" {
+		t.Error("empty tally string")
+	}
+}
+
+func TestFuncInjectorSupports(t *testing.T) {
+	var injected, reverted bool
+	inj := &FuncInjector{
+		SiteName: "s",
+		Models:   []Model{StuckAt0},
+		InjectFn: func(d Descriptor) error { injected = true; return nil },
+		RevertFn: func(d Descriptor) error { reverted = true; return nil },
+	}
+	if !inj.Supports(StuckAt0) || inj.Supports(BitFlip) {
+		t.Error("Supports wrong")
+	}
+	if err := inj.Inject(Descriptor{Name: "f", Target: "s", Model: BitFlip}); err == nil {
+		t.Error("unsupported model injected")
+	}
+	if err := inj.Inject(Descriptor{Name: "f", Target: "s", Model: StuckAt0}); err != nil || !injected {
+		t.Error("supported model failed")
+	}
+	if err := inj.Revert(Descriptor{}); err != nil || !reverted {
+		t.Error("revert failed")
+	}
+	nilRevert := &FuncInjector{SiteName: "x", InjectFn: func(Descriptor) error { return nil }}
+	if err := nilRevert.Revert(Descriptor{}); err != nil {
+		t.Error("nil RevertFn should no-op")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	mk := func(site string) Injector {
+		return &FuncInjector{SiteName: site, Models: []Model{StuckAt0},
+			InjectFn: func(Descriptor) error { return nil }}
+	}
+	if err := r.Register(mk("b")); err != nil {
+		t.Fatal(err)
+	}
+	r.MustRegister(mk("a"))
+	if err := r.Register(mk("a")); err == nil {
+		t.Error("duplicate site accepted")
+	}
+	if got := r.Sites(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Sites = %v", got)
+	}
+	if _, ok := r.Lookup("a"); !ok {
+		t.Error("Lookup failed")
+	}
+	if err := r.Inject(Descriptor{Name: "f", Target: "zz", Model: StuckAt0}); err == nil {
+		t.Error("unknown site injected")
+	}
+	if err := r.Revert(Descriptor{Name: "f", Target: "zz"}); err == nil {
+		t.Error("unknown site reverted")
+	}
+	if err := r.Inject(Descriptor{Name: "f", Target: "a", Model: StuckAt0}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniverse(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(&FuncInjector{SiteName: "net1", Models: []Model{StuckAt0, StuckAt1},
+		InjectFn: func(Descriptor) error { return nil }})
+	r.MustRegister(&FuncInjector{SiteName: "mem", Models: []Model{BitFlip},
+		InjectFn: func(Descriptor) error { return nil }})
+	u := r.Universe([]Model{StuckAt0, StuckAt1, BitFlip}, Permanent, sim.NS(10), 0, 0)
+	if len(u) != 3 {
+		t.Fatalf("universe size = %d, want 3", len(u))
+	}
+	names := map[string]bool{}
+	for _, d := range u {
+		names[d.Name] = true
+		if err := d.Validate(); err != nil {
+			t.Errorf("universe descriptor invalid: %v", err)
+		}
+		if d.Start != sim.NS(10) {
+			t.Errorf("start = %v", d.Start)
+		}
+	}
+	for _, want := range []string{"mem/bit-flip", "net1/stuck-at-0", "net1/stuck-at-1"} {
+		if !names[want] {
+			t.Errorf("universe missing %s (have %v)", want, names)
+		}
+	}
+}
+
+func TestMemoryInjectorAdapter(t *testing.T) {
+	m := tlm.NewMemory("ram", 0x100, 64)
+	m.Poke(0x104, []byte{0x00})
+	inj := MemoryInjector("ecu.ram", m)
+	if inj.Site() != "ecu.ram" {
+		t.Error("site wrong")
+	}
+	if err := inj.Inject(Descriptor{Name: "seu", Model: BitFlip, Target: "ecu.ram", Address: 0x104, Bit: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Peek(0x104, 1)[0] != 0x04 {
+		t.Errorf("flip result = %#x", m.Peek(0x104, 1)[0])
+	}
+	if err := inj.Inject(Descriptor{Name: "sa", Model: StuckAt1, Target: "ecu.ram", Address: 0x105, Bit: 0}); err != nil {
+		t.Fatal(err)
+	}
+	var d sim.Time
+	p := tlm.NewRead(0x105, 1)
+	m.BTransport(p, &d)
+	if p.Data[0]&1 != 1 {
+		t.Error("stuck-at via adapter not visible")
+	}
+	if err := inj.Revert(Descriptor{Model: StuckAt1}); err != nil {
+		t.Fatal(err)
+	}
+	q := tlm.NewRead(0x105, 1)
+	m.BTransport(q, &d)
+	if q.Data[0]&1 != 0 {
+		t.Error("revert did not clear stuck-at")
+	}
+	if err := inj.Inject(Descriptor{Name: "x", Model: Open, Target: "ecu.ram"}); err == nil {
+		t.Error("unsupported model on memory accepted")
+	}
+}
+
+func TestNetInjectorAdapter(t *testing.T) {
+	c := rtl.NewCircuit("c")
+	a := c.Input("a")
+	y := c.Buf(a)
+	c.Output("y", y)
+	e, err := rtl.NewEvaluator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NetInjector("c.mid", e, y)
+	for _, tc := range []struct {
+		m    Model
+		want rtl.Logic
+	}{
+		{StuckAt0, rtl.L0}, {ShortToGround, rtl.L0},
+		{StuckAt1, rtl.L1}, {ShortToSupply, rtl.L1},
+		{Open, rtl.LX},
+	} {
+		if err := inj.Inject(Descriptor{Name: "f", Model: tc.m, Target: "c.mid"}); err != nil {
+			t.Fatal(err)
+		}
+		e.SetInputNet(a, rtl.L1)
+		e.Eval()
+		if got := e.Value(y); got != tc.want {
+			t.Errorf("%s: y = %s, want %s", tc.m, got, tc.want)
+		}
+		if err := inj.Revert(Descriptor{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.SetInputNet(a, rtl.L1)
+	e.Eval()
+	if got := e.Value(y); got != rtl.L1 {
+		t.Errorf("after revert: y = %s", got)
+	}
+}
+
+func TestSignalInjectorAdapter(t *testing.T) {
+	k := sim.NewKernel()
+	s := sim.NewSignal(k, "sig", 5.0)
+	inj := SignalInjector("top.sig", s, 0.0, 12.0)
+	if err := inj.Inject(Descriptor{Name: "f", Model: ShortToSupply, Target: "top.sig"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Read() != 12.0 {
+		t.Errorf("forced = %v", s.Read())
+	}
+	if err := inj.Inject(Descriptor{Name: "f", Model: StuckAt0, Target: "top.sig"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Read() != 0.0 {
+		t.Errorf("forced low = %v", s.Read())
+	}
+	if err := inj.Revert(Descriptor{}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Read() != 5.0 {
+		t.Errorf("released = %v", s.Read())
+	}
+	if err := inj.Inject(Descriptor{Name: "f", Model: Delay, Target: "top.sig"}); err == nil {
+		t.Error("unsupported model accepted")
+	}
+}
+
+type fakeAnalog struct {
+	offset, override float64
+}
+
+func (f *fakeAnalog) SetDisturbance(offset, override float64) {
+	f.offset, f.override = offset, override
+}
+
+func TestAnalogInjectorAdapter(t *testing.T) {
+	v := &fakeAnalog{override: math.NaN()}
+	inj := AnalogInjector("sensor.out", v, 0.0, 5.0)
+	if err := inj.Inject(Descriptor{Name: "drift", Model: ValueOffset, Target: "sensor.out", Param: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	if v.offset != 0.3 || !math.IsNaN(v.override) {
+		t.Errorf("offset fault: %+v", v)
+	}
+	if err := inj.Inject(Descriptor{Name: "stg", Model: ShortToGround, Target: "sensor.out"}); err != nil {
+		t.Fatal(err)
+	}
+	if v.override != 0.0 {
+		t.Errorf("short to ground: %+v", v)
+	}
+	if err := inj.Inject(Descriptor{Name: "sts", Model: ShortToSupply, Target: "sensor.out"}); err != nil {
+		t.Fatal(err)
+	}
+	if v.override != 5.0 {
+		t.Errorf("short to supply: %+v", v)
+	}
+	if err := inj.Inject(Descriptor{Name: "open", Model: Open, Target: "sensor.out"}); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(v.override, 1) {
+		t.Errorf("open: %+v", v)
+	}
+	if err := inj.Revert(Descriptor{}); err != nil {
+		t.Fatal(err)
+	}
+	if v.offset != 0 || !math.IsNaN(v.override) {
+		t.Errorf("revert: %+v", v)
+	}
+}
+
+// Property: Universe descriptors are unique by name and all validate.
+func TestPropertyUniverseUnique(t *testing.T) {
+	f := func(nSites uint8, modelSel uint8) bool {
+		r := NewRegistry()
+		n := int(nSites%10) + 1
+		for i := 0; i < n; i++ {
+			site := string(rune('a' + i))
+			r.MustRegister(&FuncInjector{SiteName: site,
+				Models:   []Model{StuckAt0, StuckAt1, BitFlip, Open},
+				InjectFn: func(Descriptor) error { return nil }})
+		}
+		models := []Model{StuckAt0, StuckAt1, BitFlip, Open}[:modelSel%4+1]
+		u := r.Universe(models, Permanent, 0, 0, 0)
+		seen := map[string]bool{}
+		for _, d := range u {
+			if seen[d.Name] || d.Validate() != nil {
+				return false
+			}
+			seen[d.Name] = true
+		}
+		return len(u) == n*len(models)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

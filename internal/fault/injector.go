@@ -1,0 +1,153 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Injector executes fault descriptors at one injection site. The
+// paper's requirement (Sec. 3.3): injectors "provide an interface to
+// change the stimuli in the testbench or modify the state or state
+// transitions at different positions in the DUT" while "the design
+// should not be changed" — implementations wrap Force/Release hooks,
+// memory backdoors or stimulus filters rather than editing models.
+type Injector interface {
+	// Site is the hierarchical injection-site name this injector
+	// serves.
+	Site() string
+	// Supports reports whether the injector can realize the model.
+	Supports(m Model) bool
+	// Inject activates the fault described by d.
+	Inject(d Descriptor) error
+	// Revert deactivates the fault (end of a transient window).
+	// Reverting an inactive fault is a no-op.
+	Revert(d Descriptor) error
+}
+
+// FuncInjector adapts closures to the Injector interface.
+type FuncInjector struct {
+	SiteName string
+	Models   []Model
+	InjectFn func(d Descriptor) error
+	RevertFn func(d Descriptor) error
+}
+
+// Site implements Injector.
+func (f *FuncInjector) Site() string { return f.SiteName }
+
+// Supports implements Injector.
+func (f *FuncInjector) Supports(m Model) bool {
+	for _, s := range f.Models {
+		if s == m {
+			return true
+		}
+	}
+	return false
+}
+
+// Inject implements Injector.
+func (f *FuncInjector) Inject(d Descriptor) error {
+	if !f.Supports(d.Model) {
+		return fmt.Errorf("fault: site %s does not support %s", f.SiteName, d.Model)
+	}
+	return f.InjectFn(d)
+}
+
+// Revert implements Injector.
+func (f *FuncInjector) Revert(d Descriptor) error {
+	if f.RevertFn == nil {
+		return nil
+	}
+	return f.RevertFn(d)
+}
+
+// Registry resolves descriptor targets to injectors — the wiring the
+// stressor uses. Sites are unique; registering a duplicate site is an
+// elaboration bug.
+type Registry struct {
+	sites map[string]Injector
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sites: make(map[string]Injector)}
+}
+
+// Register adds an injector.
+func (r *Registry) Register(inj Injector) error {
+	site := inj.Site()
+	if _, dup := r.sites[site]; dup {
+		return fmt.Errorf("fault: duplicate injection site %q", site)
+	}
+	r.sites[site] = inj
+	return nil
+}
+
+// MustRegister is Register that panics (elaboration-time use).
+func (r *Registry) MustRegister(inj Injector) {
+	if err := r.Register(inj); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves a site name.
+func (r *Registry) Lookup(site string) (Injector, bool) {
+	inj, ok := r.sites[site]
+	return inj, ok
+}
+
+// Sites lists registered site names, sorted (deterministic fault-space
+// enumeration).
+func (r *Registry) Sites() []string {
+	out := make([]string, 0, len(r.sites))
+	for s := range r.sites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Inject resolves and executes a descriptor.
+func (r *Registry) Inject(d Descriptor) error {
+	inj, ok := r.sites[d.Target]
+	if !ok {
+		return fmt.Errorf("fault: no injector for site %q (fault %s)", d.Target, d.Name)
+	}
+	return inj.Inject(d)
+}
+
+// Revert resolves and deactivates a descriptor.
+func (r *Registry) Revert(d Descriptor) error {
+	inj, ok := r.sites[d.Target]
+	if !ok {
+		return fmt.Errorf("fault: no injector for site %q (fault %s)", d.Target, d.Name)
+	}
+	return inj.Revert(d)
+}
+
+// Universe enumerates the full single-fault space over the registry:
+// for every site, every supported model from the given list, one
+// descriptor. It is the exhaustive fault list of experiment E8.
+func (r *Registry) Universe(models []Model, class Class, start, duration, period sim.Time) []Descriptor {
+	var out []Descriptor
+	for _, site := range r.Sites() {
+		inj := r.sites[site]
+		for _, m := range models {
+			if !inj.Supports(m) {
+				continue
+			}
+			out = append(out, Descriptor{
+				Name:     fmt.Sprintf("%s/%s", site, m),
+				Model:    m,
+				Class:    class,
+				Target:   site,
+				Start:    start,
+				Duration: duration,
+				Period:   period,
+			})
+		}
+	}
+	return out
+}

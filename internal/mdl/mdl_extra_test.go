@@ -1,0 +1,131 @@
+package mdl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrinterAllStatementForms(t *testing.T) {
+	src := `
+func f(a) {
+  let x = -a
+  x = x + 1
+  while x < 10 {
+    x = x * 2
+  }
+  if !(x == 10) {
+    return x
+  } else {
+    return 0
+  }
+}
+func g() {
+  return f(3)
+}`
+	p := MustParse(src)
+	out := p.Print()
+	for _, want := range []string{"while", "} else {", "return", "f(3)", "!("} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed source missing %q:\n%s", want, out)
+		}
+	}
+	// Printed source must re-parse and behave identically.
+	p2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	for _, in := range []int64{-5, 0, 3, 9, 100} {
+		a, err1 := NewInterp(p).Call("f", in)
+		b, err2 := NewInterp(p2).Call("f", in)
+		if a != b || (err1 == nil) != (err2 == nil) {
+			t.Fatalf("round-trip divergence at %d: %d vs %d", in, a, b)
+		}
+	}
+}
+
+func TestTokKindStrings(t *testing.T) {
+	for k := TokEOF; k <= TokNot; k++ {
+		if strings.HasPrefix(k.String(), "TokKind(") {
+			t.Errorf("token %d unnamed", k)
+		}
+	}
+	if !strings.HasPrefix(TokKind(200).String(), "TokKind(") {
+		t.Error("unknown token named")
+	}
+}
+
+func TestMutOpStrings(t *testing.T) {
+	for m := MutReplaceBinOp; m <= MutDeleteStmt; m++ {
+		if strings.HasPrefix(m.String(), "MutOp(") {
+			t.Errorf("mutop %d unnamed", m)
+		}
+	}
+	if !strings.HasPrefix(MutOp(9).String(), "MutOp(") {
+		t.Error("unknown mutop named")
+	}
+}
+
+func TestBoolLiteralsAndModulo(t *testing.T) {
+	p := MustParse(`
+func f(x) {
+  let t = true
+  let fa = false
+  if t && !fa {
+    return x % 3
+  }
+  return -1
+}`)
+	in := NewInterp(p)
+	if v, err := in.Call("f", 10); err != nil || v != 1 {
+		t.Errorf("f(10) = %d, %v", v, err)
+	}
+}
+
+func TestWhileCondNegationMutation(t *testing.T) {
+	p := MustParse(`
+func f(n) {
+  let i = 0
+  while i < n {
+    i = i + 1
+  }
+  return i
+}`)
+	var whileID NodeID = -1
+	Walk(p, func(n any) {
+		if w, ok := n.(*While); ok {
+			whileID = w.NID
+		}
+	})
+	in := NewInterp(p)
+	in.MaxSteps = 10000
+	in.SetMutation(&SchemataMut{Node: whileID, Op: MutNegateCond})
+	// Negated condition: loop body never runs (i<n true -> negated false).
+	v, err := in.Call("f", 5)
+	if err != nil || v != 0 {
+		t.Errorf("negated while f(5) = %d, %v", v, err)
+	}
+}
+
+func TestDeleteLetStillDeclares(t *testing.T) {
+	p := MustParse(`func f() { let x = 7 return x }`)
+	var letID NodeID = -1
+	Walk(p, func(n any) {
+		if l, ok := n.(*Let); ok {
+			letID = l.NID
+		}
+	})
+	in := NewInterp(p)
+	in.SetMutation(&SchemataMut{Node: letID, Op: MutDeleteStmt})
+	v, err := in.Call("f")
+	if err != nil || v != 0 {
+		t.Errorf("deleted let: %d, %v (must declare as zero, not fault)", v, err)
+	}
+}
+
+func TestUnaryMinusPrecedenceDeep(t *testing.T) {
+	p := MustParse(`func f(a, b) { return -(a + b) * 2 }`)
+	in := NewInterp(p)
+	if v, _ := in.Call("f", 2, 3); v != -10 {
+		t.Errorf("f = %d, want -10", v)
+	}
+}

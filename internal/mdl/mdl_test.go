@@ -1,0 +1,401 @@
+package mdl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const airbagSrc = `
+# Simplified airbag firing decision.
+func severity(accel, speed) {
+  return accel * 2 + speed
+}
+
+func fire(accel, speed, armed) {
+  let s = severity(accel, speed)
+  if (s > 100) && (accel > 40) && (armed != 0) {
+    return 1
+  }
+  return 0
+}
+`
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("func f(a) { return a <= 10 && !b }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{TokFunc, TokIdent, TokLParen, TokIdent, TokRParen, TokLBrace,
+		TokReturn, TokIdent, TokLE, TokInt, TokAndAnd, TokNot, TokIdent, TokRBrace, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("toks = %v", toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("tok[%d] = %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("# only a comment\n42 # trailing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 2 || toks[0].Kind != TokInt || toks[0].Val != 42 {
+		t.Errorf("toks = %v", toks)
+	}
+}
+
+func TestLexError(t *testing.T) {
+	if _, err := Lex("func f() { @ }"); err == nil {
+		t.Error("bad character accepted")
+	}
+}
+
+func TestParseAndRun(t *testing.T) {
+	p, err := Parse(airbagSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInterp(p)
+	cases := []struct {
+		accel, speed, armed int64
+		want                int64
+	}{
+		{60, 50, 1, 1},  // severe crash, armed
+		{60, 50, 0, 0},  // disarmed
+		{10, 10, 1, 0},  // mild
+		{41, 20, 1, 1},  // boundary: s=102>100, accel=41>40
+		{40, 120, 1, 0}, // accel too low despite high severity
+	}
+	for _, c := range cases {
+		got, err := in.Call("fire", c.accel, c.speed, c.armed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("fire(%d,%d,%d) = %d, want %d", c.accel, c.speed, c.armed, got, c.want)
+		}
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	p := MustParse(`
+func sumTo(n) {
+  let acc = 0
+  let i = 1
+  while i <= n {
+    acc = acc + i
+    i = i + 1
+  }
+  return acc
+}`)
+	in := NewInterp(p)
+	got, err := in.Call("sumTo", 10)
+	if err != nil || got != 55 {
+		t.Errorf("sumTo(10) = %d, %v", got, err)
+	}
+}
+
+func TestUnaryAndPrecedence(t *testing.T) {
+	p := MustParse(`
+func f(a, b) {
+  return -a + b * 2
+}
+func g(x) {
+  if !(x > 5) {
+    return 100
+  }
+  return 0
+}`)
+	in := NewInterp(p)
+	if v, _ := in.Call("f", 3, 4); v != 5 {
+		t.Errorf("f = %d, want 5 (-3 + 8)", v)
+	}
+	if v, _ := in.Call("g", 3); v != 100 {
+		t.Errorf("g(3) = %d", v)
+	}
+	if v, _ := in.Call("g", 7); v != 0 {
+		t.Errorf("g(7) = %d", v)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// Division by zero on the right of && must not trigger when the
+	// left is false.
+	p := MustParse(`
+func f(x) {
+  if x != 0 && 10 / x > 1 {
+    return 1
+  }
+  return 0
+}`)
+	in := NewInterp(p)
+	if v, err := in.Call("f", 0); err != nil || v != 0 {
+		t.Errorf("f(0) = %d, %v (short circuit broken)", v, err)
+	}
+	if v, err := in.Call("f", 5); err != nil || v != 1 {
+		t.Errorf("f(5) = %d, %v", v, err)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	in := NewInterp(MustParse(`func f(x) { return 1 / x }`))
+	if _, err := in.Call("f", 0); err == nil {
+		t.Error("division by zero not reported")
+	}
+	in2 := NewInterp(MustParse(`func f(x) { return 1 % x }`))
+	if _, err := in2.Call("f", 0); err == nil {
+		t.Error("modulo by zero not reported")
+	}
+	in3 := NewInterp(MustParse(`func f() { return y }`))
+	if _, err := in3.Call("f"); err == nil {
+		t.Error("undefined variable not reported")
+	}
+	in4 := NewInterp(MustParse(`func f() { x = 1 return x }`))
+	if _, err := in4.Call("f"); err == nil {
+		t.Error("assignment to undeclared variable not reported")
+	}
+	if _, err := in.Call("nosuch"); err == nil {
+		t.Error("unknown function not reported")
+	}
+	if _, err := in.Call("f"); err == nil {
+		t.Error("arity mismatch not reported")
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	in := NewInterp(MustParse(`func f() { while true { let x = 1 } return 0 }`))
+	in.MaxSteps = 1000
+	_, err := in.Call("f")
+	if !errors.Is(err, ErrStepBudget) {
+		t.Errorf("err = %v, want step budget", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"func f( { }",
+		"func f() { let }",
+		"func f() { if { } }",
+		"func f() { return ",
+		"func f() { } func f() { }",
+		"42",
+		"func f() { 42 }",
+		"func f() { let x = (1 + }",
+	}
+	for i, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("bad program %d accepted: %q", i, src)
+		}
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	p := MustParse(airbagSrc)
+	printed := p.Print()
+	p2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("printed source does not parse: %v\n%s", err, printed)
+	}
+	// Same observable behaviour.
+	in1, in2 := NewInterp(p), NewInterp(p2)
+	for accel := int64(0); accel <= 80; accel += 8 {
+		for speed := int64(0); speed <= 120; speed += 24 {
+			v1, err1 := in1.Call("fire", accel, speed, 1)
+			v2, err2 := in2.Call("fire", accel, speed, 1)
+			if v1 != v2 || (err1 == nil) != (err2 == nil) {
+				t.Fatalf("round-trip divergence at (%d,%d)", accel, speed)
+			}
+		}
+	}
+	// Node IDs must be structurally stable across print/parse (the
+	// printer only adds parentheses, which create no nodes).
+	if p.NumNodes != p2.NumNodes {
+		t.Errorf("NumNodes %d != %d after round trip", p.NumNodes, p2.NumNodes)
+	}
+}
+
+func TestCoverageTracking(t *testing.T) {
+	p := MustParse(`
+func f(x) {
+  if x > 0 {
+    return 1
+  }
+  return 0
+}`)
+	in := NewInterp(p)
+	if _, err := in.Call("f", 5); err != nil {
+		t.Fatal(err)
+	}
+	// Statements: if, return 1, return 0 — the x<=0 path not taken.
+	cov := in.CoverageFraction()
+	if cov >= 1 || cov <= 0 {
+		t.Errorf("partial coverage = %v", cov)
+	}
+	if _, err := in.Call("f", -5); err != nil {
+		t.Fatal(err)
+	}
+	if in.CoverageFraction() != 1 {
+		t.Errorf("full coverage = %v", in.CoverageFraction())
+	}
+	in.ResetCoverage()
+	if len(in.Covered()) != 0 {
+		t.Error("ResetCoverage did not clear")
+	}
+}
+
+func TestSchemataMutations(t *testing.T) {
+	p := MustParse(`func f(a, b) { let x = a + b if x > 10 { return x } return 0 }`)
+	// Find node IDs.
+	var plusID, letID, ifID NodeID
+	var constID NodeID = -1
+	Walk(p, func(n any) {
+		switch node := n.(type) {
+		case *Binary:
+			if node.Op == TokPlus {
+				plusID = node.NID
+			}
+		case *Let:
+			letID = node.NID
+		case *If:
+			ifID = node.NID
+		case *IntLit:
+			if node.Val == 10 {
+				constID = node.NID
+			}
+		}
+	})
+	run := func(m *SchemataMut, a, b int64) int64 {
+		in := NewInterp(p)
+		in.SetMutation(m)
+		v, err := in.Call("f", a, b)
+		if err != nil {
+			t.Fatalf("mutant run failed: %v", err)
+		}
+		return v
+	}
+	if got := run(nil, 7, 8); got != 15 {
+		t.Fatalf("golden = %d", got)
+	}
+	// + -> -: 7-8 = -1, not > 10 -> 0.
+	if got := run(&SchemataMut{Node: plusID, Op: MutReplaceBinOp, NewTok: TokMinus}, 7, 8); got != 0 {
+		t.Errorf("AOR mutant = %d, want 0", got)
+	}
+	// Negate if: x=15 > 10 becomes false -> 0.
+	if got := run(&SchemataMut{Node: ifID, Op: MutNegateCond}, 7, 8); got != 0 {
+		t.Errorf("NC mutant = %d, want 0", got)
+	}
+	// Delete let: x=0, not > 10 -> 0.
+	if got := run(&SchemataMut{Node: letID, Op: MutDeleteStmt}, 7, 8); got != 0 {
+		t.Errorf("SDL mutant = %d, want 0", got)
+	}
+	// Const 10 -> 20: x=15 not > 20 -> 0.
+	if got := run(&SchemataMut{Node: constID, Op: MutReplaceConst, NewVal: 20}, 7, 8); got != 0 {
+		t.Errorf("CRP mutant = %d, want 0", got)
+	}
+	// Mutation elsewhere leaves behaviour intact.
+	if got := run(&SchemataMut{Node: 9999, Op: MutNegateCond}, 7, 8); got != 15 {
+		t.Errorf("no-op mutant = %d, want 15", got)
+	}
+}
+
+func TestFallOffEndReturnsZero(t *testing.T) {
+	in := NewInterp(MustParse(`func f() { let x = 1 }`))
+	v, err := in.Call("f")
+	if err != nil || v != 0 {
+		t.Errorf("fall-off = %d, %v", v, err)
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	p := MustParse(`
+func isEven(n) {
+  if n == 0 { return 1 }
+  return isOdd(n - 1)
+}
+func isOdd(n) {
+  if n == 0 { return 0 }
+  return isEven(n - 1)
+}`)
+	in := NewInterp(p)
+	if v, _ := in.Call("isEven", 10); v != 1 {
+		t.Error("isEven(10)")
+	}
+	if v, _ := in.Call("isEven", 7); v != 0 {
+		t.Error("isEven(7)")
+	}
+}
+
+// Property: node IDs are dense and unique across the whole program.
+func TestPropertyNodeIDsDense(t *testing.T) {
+	f := func(a, b uint8) bool {
+		p, err := Parse(airbagSrc)
+		if err != nil {
+			return false
+		}
+		seen := map[NodeID]bool{}
+		count := 0
+		Walk(p, func(n any) {
+			var id NodeID
+			switch x := n.(type) {
+			case Expr:
+				id = x.ID()
+			case Stmt:
+				id = x.ID()
+			}
+			if seen[id] {
+				t.Fatalf("duplicate node ID %d", id)
+			}
+			seen[id] = true
+			count++
+		})
+		return count == p.NumNodes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the interpreter agrees with a direct Go implementation of
+// the airbag model on random inputs.
+func TestPropertyInterpreterMatchesGo(t *testing.T) {
+	p := MustParse(airbagSrc)
+	in := NewInterp(p)
+	goModel := func(accel, speed, armed int64) int64 {
+		s := accel*2 + speed
+		if s > 100 && accel > 40 && armed != 0 {
+			return 1
+		}
+		return 0
+	}
+	f := func(accel, speed int16, armed bool) bool {
+		a, s := int64(accel), int64(speed)
+		var arm int64
+		if armed {
+			arm = 1
+		}
+		got, err := in.Call("fire", a, s, arm)
+		return err == nil && got == goModel(a, s, arm)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrintContainsStructure(t *testing.T) {
+	p := MustParse(airbagSrc)
+	out := p.Print()
+	for _, want := range []string{"func severity(accel, speed)", "func fire(accel, speed, armed)", "while", "if", "return"} {
+		if want == "while" {
+			continue // airbag model has no while
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("printed source missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,354 @@
+package mdl
+
+import "fmt"
+
+// Parse turns MDL source into a Program with dense node IDs.
+//
+// Grammar (EBNF):
+//
+//	program   = { funcdef }
+//	funcdef   = "func" ident "(" [ ident { "," ident } ] ")" block
+//	block     = "{" { stmt } "}"
+//	stmt      = "let" ident "=" expr
+//	          | ident "=" expr
+//	          | "if" expr block [ "else" block ]
+//	          | "while" expr block
+//	          | "return" expr
+//	expr      = orExpr
+//	orExpr    = andExpr { "||" andExpr }
+//	andExpr   = cmpExpr { "&&" cmpExpr }
+//	cmpExpr   = addExpr [ ("<"|"<="|">"|">="|"=="|"!=") addExpr ]
+//	addExpr   = mulExpr { ("+"|"-") mulExpr }
+//	mulExpr   = unary { ("*"|"/"|"%") unary }
+//	unary     = [ "!"|"-" ] primary
+//	primary   = int | "true" | "false" | ident [ "(" args ")" ] | "(" expr ")"
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prog: &Program{Funcs: map[string]*Func{}, Source: src}}
+	for p.peek().Kind != TokEOF {
+		if err := p.funcdef(); err != nil {
+			return nil, err
+		}
+	}
+	p.prog.NumNodes = int(p.nextID)
+	if len(p.prog.Funcs) == 0 {
+		return nil, fmt.Errorf("mdl: empty program")
+	}
+	return p.prog, nil
+}
+
+// MustParse is Parse that panics (test fixtures).
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks   []Token
+	pos    int
+	prog   *Program
+	nextID NodeID
+}
+
+func (p *parser) id() NodeID {
+	id := p.nextID
+	p.nextID++
+	return id
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	t := p.peek()
+	if t.Kind != k {
+		return t, fmt.Errorf("mdl: line %d: expected %s, got %s %q", t.Line, k, t.Kind, t.Text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) funcdef() error {
+	if _, err := p.expect(TokFunc); err != nil {
+		return err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	if _, dup := p.prog.Funcs[name.Text]; dup {
+		return fmt.Errorf("mdl: line %d: duplicate function %q", name.Line, name.Text)
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return err
+	}
+	var params []string
+	if p.peek().Kind != TokRParen {
+		for {
+			id, err := p.expect(TokIdent)
+			if err != nil {
+				return err
+			}
+			params = append(params, id.Text)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return err
+	}
+	body, err := p.block()
+	if err != nil {
+		return err
+	}
+	f := &Func{Name: name.Text, Params: params, Body: body}
+	p.prog.Funcs[f.Name] = f
+	p.prog.Order = append(p.prog.Order, f.Name)
+	return nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for p.peek().Kind != TokRBrace {
+		if p.peek().Kind == TokEOF {
+			return nil, fmt.Errorf("mdl: unexpected EOF in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.next() // consume }
+	return stmts, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokLet:
+		p.next()
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokAssign); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Let{NID: p.id(), Name: name.Text, E: e}, nil
+	case TokIdent:
+		p.next()
+		if _, err := p.expect(TokAssign); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{NID: p.id(), Name: t.Text, E: e}, nil
+	case TokIf:
+		p.next()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.peek().Kind == TokElse {
+			p.next()
+			els, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &If{NID: p.id(), Cond: cond, Then: then, Else: els}, nil
+	case TokWhile:
+		p.next()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &While{NID: p.id(), Cond: cond, Body: body}, nil
+	case TokReturn:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Return{NID: p.id(), E: e}, nil
+	default:
+		return nil, fmt.Errorf("mdl: line %d: unexpected %s at statement start", t.Line, t.Kind)
+	}
+}
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokOrOr {
+		p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{NID: p.id(), Op: TokOrOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokAndAnd {
+		p.next()
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{NID: p.id(), Op: TokAndAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+var cmpOps = map[TokKind]bool{
+	TokLT: true, TokLE: true, TokGT: true, TokGE: true, TokEQ: true, TokNE: true,
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if cmpOps[p.peek().Kind] {
+		op := p.next().Kind
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{NID: p.id(), Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokPlus || p.peek().Kind == TokMinus {
+		op := p.next().Kind
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{NID: p.id(), Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokStar || p.peek().Kind == TokSlash || p.peek().Kind == TokPercent {
+		op := p.next().Kind
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{NID: p.id(), Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	if t := p.peek(); t.Kind == TokNot || t.Kind == TokMinus {
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{NID: p.id(), Op: t.Kind, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.next()
+	switch t.Kind {
+	case TokInt:
+		return &IntLit{NID: p.id(), Val: t.Val}, nil
+	case TokTrue:
+		return &BoolLit{NID: p.id(), Val: true}, nil
+	case TokFalse:
+		return &BoolLit{NID: p.id(), Val: false}, nil
+	case TokIdent:
+		if p.peek().Kind == TokLParen {
+			p.next()
+			var args []Expr
+			if p.peek().Kind != TokRParen {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.peek().Kind != TokComma {
+						break
+					}
+					p.next()
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return &Call{NID: p.id(), Name: t.Text, Args: args}, nil
+		}
+		return &VarRef{NID: p.id(), Name: t.Text}, nil
+	case TokLParen:
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, fmt.Errorf("mdl: line %d: unexpected %s %q in expression", t.Line, t.Kind, t.Text)
+	}
+}

@@ -1,0 +1,277 @@
+package missionprofile
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+func TestPresetProfilesValidate(t *testing.T) {
+	for _, p := range []*Profile{VehicleUnderhood("airbag-ecu"), PassengerCabin("infotainment")} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Component, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	cases := []*Profile{
+		{MissionHours: 100},               // no component
+		{Component: "x", MissionHours: 0}, // no hours
+		{Component: "x", MissionHours: 1, // bad stress range
+			Stresses: []EnvironmentalStress{{Kind: Temperature, Min: 50, Max: 10}}},
+		{Component: "x", MissionHours: 1, // duty cycle out of range
+			Stresses: []EnvironmentalStress{{Kind: Vibration, Min: 0, Max: 5, DutyCycle: 1.5}}},
+		{Component: "x", MissionHours: 1, // fractions don't sum to 1
+			States: []OperatingState{{Name: "a", Fraction: 0.5}}},
+		{Component: "x", MissionHours: 1, // negative fraction
+			States: []OperatingState{{Name: "a", Fraction: -0.2}, {Name: "b", Fraction: 1.2}}},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestStressLookup(t *testing.T) {
+	p := VehicleUnderhood("e")
+	s, ok := p.Stress(Temperature)
+	if !ok || s.Max != 125 {
+		t.Errorf("Stress(Temperature) = %+v, %v", s, ok)
+	}
+	if _, ok := p.Stress(ChemicalExposure); ok {
+		t.Error("absent stress found")
+	}
+}
+
+func TestRefineAppliesTransferRules(t *testing.T) {
+	oem := VehicleUnderhood("braking-system")
+	t1, err := oem.Refine("wheel-speed-sensor", []TransferRule{
+		{Kind: Vibration, Factor: 2.0},              // wheel-mounted: more vibration
+		{Kind: Temperature, Factor: 1, Offset: -20}, // away from engine
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Level != Tier1 {
+		t.Errorf("level = %v", t1.Level)
+	}
+	v, _ := t1.Stress(Vibration)
+	if v.Max != 20 {
+		t.Errorf("refined vibration max = %g, want 20", v.Max)
+	}
+	tp, _ := t1.Stress(Temperature)
+	if tp.Max != 105 || tp.Min != -60 {
+		t.Errorf("refined temperature = %+v", tp)
+	}
+	// One more level down.
+	semi, err := t1.Refine("asic", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if semi.Level != Semiconductor {
+		t.Errorf("level = %v", semi.Level)
+	}
+	// Below semiconductor is the end of the chain.
+	if _, err := semi.Refine("die", nil); err == nil {
+		t.Error("refined below semiconductor level")
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	if OEM.String() != "OEM" || Tier1.String() != "Tier-1" || Semiconductor.String() != "semiconductor" {
+		t.Error("level strings")
+	}
+	if Temperature.Unit() != "degC" || Vibration.Unit() != "g" {
+		t.Error("units")
+	}
+	if Vibration.String() != "vibration" {
+		t.Error("kind string")
+	}
+}
+
+func TestDeriveVibrationToWiringFaults(t *testing.T) {
+	// The paper's canonical example: vibration load at the mounting
+	// point yields open-load and short-to-ground wiring faults.
+	p := VehicleUnderhood("sensor-cluster")
+	sites := []string{"caps.accel0.harness", "caps.accel1.harness", "ecu.mem", "ecu.reg.pc", "can.bus"}
+	derived, err := Derive(p, DefaultRules(), sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opens, shorts, flips, corruptions int
+	for _, d := range derived {
+		if err := d.Descriptor.Validate(); err != nil {
+			t.Errorf("derived descriptor invalid: %v", err)
+		}
+		switch d.Descriptor.Model {
+		case fault.Open:
+			opens++
+			if !strings.Contains(d.Descriptor.Target, "harness") {
+				t.Errorf("open fault on non-harness site %s", d.Descriptor.Target)
+			}
+		case fault.ShortToGround:
+			shorts++
+		case fault.BitFlip:
+			flips++
+		case fault.Corruption:
+			corruptions++
+		}
+	}
+	if opens != 2 || shorts != 2 {
+		t.Errorf("opens = %d, shorts = %d, want 2 each (two harness sites)", opens, shorts)
+	}
+	if flips != 1 {
+		t.Errorf("flips = %d, want 1 (mem site, 125degC > 85 threshold)", flips)
+	}
+	if corruptions != 1 {
+		t.Errorf("corruptions = %d, want 1 (bus site, 100 V/m > 50)", corruptions)
+	}
+}
+
+func TestDeriveRespectsThreshold(t *testing.T) {
+	// The milder cabin profile must not trigger the high-vibration
+	// short-to-ground rule (threshold 5 g > cabin max 3 g).
+	p := PassengerCabin("radio")
+	derived, err := Derive(p, DefaultRules(), []string{"radio.harness"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range derived {
+		if d.Descriptor.Model == fault.ShortToGround {
+			t.Errorf("short-to-ground derived from cabin profile (max vibration 3 g)")
+		}
+	}
+}
+
+func TestDeriveFITScaling(t *testing.T) {
+	p := VehicleUnderhood("x")
+	derived, err := Derive(p, []DerivationRule{{
+		Stress: Vibration, Threshold: 2, Model: fault.Open, Class: fault.Transient,
+		SitePattern: "*", BaseFIT: 10, PerUnitFIT: 25, Duration: sim.US(1),
+	}}, []string{"s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(derived) != 1 {
+		t.Fatalf("derived = %d", len(derived))
+	}
+	// Max vibration 10 g, threshold 2: FIT = 10 + 8*25 = 210.
+	if got := derived[0].Descriptor.Rate; got != 210 {
+		t.Errorf("FIT = %g, want 210", got)
+	}
+}
+
+func TestScheduleDistributesOverStates(t *testing.T) {
+	p := VehicleUnderhood("x")
+	derived := make([]Derived, 2000)
+	for i := range derived {
+		derived[i] = Derived{Descriptor: fault.Descriptor{
+			Name: "f", Model: fault.BitFlip, Class: fault.Permanent, Target: "t",
+		}}
+	}
+	horizon := sim.MS(100)
+	rng := rand.New(rand.NewSource(42))
+	scenarios := Schedule(p, derived, horizon, rng)
+	if len(scenarios) != 2000 {
+		t.Fatalf("scenarios = %d", len(scenarios))
+	}
+	stateCount := map[string]int{}
+	for _, sc := range scenarios {
+		d := sc.Faults[0]
+		if d.Start >= horizon {
+			t.Errorf("start %v beyond horizon", d.Start)
+		}
+		idx := strings.LastIndex(sc.ID, "@")
+		stateCount[sc.ID[idx+1:]]++
+	}
+	// Special states are overweighted by load scale: high-load has
+	// fraction .04 but weight .04*3=.12 vs off .55*1=.55; normal
+	// .40*2=.80. All non-off states must appear; off (load 0) appears
+	// least per unit fraction.
+	if stateCount["normal-drive"] == 0 || stateCount["high-load"] == 0 {
+		t.Errorf("stateCount = %v", stateCount)
+	}
+	// Weighting check: normal-drive weight (0.8) > off weight (0.55).
+	if stateCount["normal-drive"] <= stateCount["off"] {
+		t.Errorf("weighting not applied: %v", stateCount)
+	}
+}
+
+func TestScheduleDeterministicPerSeed(t *testing.T) {
+	p := VehicleUnderhood("x")
+	derived := []Derived{{Descriptor: fault.Descriptor{Name: "f", Target: "t"}}}
+	a := Schedule(p, derived, sim.MS(10), rand.New(rand.NewSource(7)))
+	b := Schedule(p, derived, sim.MS(10), rand.New(rand.NewSource(7)))
+	if a[0].Faults[0].Start != b[0].Faults[0].Start || a[0].ID != b[0].ID {
+		t.Error("schedule not reproducible for equal seeds")
+	}
+}
+
+func TestSiteMatch(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"*harness*", "caps.accel0.harness", true},
+		{"*harness*", "caps.harness.left", true},
+		{"*harness*", "ecu.mem", false},
+		{"*mem", "ecu.mem", true},
+		{"ecu.?em", "ecu.mem", true},
+		{"*", "", true},
+	}
+	for _, c := range cases {
+		if got := siteMatch(c.pat, c.s); got != c.want {
+			t.Errorf("siteMatch(%q, %q) = %v", c.pat, c.s, got)
+		}
+	}
+}
+
+// Property: Refine preserves mission hours and state fractions, and
+// never produces an invalid profile from a valid one with finite
+// positive factors.
+func TestPropertyRefineValid(t *testing.T) {
+	f := func(factor uint8) bool {
+		oem := VehicleUnderhood("sys")
+		fac := float64(factor%50)/10 + 0.1
+		child, err := oem.Refine("part", []TransferRule{{Kind: Vibration, Factor: fac}})
+		if err != nil {
+			return false
+		}
+		return child.MissionHours == oem.MissionHours &&
+			len(child.States) == len(oem.States) &&
+			child.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every derived descriptor validates and carries a positive
+// failure rate.
+func TestPropertyDeriveValid(t *testing.T) {
+	f := func(siteSeed []uint8) bool {
+		sites := []string{"a.harness", "b.mem", "c.reg", "d.bus", "e.supply"}
+		if len(siteSeed) > 0 {
+			sites = sites[:int(siteSeed[0])%len(sites)+1]
+		}
+		derived, err := Derive(VehicleUnderhood("x"), DefaultRules(), sites)
+		if err != nil {
+			return false
+		}
+		for _, d := range derived {
+			if d.Descriptor.Validate() != nil || d.Descriptor.Rate <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

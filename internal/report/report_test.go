@@ -1,0 +1,50 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:   "demo",
+		Note:    "a note",
+		Columns: []string{"name", "count"},
+	}
+	t.AddRow("alpha", 3)
+	t.AddRow("a,b\"c", 0.25)
+	return t
+}
+
+func TestRenderAlignment(t *testing.T) {
+	out := sample().Render()
+	for _, want := range []string{"== demo ==", "a note", "name", "count", "alpha", "-----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header and rows align on the widest cell.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestAddRowFloatFormat(t *testing.T) {
+	tb := &Table{Columns: []string{"v"}}
+	tb.AddRow(0.123456)
+	if tb.Rows[0][0] != "0.123" {
+		t.Errorf("float cell = %q", tb.Rows[0][0])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	out := sample().CSV()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "name,count" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(out, `"a,b""c"`) {
+		t.Errorf("quoting wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,287 @@
+package safety
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FailureType is an FPTC failure class flowing along a connection.
+// The calculus is open-ended; these are the classic classes plus "*"
+// as the rule-pattern wildcard (matches any type including NoFailure)
+// and "v" as the rule variable (matches any real failure and carries
+// it through).
+type FailureType string
+
+// Standard FPTC failure classes.
+const (
+	// NoFailure is the fault-free token.
+	NoFailure FailureType = "none"
+	// OmissionF: an expected output is missing.
+	OmissionF FailureType = "omission"
+	// CommissionF: an unexpected output occurs.
+	CommissionF FailureType = "commission"
+	// ValueF: the output value is wrong.
+	ValueF FailureType = "value"
+	// EarlyF: the output is too early.
+	EarlyF FailureType = "early"
+	// LateF: the output is too late.
+	LateF FailureType = "late"
+)
+
+// Wildcard and variable tokens for rule patterns.
+const (
+	// Any matches any failure type, including NoFailure.
+	Any FailureType = "*"
+	// Var matches any real failure and substitutes it on the output
+	// side (propagation without transformation).
+	Var FailureType = "v"
+)
+
+// Rule is one FPTC clause: if the component's inputs carry failure
+// types matching In (positionally), its outputs carry Out. A component
+// is a "source" of failures when a rule matches all-none inputs and
+// emits a failure, a "sink" when failures map to none, a "propagator"
+// via Var, and a "transformer" otherwise.
+type Rule struct {
+	In  []FailureType
+	Out []FailureType
+}
+
+// Component is one node of the FPTC network.
+type Component struct {
+	Name    string
+	Inputs  []string
+	Outputs []string
+	Rules   []Rule
+}
+
+// port names one component port.
+type port struct {
+	comp string
+	name string
+}
+
+func (p port) String() string { return p.comp + "." + p.name }
+
+// Connection links a component output to a component input.
+type Connection struct {
+	FromComp, FromPort string
+	ToComp, ToPort     string
+}
+
+// System is an FPTC component network.
+type System struct {
+	comps map[string]*Component
+	conns []Connection
+}
+
+// NewSystem creates an empty network.
+func NewSystem() *System {
+	return &System{comps: make(map[string]*Component)}
+}
+
+// Add registers a component.
+func (s *System) Add(c *Component) error {
+	if _, dup := s.comps[c.Name]; dup {
+		return fmt.Errorf("safety: duplicate FPTC component %q", c.Name)
+	}
+	for _, r := range c.Rules {
+		if len(r.In) != len(c.Inputs) || len(r.Out) != len(c.Outputs) {
+			return fmt.Errorf("safety: FPTC component %q rule arity mismatch", c.Name)
+		}
+	}
+	s.comps[c.Name] = c
+	return nil
+}
+
+// Connect links from.comp/out to to.comp/in.
+func (s *System) Connect(fromComp, fromPort, toComp, toPort string) error {
+	f, ok := s.comps[fromComp]
+	if !ok {
+		return fmt.Errorf("safety: FPTC connect: unknown component %q", fromComp)
+	}
+	t, ok := s.comps[toComp]
+	if !ok {
+		return fmt.Errorf("safety: FPTC connect: unknown component %q", toComp)
+	}
+	if !contains(f.Outputs, fromPort) {
+		return fmt.Errorf("safety: FPTC connect: %s has no output %q", fromComp, fromPort)
+	}
+	if !contains(t.Inputs, toPort) {
+		return fmt.Errorf("safety: FPTC connect: %s has no input %q", toComp, toPort)
+	}
+	s.conns = append(s.conns, Connection{fromComp, fromPort, toComp, toPort})
+	return nil
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// tokenSet is the set of failure types seen on a port.
+type tokenSet map[FailureType]bool
+
+func (ts tokenSet) add(f FailureType) bool {
+	if ts[f] {
+		return false
+	}
+	ts[f] = true
+	return true
+}
+
+// Propagate runs the FPTC fixpoint: starting from injected failure
+// types on component outputs (sources), tokens flow along connections
+// and through component rules until no port set grows. It returns the
+// failure types present on every output port, keyed "comp.port".
+//
+// The fixpoint is monotone over sets, so it terminates in at most
+// |ports| × |types| iterations.
+func (s *System) Propagate(injected map[string][]FailureType) (map[string][]FailureType, error) {
+	// Token sets per output port and per input port.
+	outTok := map[port]tokenSet{}
+	inTok := map[port]tokenSet{}
+	for name, c := range s.comps {
+		for _, o := range c.Outputs {
+			outTok[port{name, o}] = tokenSet{NoFailure: true}
+		}
+		for _, i := range c.Inputs {
+			inTok[port{name, i}] = tokenSet{NoFailure: true}
+		}
+	}
+	for key, fs := range injected {
+		idx := strings.LastIndex(key, ".")
+		if idx < 0 {
+			return nil, fmt.Errorf("safety: FPTC injection key %q not comp.port", key)
+		}
+		p := port{key[:idx], key[idx+1:]}
+		ts, ok := outTok[p]
+		if !ok {
+			return nil, fmt.Errorf("safety: FPTC injection on unknown output %q", key)
+		}
+		for _, f := range fs {
+			ts.add(f)
+		}
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		// Flow along connections.
+		for _, c := range s.conns {
+			src := outTok[port{c.FromComp, c.FromPort}]
+			dst := inTok[port{c.ToComp, c.ToPort}]
+			for f := range src {
+				if dst.add(f) {
+					changed = true
+				}
+			}
+		}
+		// Apply component rules.
+		for name, comp := range s.comps {
+			if len(comp.Inputs) == 0 {
+				continue
+			}
+			// Enumerate input combinations present.
+			combos := [][]FailureType{{}}
+			for _, in := range comp.Inputs {
+				ts := inTok[port{name, in}]
+				var next [][]FailureType
+				for _, prefix := range combos {
+					for f := range ts {
+						row := append(append([]FailureType{}, prefix...), f)
+						next = append(next, row)
+					}
+				}
+				combos = next
+			}
+			for _, combo := range combos {
+				outs := comp.apply(combo)
+				for i, o := range comp.Outputs {
+					if outTok[port{name, o}].add(outs[i]) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	result := map[string][]FailureType{}
+	for p, ts := range outTok {
+		var fs []FailureType
+		for f := range ts {
+			if f != NoFailure {
+				fs = append(fs, f)
+			}
+		}
+		sort.Slice(fs, func(i, j int) bool { return fs[i] < fs[j] })
+		if len(fs) > 0 {
+			result[p.String()] = fs
+		}
+	}
+	return result, nil
+}
+
+// apply finds the first rule matching the input combination and
+// returns the output types; the default behaviour with no matching
+// rule is all-propagation of the worst input (Var semantics), or
+// NoFailure when inputs are clean.
+func (c *Component) apply(in []FailureType) []FailureType {
+	for _, r := range c.Rules {
+		binding, ok := matchRule(r.In, in)
+		if !ok {
+			continue
+		}
+		out := make([]FailureType, len(r.Out))
+		for i, o := range r.Out {
+			if o == Var {
+				out[i] = binding
+			} else {
+				out[i] = o
+			}
+		}
+		return out
+	}
+	// Default: propagate the first real failure to all outputs.
+	def := NoFailure
+	for _, f := range in {
+		if f != NoFailure {
+			def = f
+			break
+		}
+	}
+	out := make([]FailureType, len(c.Outputs))
+	for i := range out {
+		out[i] = def
+	}
+	return out
+}
+
+// matchRule matches a rule pattern against concrete inputs and
+// returns the Var binding (first variable match) when used.
+func matchRule(pattern, in []FailureType) (binding FailureType, ok bool) {
+	binding = NoFailure
+	for i, p := range pattern {
+		switch p {
+		case Any:
+			// matches anything
+		case Var:
+			if in[i] == NoFailure {
+				return NoFailure, false
+			}
+			if binding == NoFailure {
+				binding = in[i]
+			}
+		default:
+			if in[i] != p {
+				return NoFailure, false
+			}
+		}
+	}
+	return binding, true
+}

@@ -1,0 +1,507 @@
+package safety
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFTAValidate(t *testing.T) {
+	good := Or("top", BasicEvent("a", 0.1), And("g", BasicEvent("b", 0.2), BasicEvent("c", 0.3)))
+	if err := good.Validate(); err != nil {
+		t.Errorf("good tree rejected: %v", err)
+	}
+	bad := []*Node{
+		BasicEvent("a", -0.1),
+		BasicEvent("a", 1.5),
+		Or("empty"),
+		KofN("k", 0, BasicEvent("a", 0.1)),
+		KofN("k", 3, BasicEvent("a", 0.1), BasicEvent("b", 0.1)),
+	}
+	for i, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Errorf("bad tree %d accepted", i)
+		}
+	}
+}
+
+func TestMinimalCutSetsSimple(t *testing.T) {
+	// top = a OR (b AND c)
+	tree := Or("top", BasicEvent("a", 0.1), And("g", BasicEvent("b", 0.2), BasicEvent("c", 0.3)))
+	mcs := tree.MinimalCutSets()
+	if len(mcs) != 2 {
+		t.Fatalf("mcs = %v", mcs)
+	}
+	if mcs[0].key() != "a" {
+		t.Errorf("mcs[0] = %v", mcs[0])
+	}
+	if len(mcs[1]) != 2 || mcs[1][0] != "b" || mcs[1][1] != "c" {
+		t.Errorf("mcs[1] = %v", mcs[1])
+	}
+}
+
+func TestMinimalCutSetsAbsorption(t *testing.T) {
+	// top = a OR (a AND b): the {a,b} set is absorbed by {a}.
+	a := BasicEvent("a", 0.1)
+	tree := Or("top", a, And("g", BasicEvent("a", 0.1), BasicEvent("b", 0.2)))
+	mcs := tree.MinimalCutSets()
+	if len(mcs) != 1 || mcs[0].key() != "a" {
+		t.Errorf("absorption failed: %v", mcs)
+	}
+}
+
+func TestKofNCutSets(t *testing.T) {
+	// 2-of-3 voter: cut sets are all pairs.
+	tree := KofN("vote", 2, BasicEvent("a", 0.1), BasicEvent("b", 0.1), BasicEvent("c", 0.1))
+	mcs := tree.MinimalCutSets()
+	if len(mcs) != 3 {
+		t.Fatalf("mcs = %v", mcs)
+	}
+	for _, cs := range mcs {
+		if len(cs) != 2 {
+			t.Errorf("cut set %v not a pair", cs)
+		}
+	}
+}
+
+func TestTopEventProbabilityExact(t *testing.T) {
+	// P(a or (b and c)) with independent events:
+	// = Pa + Pb*Pc - Pa*Pb*Pc = 0.1 + 0.06 - 0.006 = 0.154
+	tree := Or("top", BasicEvent("a", 0.1), And("g", BasicEvent("b", 0.2), BasicEvent("c", 0.3)))
+	p, err := tree.TopEventProbability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.154) > 1e-12 {
+		t.Errorf("P(top) = %v, want 0.154", p)
+	}
+}
+
+func TestTopEventProbabilitySharedEvent(t *testing.T) {
+	// top = (a AND b) OR (a AND c): P = Pa*Pb + Pa*Pc - Pa*Pb*Pc.
+	tree := Or("top",
+		And("g1", BasicEvent("a", 0.5), BasicEvent("b", 0.4)),
+		And("g2", BasicEvent("a", 0.5), BasicEvent("c", 0.2)))
+	p, err := tree.TopEventProbability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5*0.4 + 0.5*0.2 - 0.5*0.4*0.2
+	if math.Abs(p-want) > 1e-12 {
+		t.Errorf("P(top) = %v, want %v", p, want)
+	}
+}
+
+func TestConflictingProbabilitiesRejected(t *testing.T) {
+	tree := Or("top", BasicEvent("a", 0.1), BasicEvent("a", 0.2))
+	if _, err := tree.TopEventProbability(); err == nil {
+		t.Error("conflicting basic-event probabilities accepted")
+	}
+}
+
+func TestKofNProbabilityMatchesBinomial(t *testing.T) {
+	// 2-of-3 with p=0.1 each: 3*p^2*(1-p) + p^3 = 0.028.
+	tree := KofN("vote", 2, BasicEvent("a", 0.1), BasicEvent("b", 0.1), BasicEvent("c", 0.1))
+	p, err := tree.TopEventProbability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3*0.01*0.9 + 0.001
+	if math.Abs(p-want) > 1e-12 {
+		t.Errorf("P = %v, want %v", p, want)
+	}
+}
+
+func TestImportanceRanking(t *testing.T) {
+	// Event "a" is in the singleton cut set; it must dominate.
+	tree := Or("top", BasicEvent("a", 0.01), And("g", BasicEvent("b", 0.01), BasicEvent("c", 0.01)))
+	imp, err := tree.Importance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp[0].Event != "a" || imp[0].FussellVesely < 0.9 {
+		t.Errorf("importance = %+v", imp)
+	}
+	if len(imp) != 3 {
+		t.Errorf("entries = %d", len(imp))
+	}
+}
+
+func TestTreeString(t *testing.T) {
+	tree := Or("top", BasicEvent("a", 0.1), KofN("v", 2, BasicEvent("b", 0.1), BasicEvent("c", 0.1), BasicEvent("d", 0.1)))
+	s := tree.String()
+	for _, want := range []string{"top [OR]", "a p=0.1", "v [2-of-3]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("tree string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFMEDAPerfectCoverage(t *testing.T) {
+	res, err := EvaluateFMEDA([]FailureMode{
+		{Component: "cpu", Mode: "seu", RateFIT: 100, SafeFraction: 0.5, DiagnosticCoverage: 1, LatentCoverage: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DangerousUndetectedFIT != 0 || res.SPFM != 1 || res.LFM != 1 {
+		t.Errorf("res = %+v", res)
+	}
+	if res.ASIL() != ASILD {
+		t.Errorf("ASIL = %v, want D", res.ASIL())
+	}
+}
+
+func TestFMEDANoCoverage(t *testing.T) {
+	res, err := EvaluateFMEDA([]FailureMode{
+		{Component: "cpu", Mode: "seu", RateFIT: 1000, SafeFraction: 0, DiagnosticCoverage: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SPFM != 0 {
+		t.Errorf("SPFM = %v, want 0", res.SPFM)
+	}
+	// 1000 FIT undetected = 1e-6/h: misses even ASIL-A.
+	if res.ASIL() != QM {
+		t.Errorf("ASIL = %v, want QM", res.ASIL())
+	}
+}
+
+func TestFMEDAMetricsArithmetic(t *testing.T) {
+	res, err := EvaluateFMEDA([]FailureMode{
+		{Component: "a", Mode: "m1", RateFIT: 100, SafeFraction: 0.2, DiagnosticCoverage: 0.9, LatentCoverage: 0.5},
+		{Component: "b", Mode: "m2", RateFIT: 50, SafeFraction: 0.0, DiagnosticCoverage: 0.99, LatentCoverage: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a: safe 20, dangerous 80, DD 72, DU 8, latent 36.
+	// b: dangerous 50, DD 49.5, DU 0.5, latent 0.
+	if math.Abs(res.TotalFIT-150) > 1e-9 ||
+		math.Abs(res.DangerousUndetectedFIT-8.5) > 1e-9 ||
+		math.Abs(res.LatentFIT-36) > 1e-9 {
+		t.Errorf("res = %+v", res)
+	}
+	wantSPFM := 1 - 8.5/150
+	if math.Abs(res.SPFM-wantSPFM) > 1e-12 {
+		t.Errorf("SPFM = %v, want %v", res.SPFM, wantSPFM)
+	}
+	wantLFM := 1 - 36/(150-8.5)
+	if math.Abs(res.LFM-wantLFM) > 1e-12 {
+		t.Errorf("LFM = %v, want %v", res.LFM, wantLFM)
+	}
+	if math.Abs(res.PMHF-8.5e-9) > 1e-15 {
+		t.Errorf("PMHF = %v", res.PMHF)
+	}
+	if !strings.Contains(res.String(), "SPFM") {
+		t.Error("String missing metrics")
+	}
+}
+
+func TestFMEDAValidation(t *testing.T) {
+	bad := []FailureMode{
+		{Component: "x", Mode: "m", RateFIT: -1},
+		{Component: "x", Mode: "m", RateFIT: 1, SafeFraction: 1.2},
+		{Component: "x", Mode: "m", RateFIT: 1, DiagnosticCoverage: -0.1},
+		{Component: "x", Mode: "m", RateFIT: 1, LatentCoverage: 2},
+	}
+	for i, m := range bad {
+		if _, err := EvaluateFMEDA([]FailureMode{m}); err == nil {
+			t.Errorf("bad mode %d accepted", i)
+		}
+	}
+}
+
+func TestWorksheetByComponent(t *testing.T) {
+	var w Worksheet
+	w.Add(FailureMode{Component: "sensor", Mode: "drift", RateFIT: 200, DiagnosticCoverage: 0.5})
+	w.Add(FailureMode{Component: "cpu", Mode: "seu", RateFIT: 100, DiagnosticCoverage: 0.99})
+	w.Add(FailureMode{Component: "sensor", Mode: "open", RateFIT: 50, DiagnosticCoverage: 0.9})
+	rows := w.ByComponent()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// sensor DU = 100 + 5 = 105; cpu DU = 1. Sensor is the weak spot.
+	if rows[0].Component != "sensor" || math.Abs(rows[0].DangerousUndetectedFIT-105) > 1e-9 {
+		t.Errorf("rows[0] = %+v", rows[0])
+	}
+}
+
+func TestASILStrings(t *testing.T) {
+	if QM.String() != "QM" || ASILD.String() != "ASIL-D" {
+		t.Error("ASIL strings")
+	}
+	if GateAnd.String() != "AND" || GateKofN.String() != "K-of-N" {
+		t.Error("gate strings")
+	}
+}
+
+func buildFPTCChain(t *testing.T) *System {
+	t.Helper()
+	s := NewSystem()
+	// sensor -> filter -> actuator
+	if err := s.Add(&Component{
+		Name: "sensor", Outputs: []string{"out"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(&Component{
+		Name: "filter", Inputs: []string{"in"}, Outputs: []string{"out"},
+		Rules: []Rule{
+			{In: []FailureType{ValueF}, Out: []FailureType{NoFailure}}, // filter masks value errors
+			{In: []FailureType{Var}, Out: []FailureType{Var}},          // everything else propagates
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(&Component{
+		Name: "actuator", Inputs: []string{"in"}, Outputs: []string{"out"},
+		Rules: []Rule{
+			{In: []FailureType{LateF}, Out: []FailureType{OmissionF}}, // late input -> omitted actuation
+			{In: []FailureType{Var}, Out: []FailureType{Var}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect("sensor", "out", "filter", "in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect("filter", "out", "actuator", "in"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFPTCMasking(t *testing.T) {
+	s := buildFPTCChain(t)
+	res, err := s.Propagate(map[string][]FailureType{"sensor.out": {ValueF}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, bad := res["actuator.out"]; bad {
+		t.Errorf("value failure not masked by filter: %v", res)
+	}
+	if got := res["sensor.out"]; len(got) != 1 || got[0] != ValueF {
+		t.Errorf("sensor.out = %v", got)
+	}
+}
+
+func TestFPTCTransformation(t *testing.T) {
+	s := buildFPTCChain(t)
+	res, err := s.Propagate(map[string][]FailureType{"sensor.out": {LateF}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res["actuator.out"]
+	if len(got) != 1 || got[0] != OmissionF {
+		t.Errorf("late not transformed to omission: %v", res)
+	}
+}
+
+func TestFPTCDefaultPropagation(t *testing.T) {
+	s := NewSystem()
+	if err := s.Add(&Component{Name: "src", Outputs: []string{"o"}}); err != nil {
+		t.Fatal(err)
+	}
+	// No rules at all: default is propagate.
+	if err := s.Add(&Component{Name: "pipe", Inputs: []string{"i"}, Outputs: []string{"o"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect("src", "o", "pipe", "i"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Propagate(map[string][]FailureType{"src.o": {OmissionF}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res["pipe.o"]; len(got) != 1 || got[0] != OmissionF {
+		t.Errorf("default propagation failed: %v", res)
+	}
+}
+
+func TestFPTCErrors(t *testing.T) {
+	s := NewSystem()
+	if err := s.Add(&Component{Name: "a", Outputs: []string{"o"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(&Component{Name: "a", Outputs: []string{"o"}}); err == nil {
+		t.Error("duplicate component accepted")
+	}
+	if err := s.Add(&Component{Name: "bad", Inputs: []string{"i"}, Outputs: []string{"o"},
+		Rules: []Rule{{In: []FailureType{Var, Var}, Out: []FailureType{Var}}}}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := s.Connect("a", "o", "nosuch", "i"); err == nil {
+		t.Error("connect to unknown component accepted")
+	}
+	if err := s.Connect("a", "nosuch", "a", "o"); err == nil {
+		t.Error("connect from unknown port accepted")
+	}
+	if _, err := s.Propagate(map[string][]FailureType{"nodot": {ValueF}}); err == nil {
+		t.Error("bad injection key accepted")
+	}
+	if _, err := s.Propagate(map[string][]FailureType{"a.nosuch": {ValueF}}); err == nil {
+		t.Error("unknown injection port accepted")
+	}
+}
+
+func TestFPTCTwoInputVoter(t *testing.T) {
+	// A 2-input comparator that masks a single value failure but
+	// passes simultaneous value failures.
+	s := NewSystem()
+	for _, n := range []string{"lane0", "lane1"} {
+		if err := s.Add(&Component{Name: n, Outputs: []string{"o"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Add(&Component{
+		Name: "voter", Inputs: []string{"a", "b"}, Outputs: []string{"o"},
+		Rules: []Rule{
+			{In: []FailureType{ValueF, ValueF}, Out: []FailureType{ValueF}},
+			{In: []FailureType{ValueF, NoFailure}, Out: []FailureType{NoFailure}},
+			{In: []FailureType{NoFailure, ValueF}, Out: []FailureType{NoFailure}},
+			{In: []FailureType{Any, Any}, Out: []FailureType{NoFailure}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect("lane0", "o", "voter", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Connect("lane1", "o", "voter", "b"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Propagate(map[string][]FailureType{"lane0.o": {ValueF}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, bad := res["voter.o"]; bad {
+		t.Errorf("single lane failure not masked: %v", res)
+	}
+	res, err = s.Propagate(map[string][]FailureType{"lane0.o": {ValueF}, "lane1.o": {ValueF}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res["voter.o"]
+	if len(got) != 1 || got[0] != ValueF {
+		t.Errorf("double failure masked: %v", res)
+	}
+}
+
+// Property: the top-event probability always lies in [0,1] and never
+// falls below the largest single-cut-set probability.
+func TestPropertyTopEventBounds(t *testing.T) {
+	f := func(pa, pb, pc uint8) bool {
+		a := float64(pa%100) / 100
+		b := float64(pb%100) / 100
+		c := float64(pc%100) / 100
+		tree := Or("top", BasicEvent("a", a), And("g", BasicEvent("b", b), BasicEvent("c", c)))
+		p, err := tree.TopEventProbability()
+		if err != nil {
+			return false
+		}
+		lower := math.Max(a, b*c)
+		return p >= lower-1e-12 && p <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FMEDA rates decompose exactly: total = safe + DD + DU.
+func TestPropertyFMEDADecomposition(t *testing.T) {
+	f := func(rate uint16, sf, dc uint8) bool {
+		m := FailureMode{
+			Component: "c", Mode: "m",
+			RateFIT:            float64(rate),
+			SafeFraction:       float64(sf%101) / 100,
+			DiagnosticCoverage: float64(dc%101) / 100,
+		}
+		res, err := EvaluateFMEDA([]FailureMode{m})
+		if err != nil {
+			return false
+		}
+		sum := res.SafeFIT + res.DangerousDetectedFIT + res.DangerousUndetectedFIT
+		return math.Abs(sum-res.TotalFIT) < 1e-9 &&
+			res.SPFM >= -1e-12 && res.SPFM <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FPTC propagation is monotone — injecting more failure
+// types never yields fewer failures at any output.
+func TestPropertyFPTCMonotone(t *testing.T) {
+	f := func(inject1 bool) bool {
+		s := buildFPTCChain(t)
+		small, err := s.Propagate(map[string][]FailureType{"sensor.out": {LateF}})
+		if err != nil {
+			return false
+		}
+		s2 := buildFPTCChain(t)
+		big, err := s2.Propagate(map[string][]FailureType{"sensor.out": {LateF, OmissionF}})
+		if err != nil {
+			return false
+		}
+		for port, fs := range small {
+			have := map[FailureType]bool{}
+			for _, f := range big[port] {
+				have[f] = true
+			}
+			for _, f := range fs {
+				if !have[f] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the exact inclusion-exclusion top-event probability agrees
+// with a deterministic enumeration over the full truth table of basic
+// events (exhaustive check on small trees).
+func TestPropertyTopEventMatchesEnumeration(t *testing.T) {
+	f := func(pa, pb, pc, pd uint8) bool {
+		probs := []float64{
+			float64(pa%100) / 100, float64(pb%100) / 100,
+			float64(pc%100) / 100, float64(pd%100) / 100,
+		}
+		tree := Or("top",
+			And("g1", BasicEvent("a", probs[0]), BasicEvent("b", probs[1])),
+			And("g2", BasicEvent("b", probs[1]), BasicEvent("c", probs[2])),
+			BasicEvent("d", probs[3]))
+		got, err := tree.TopEventProbability()
+		if err != nil {
+			return false
+		}
+		// Enumerate all 16 outcomes of (a,b,c,d).
+		names := []string{"a", "b", "c", "d"}
+		want := 0.0
+		for mask := 0; mask < 16; mask++ {
+			p := 1.0
+			on := map[string]bool{}
+			for i, n := range names {
+				if mask>>uint(i)&1 == 1 {
+					on[n] = true
+					p *= probs[i]
+				} else {
+					p *= 1 - probs[i]
+				}
+			}
+			if (on["a"] && on["b"]) || (on["b"] && on["c"]) || on["d"] {
+				want += p
+			}
+		}
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,233 @@
+package scenario
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+func universe(sites int) []fault.Descriptor {
+	var u []fault.Descriptor
+	for i := 0; i < sites; i++ {
+		site := string(rune('a' + i))
+		for _, m := range []fault.Model{fault.StuckAt0, fault.StuckAt1} {
+			u = append(u, fault.Descriptor{
+				Name: site + "/" + m.String(), Model: m, Class: fault.Permanent, Target: site,
+			})
+		}
+	}
+	return u
+}
+
+func TestExhaustiveWalksAll(t *testing.T) {
+	u := universe(3)
+	e := NewExhaustive(u)
+	var got []string
+	for {
+		sc, ok := e.Next()
+		if !ok {
+			break
+		}
+		if len(sc.Faults) != 1 {
+			t.Fatalf("scenario = %+v", sc)
+		}
+		got = append(got, sc.Faults[0].Name)
+		e.Observe(fault.Outcome{Scenario: sc})
+	}
+	if len(got) != len(u) {
+		t.Fatalf("walked %d of %d", len(got), len(u))
+	}
+	for i, d := range u {
+		if got[i] != d.Name {
+			t.Errorf("order[%d] = %s, want %s", i, got[i], d.Name)
+		}
+	}
+}
+
+func TestMonteCarloBudgetAndWindow(t *testing.T) {
+	u := universe(4)
+	m := NewMonteCarlo(u, 50, rand.New(rand.NewSource(1)))
+	m.Window = sim.MS(1)
+	n := 0
+	for {
+		sc, ok := m.Next()
+		if !ok {
+			break
+		}
+		n++
+		if sc.Faults[0].Start >= sim.MS(1) {
+			t.Errorf("start %v outside window", sc.Faults[0].Start)
+		}
+	}
+	if n != 50 {
+		t.Errorf("produced %d, want 50", n)
+	}
+}
+
+func TestMonteCarloMultiFault(t *testing.T) {
+	u := universe(4)
+	m := NewMonteCarlo(u, 10, rand.New(rand.NewSource(2)))
+	m.MultiFault = 3
+	sc, ok := m.Next()
+	if !ok || len(sc.Faults) != 3 {
+		t.Fatalf("scenario = %+v", sc)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Errorf("multi-fault scenario invalid: %v", err)
+	}
+}
+
+func TestMonteCarloDeterministicPerSeed(t *testing.T) {
+	u := universe(4)
+	m1 := NewMonteCarlo(u, 5, rand.New(rand.NewSource(9)))
+	m2 := NewMonteCarlo(u, 5, rand.New(rand.NewSource(9)))
+	for {
+		a, ok1 := m1.Next()
+		b, ok2 := m2.Next()
+		if ok1 != ok2 {
+			t.Fatal("length mismatch")
+		}
+		if !ok1 {
+			break
+		}
+		if a.Faults[0].Name != b.Faults[0].Name || a.Faults[0].Start != b.Faults[0].Start {
+			t.Fatal("not reproducible")
+		}
+	}
+}
+
+func TestGuidedPhase1ThenPairs(t *testing.T) {
+	u := universe(3) // 6 descriptors over sites a,b,c
+	g := NewGuided(u, 1000)
+	var singles, pairs int
+	for {
+		sc, ok := g.Next()
+		if !ok {
+			break
+		}
+		switch len(sc.Faults) {
+		case 1:
+			singles++
+			// Report site "b" as the weak spot.
+			class := fault.Masked
+			if sc.Faults[0].Target == "b" {
+				class = fault.DetectedSafe
+			}
+			g.Observe(fault.Outcome{Scenario: sc, Class: class})
+		case 2:
+			pairs++
+			g.Observe(fault.Outcome{Scenario: sc, Class: fault.Masked})
+		}
+	}
+	if singles != len(u) {
+		t.Errorf("singles = %d, want %d", singles, len(u))
+	}
+	if pairs == 0 {
+		t.Error("no pair scenarios generated")
+	}
+}
+
+func TestGuidedPrefersWeakSites(t *testing.T) {
+	u := universe(6)
+	g := NewGuided(u, 10000)
+	g.TopSites = 2
+	// Phase 1: mark site "e" and "f" as severe.
+	for {
+		sc, ok := g.Next()
+		if !ok {
+			break
+		}
+		if len(sc.Faults) == 1 {
+			class := fault.Masked
+			if sc.Faults[0].Target == "e" || sc.Faults[0].Target == "f" {
+				class = fault.SDC
+			}
+			g.Observe(fault.Outcome{Scenario: sc, Class: class})
+			continue
+		}
+		// Phase 2 pairs must only involve the two weak sites.
+		for _, d := range sc.Faults {
+			if d.Target != "e" && d.Target != "f" {
+				t.Errorf("pair includes non-weak site %s", d.Target)
+			}
+		}
+		g.Observe(fault.Outcome{Scenario: sc, Class: fault.Masked})
+	}
+}
+
+func TestGuidedBudget(t *testing.T) {
+	u := universe(5)
+	g := NewGuided(u, 7)
+	n := 0
+	for {
+		_, ok := g.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 7 {
+		t.Errorf("produced %d, want budget 7", n)
+	}
+}
+
+func TestDriveAndFirstFailure(t *testing.T) {
+	u := universe(2)
+	e := NewExhaustive(u)
+	i := 0
+	outcomes := Drive(e, func(sc fault.Scenario) fault.Outcome {
+		i++
+		class := fault.Masked
+		if i == 3 {
+			class = fault.SafetyCritical
+		}
+		return fault.Outcome{Scenario: sc, Class: class}
+	})
+	if len(outcomes) != len(u) {
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+	if got := FirstFailureIndex(outcomes); got != 3 {
+		t.Errorf("FirstFailureIndex = %d, want 3", got)
+	}
+	if FirstFailureIndex(outcomes[:2]) != 0 {
+		t.Error("no-failure index should be 0")
+	}
+}
+
+// Property: every strategy respects its budget and produces valid
+// scenarios.
+func TestPropertyStrategiesProduceValidScenarios(t *testing.T) {
+	f := func(seed int64, nSites, budget uint8) bool {
+		u := universe(int(nSites%5) + 1)
+		b := int(budget%40) + 1
+		strategies := []Strategy{
+			NewExhaustive(u),
+			NewMonteCarlo(u, b, rand.New(rand.NewSource(seed))),
+			NewGuided(u, b),
+		}
+		for _, s := range strategies {
+			count := 0
+			for {
+				sc, ok := s.Next()
+				if !ok {
+					break
+				}
+				count++
+				if sc.Validate() != nil {
+					return false
+				}
+				s.Observe(fault.Outcome{Scenario: sc, Class: fault.Masked})
+				if count > len(u)*len(u)*4+b {
+					return false // runaway
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// DefaultMaxDeltas bounds the number of delta cycles the kernel will
+// execute at a single time point before concluding the model contains a
+// zero-delay combinational loop.
+const DefaultMaxDeltas = 1_000_000
+
+// ErrDeltaOverflow reports a (combinational) loop that never lets
+// simulated time advance.
+var ErrDeltaOverflow = errors.New("sim: delta cycle limit exceeded (zero-delay loop?)")
+
+// Updater is implemented by primitive channels (signals) that defer
+// their value change to the update phase of the delta cycle.
+type Updater interface {
+	update()
+}
+
+// timedEntry is one pending timed notification in the event queue.
+type timedEntry struct {
+	at  Time
+	seq uint64
+	ev  *Event
+}
+
+type timedHeap []timedEntry
+
+func (h timedHeap) Len() int { return len(h) }
+func (h timedHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timedHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timedHeap) Push(x any)   { *h = append(*h, x.(timedEntry)) }
+func (h *timedHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Stats reports kernel activity counters, used by the abstraction-level
+// benchmarks (experiment E1) to attribute cost to scheduling work.
+type Stats struct {
+	// DeltaCycles is the total number of evaluate/update rounds run.
+	DeltaCycles uint64
+	// Activations is the total number of process activations.
+	Activations uint64
+	// TimeSteps is the number of distinct time points visited.
+	TimeSteps uint64
+}
+
+// Kernel is a discrete-event simulator instance. It is not safe for
+// concurrent use; all model code runs on the kernel's goroutine (or on
+// thread-process goroutines that the kernel resumes one at a time).
+type Kernel struct {
+	now    Time
+	procs  []*Proc
+	events []*Event
+
+	runnable   []*Proc
+	deltaQueue []*Event
+	timed      timedHeap
+	seq        uint64
+
+	updateQueue []Updater
+
+	inEvaluate bool
+	running    bool
+	stopped    bool
+	maxDeltas  uint64
+
+	stats       Stats
+	threadPanic error
+
+	tracers []*Tracer
+}
+
+// NewKernel creates an empty simulator.
+func NewKernel() *Kernel {
+	return &Kernel{maxDeltas: DefaultMaxDeltas}
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Stats returns a copy of the kernel activity counters.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// SetMaxDeltas overrides the per-time-point delta cycle watchdog.
+func (k *Kernel) SetMaxDeltas(n uint64) { k.maxDeltas = n }
+
+// Stop makes the current Run call return after the ongoing delta cycle
+// completes. Further Run calls resume the simulation.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Stopped reports whether Stop was called during the last Run.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+// scheduleTimed enqueues a timed notification and returns its sequence
+// number for stale-entry detection.
+func (k *Kernel) scheduleTimed(e *Event, at Time) uint64 {
+	k.seq++
+	heap.Push(&k.timed, timedEntry{at: at, seq: k.seq, ev: e})
+	return k.seq
+}
+
+// makeRunnable marks p for execution in the current (or next) evaluate
+// phase.
+func (k *Kernel) makeRunnable(p *Proc) {
+	if p.state == procRunnable || p.state == procDone {
+		return
+	}
+	p.state = procRunnable
+	k.runnable = append(k.runnable, p)
+}
+
+// enqueueInitial schedules the initial activation of a newly created
+// process.
+func (k *Kernel) enqueueInitial(p *Proc) {
+	k.makeRunnable(p)
+}
+
+// DeferUpdate registers an Updater to run in the update phase of the
+// current delta cycle. Registering the same Updater twice in one delta
+// cycle is the caller's responsibility to avoid (signals guard it).
+func (k *Kernel) DeferUpdate(u Updater) {
+	k.updateQueue = append(k.updateQueue, u)
+}
+
+// Run advances the simulation by d of simulated time (relative), or
+// until no events remain, or until Stop is called, whichever comes
+// first. Run(TimeMax) runs to event-queue exhaustion.
+func (k *Kernel) Run(d Time) error {
+	until := TimeMax
+	if d != TimeMax && k.now <= TimeMax-d {
+		until = k.now + d
+	}
+	return k.RunUntil(until)
+}
+
+// RunUntil advances the simulation up to and including absolute time
+// `until`.
+func (k *Kernel) RunUntil(until Time) error {
+	if k.running {
+		return errors.New("sim: RunUntil called re-entrantly")
+	}
+	k.running = true
+	k.stopped = false
+	defer func() { k.running = false }()
+
+	for {
+		// One time point: delta cycles until quiescent.
+		var deltasHere uint64
+		for len(k.runnable) > 0 || len(k.deltaQueue) > 0 {
+			if err := k.deltaCycle(); err != nil {
+				return err
+			}
+			if k.threadPanic != nil {
+				err := k.threadPanic
+				k.threadPanic = nil
+				return err
+			}
+			deltasHere++
+			if deltasHere > k.maxDeltas {
+				return fmt.Errorf("%w at %s", ErrDeltaOverflow, k.now)
+			}
+			if k.stopped {
+				return nil
+			}
+		}
+
+		// Advance to the next timed notification.
+		fired := false
+		for k.timed.Len() > 0 {
+			next := k.timed[0]
+			if next.at > until {
+				break
+			}
+			if fired && next.at != k.now {
+				break // fire only one time point per outer iteration
+			}
+			heap.Pop(&k.timed)
+			e := next.ev
+			if e.pending != notifyTimed || e.pendingSeq != next.seq {
+				continue // stale entry displaced by a stronger notification
+			}
+			if !fired {
+				k.now = next.at
+				k.stats.TimeSteps++
+				fired = true
+			}
+			e.pending = notifyNone
+			e.fire()
+		}
+		if !fired {
+			// Nothing left within the horizon.
+			if until != TimeMax && until > k.now {
+				k.now = until
+			}
+			return nil
+		}
+	}
+}
+
+// deltaCycle runs one evaluate phase, one update phase and one delta
+// notification phase.
+func (k *Kernel) deltaCycle() error {
+	k.stats.DeltaCycles++
+
+	// Evaluate: run every runnable process in creation order. Processes
+	// made runnable during the phase (immediate notification) run within
+	// the same phase.
+	k.inEvaluate = true
+	for len(k.runnable) > 0 {
+		batch := k.runnable
+		k.runnable = nil
+		sort.Slice(batch, func(i, j int) bool { return batch[i].id < batch[j].id })
+		for _, p := range batch {
+			if p.state != procRunnable {
+				continue
+			}
+			p.run()
+			if k.threadPanic != nil {
+				k.inEvaluate = false
+				return nil // surfaced by caller
+			}
+		}
+	}
+	k.inEvaluate = false
+
+	// Update: apply deferred primitive-channel updates.
+	updates := k.updateQueue
+	k.updateQueue = k.updateQueue[:0]
+	for _, u := range updates {
+		u.update()
+	}
+
+	// Delta notification: fire events notified with zero delay.
+	dq := k.deltaQueue
+	k.deltaQueue = nil
+	for _, e := range dq {
+		if e.pending != notifyDelta {
+			continue
+		}
+		e.pending = notifyNone
+		e.fire()
+	}
+
+	for _, tr := range k.tracers {
+		tr.sampleDelta(k.now)
+	}
+	return nil
+}
+
+// Pending reports whether any activity (runnable processes, delta
+// notifications or timed notifications) remains.
+func (k *Kernel) Pending() bool {
+	return len(k.runnable) > 0 || len(k.deltaQueue) > 0 || k.timed.Len() > 0
+}
+
+// NextEventTime returns the absolute time of the earliest pending timed
+// notification, or TimeMax when none is pending. Stale heap entries make
+// this an upper-bound-accurate but cheap query.
+func (k *Kernel) NextEventTime() Time {
+	for k.timed.Len() > 0 {
+		next := k.timed[0]
+		if next.ev.pending == notifyTimed && next.ev.pendingSeq == next.seq {
+			return next.at
+		}
+		heap.Pop(&k.timed)
+	}
+	return TimeMax
+}
+
+// Shutdown kills every live thread-process goroutine. Call it when the
+// simulation is finished to avoid leaking goroutines; the kernel must
+// not be used afterwards.
+func (k *Kernel) Shutdown() {
+	for _, p := range k.procs {
+		p.kill()
+	}
+}

@@ -1,0 +1,255 @@
+package sim
+
+import "fmt"
+
+type procState uint8
+
+const (
+	procWaiting procState = iota
+	procRunnable
+	procRunning
+	procDone
+)
+
+type procKind uint8
+
+const (
+	methodProc procKind = iota
+	threadProc
+)
+
+// errKilled is the panic sentinel used to unwind a thread process
+// goroutine when the kernel shuts down.
+type killedError struct{ name string }
+
+func (e killedError) Error() string { return "sim: thread " + e.name + " killed" }
+
+// Proc is a simulation process: either a method process (a callback
+// re-invoked on each activation, like SC_METHOD) or a thread process
+// (a goroutine with its own control flow that suspends via Wait, like
+// SC_THREAD). The kernel runs at most one process at a time, in
+// ascending creation order within each delta cycle, so simulations are
+// fully deterministic.
+type Proc struct {
+	k    *Kernel
+	name string
+	id   int
+	kind procKind
+
+	state  procState
+	fn     func()           // method body
+	tfn    func(*ThreadCtx) // thread body
+	static []*Event
+
+	dynamicWait []*Event // events the thread currently waits on (any-of)
+	waitCause   *Event   // which event resumed the last dynamic wait
+
+	noInit bool
+
+	// thread machinery
+	started bool
+	killed  bool
+	resume  chan struct{}
+	yield   chan struct{}
+	ctx     *ThreadCtx
+	timerEv *Event // lazily created private event for timed waits
+}
+
+// Name reports the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Done reports whether a thread process body has returned. Method
+// processes never report done.
+func (p *Proc) Done() bool { return p.state == procDone }
+
+// Method registers a method process: fn is invoked once at simulation
+// start (unless NoInit was applied) and again whenever any event in its
+// static sensitivity list fires. Method bodies must not block.
+func (k *Kernel) Method(name string, fn func(), sensitivity ...*Event) *Proc {
+	p := &Proc{k: k, name: name, id: len(k.procs), kind: methodProc, fn: fn}
+	p.attachStatic(sensitivity)
+	k.procs = append(k.procs, p)
+	k.enqueueInitial(p)
+	return p
+}
+
+// MethodNoInit registers a method process that is not activated at
+// simulation start; it runs only when its sensitivity list fires.
+func (k *Kernel) MethodNoInit(name string, fn func(), sensitivity ...*Event) *Proc {
+	p := &Proc{k: k, name: name, id: len(k.procs), kind: methodProc, fn: fn, noInit: true}
+	p.attachStatic(sensitivity)
+	k.procs = append(k.procs, p)
+	return p
+}
+
+// Thread registers a thread process. The body runs on its own goroutine
+// but the kernel resumes exactly one process at a time, so bodies need
+// no locking against other processes. The body suspends itself with the
+// ThreadCtx wait primitives; when it returns the process is done.
+func (k *Kernel) Thread(name string, fn func(*ThreadCtx), sensitivity ...*Event) *Proc {
+	p := &Proc{
+		k: k, name: name, id: len(k.procs), kind: threadProc, tfn: fn,
+		resume: make(chan struct{}), yield: make(chan struct{}),
+	}
+	p.attachStatic(sensitivity)
+	p.ctx = &ThreadCtx{p: p}
+	k.procs = append(k.procs, p)
+	k.enqueueInitial(p)
+	return p
+}
+
+func (p *Proc) attachStatic(sensitivity []*Event) {
+	p.static = sensitivity
+	for _, e := range sensitivity {
+		e.static = append(e.static, p)
+	}
+}
+
+// dynamicFired resumes a dynamically waiting process because event e of
+// its wait set fired.
+func (p *Proc) dynamicFired(e *Event) {
+	for _, other := range p.dynamicWait {
+		if other != e {
+			other.removeDynamic(p)
+		}
+	}
+	p.dynamicWait = nil
+	p.waitCause = e
+	p.k.makeRunnable(p)
+}
+
+// run executes one activation of the process during the evaluate phase.
+func (p *Proc) run() {
+	p.state = procRunning
+	p.k.stats.Activations++
+	switch p.kind {
+	case methodProc:
+		p.fn()
+		if p.state == procRunning {
+			p.state = procWaiting
+		}
+	case threadProc:
+		if !p.started {
+			p.started = true
+			go p.threadMain()
+		} else {
+			p.resume <- struct{}{}
+		}
+		<-p.yield
+	}
+}
+
+func (p *Proc) threadMain() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killedError); ok {
+				p.state = procDone
+				p.yield <- struct{}{}
+				return
+			}
+			// Re-panic on the kernel's goroutine would lose the stack;
+			// record and surface through the kernel instead.
+			p.state = procDone
+			p.k.threadPanic = fmt.Errorf("sim: thread %q panicked: %v", p.name, r)
+			p.yield <- struct{}{}
+			return
+		}
+	}()
+	p.tfn(p.ctx)
+	p.state = procDone
+	p.yield <- struct{}{}
+}
+
+// suspend parks the thread goroutine until the kernel resumes it.
+func (p *Proc) suspend() {
+	p.state = procWaiting
+	p.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killedError{p.name})
+	}
+}
+
+// kill unwinds a started, parked thread goroutine.
+func (p *Proc) kill() {
+	if p.kind != threadProc || !p.started || p.state == procDone {
+		return
+	}
+	p.killed = true
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// ThreadCtx is the API a thread process body uses to interact with the
+// kernel: suspending on events and simulated time.
+type ThreadCtx struct {
+	p *Proc
+}
+
+// Kernel returns the kernel the thread runs on.
+func (c *ThreadCtx) Kernel() *Kernel { return c.p.k }
+
+// Now returns the current simulation time.
+func (c *ThreadCtx) Now() Time { return c.p.k.now }
+
+// Proc returns the process handle of this thread.
+func (c *ThreadCtx) Proc() *Proc { return c.p }
+
+// Wait suspends until any of the given events fires and returns the one
+// that did. With no arguments it waits on the process's static
+// sensitivity list.
+func (c *ThreadCtx) Wait(events ...*Event) *Event {
+	p := c.p
+	if len(events) == 0 {
+		events = p.static
+		if len(events) == 0 {
+			panic("sim: Wait() with no events and no static sensitivity in " + p.name)
+		}
+	}
+	p.dynamicWait = append(p.dynamicWait[:0], events...)
+	for _, e := range events {
+		e.dynamic = append(e.dynamic, p)
+	}
+	p.waitCause = nil
+	p.suspend()
+	return p.waitCause
+}
+
+// WaitTime suspends for d of simulated time.
+func (c *ThreadCtx) WaitTime(d Time) {
+	p := c.p
+	if p.timerEv == nil {
+		p.timerEv = p.k.NewEvent(p.name + ".timer")
+	}
+	p.timerEv.Notify(d)
+	c.Wait(p.timerEv)
+}
+
+// WaitTimeout suspends until one of events fires or d elapses. It
+// returns the fired event, or nil if the timeout won.
+func (c *ThreadCtx) WaitTimeout(d Time, events ...*Event) *Event {
+	p := c.p
+	if p.timerEv == nil {
+		p.timerEv = p.k.NewEvent(p.name + ".timer")
+	}
+	p.timerEv.Notify(d)
+	set := make([]*Event, 0, len(events)+1)
+	set = append(set, events...)
+	set = append(set, p.timerEv)
+	got := c.Wait(set...)
+	if got == p.timerEv {
+		return nil
+	}
+	p.timerEv.Cancel()
+	return got
+}
+
+// WaitDelta suspends for exactly one delta cycle.
+func (c *ThreadCtx) WaitDelta() {
+	p := c.p
+	if p.timerEv == nil {
+		p.timerEv = p.k.NewEvent(p.name + ".timer")
+	}
+	p.timerEv.Notify(0)
+	c.Wait(p.timerEv)
+}

@@ -1,0 +1,78 @@
+package stressor
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+)
+
+// RunFunc executes one complete fault-injected simulation for the
+// given scenario — building a fresh virtual prototype, injecting,
+// running and classifying — and returns the outcome. Campaigns stay
+// agnostic of what the prototype is; the CAPS and ECU experiments
+// supply their own RunFuncs.
+type RunFunc func(sc fault.Scenario) fault.Outcome
+
+// Campaign repeats stress tests over a scenario list: the quantitative
+// evaluation loop of Sec. 3.4.
+type Campaign struct {
+	// Name labels the campaign in reports.
+	Name string
+	// Run executes one scenario.
+	Run RunFunc
+	// StopOnFirst aborts the campaign at the first unhandled failure —
+	// the "how many runs until the critical effect is found" metric of
+	// experiment E4.
+	StopOnFirst bool
+}
+
+// Result is a finished campaign.
+type Result struct {
+	Name     string
+	Outcomes []fault.Outcome
+	Tally    fault.Tally
+	// RunsToFirstFailure is the 1-based index of the first unhandled
+	// failure, or 0 when none occurred.
+	RunsToFirstFailure int
+}
+
+// Execute runs every scenario (validating first) and tallies
+// classifications.
+func (c *Campaign) Execute(scenarios []fault.Scenario) (*Result, error) {
+	res := &Result{Name: c.Name, Tally: make(fault.Tally)}
+	for i, sc := range scenarios {
+		if err := sc.Validate(); err != nil {
+			return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
+		}
+		o := c.Run(sc)
+		res.Outcomes = append(res.Outcomes, o)
+		res.Tally.Add(o)
+		if o.Class.IsFailure() && res.RunsToFirstFailure == 0 {
+			res.RunsToFirstFailure = i + 1
+			if c.StopOnFirst {
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// FailureRate reports the fraction of runs that ended in unhandled
+// failure.
+func (r *Result) FailureRate() float64 {
+	if len(r.Outcomes) == 0 {
+		return 0
+	}
+	return float64(r.Tally.Failures()) / float64(len(r.Outcomes))
+}
+
+// ByClass returns the outcomes with the given classification.
+func (r *Result) ByClass(c fault.Classification) []fault.Outcome {
+	var out []fault.Outcome
+	for _, o := range r.Outcomes {
+		if o.Class == c {
+			out = append(out, o)
+		}
+	}
+	return out
+}

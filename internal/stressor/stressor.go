@@ -1,0 +1,120 @@
+// Package stressor implements the stressor of the paper's Fig. 3
+// closed loop: a UVM testbench component that takes a formal
+// fault/error scenario and drives the registered injectors at the
+// right simulated times — activating permanent faults once, opening
+// and closing transient windows, and pulsing intermittent faults. It
+// also provides the campaign engine that repeats stress tests over a
+// scenario list and tallies the resulting outcome classifications
+// ("repeated stress tests enable a quantitative evaluation", Sec. 3.4).
+package stressor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/uvm"
+)
+
+// Record is one injector action taken by the stressor.
+type Record struct {
+	Fault  fault.Descriptor
+	At     sim.Time
+	Inject bool // true = inject, false = revert
+	Err    error
+}
+
+// Stressor schedules a scenario's descriptors onto injectors during
+// the UVM run phase.
+type Stressor struct {
+	uvm.Comp
+	registry *fault.Registry
+	scenario fault.Scenario
+	// Horizon bounds intermittent-fault window generation; it should
+	// cover the test length.
+	Horizon sim.Time
+
+	records []Record
+}
+
+// New creates a stressor component.
+func New(parent uvm.Component, name string, reg *fault.Registry) *Stressor {
+	s := &Stressor{registry: reg, Horizon: sim.MS(1)}
+	uvm.NewComp(s, parent, name)
+	return s
+}
+
+// SpawnThread schedules a scenario on a plain kernel thread, without
+// a UVM environment — for virtual prototypes wired directly on the
+// kernel (the CAPS campaigns use this form).
+func SpawnThread(k *sim.Kernel, reg *fault.Registry, sc fault.Scenario, horizon sim.Time) *Stressor {
+	s := &Stressor{registry: reg, scenario: sc, Horizon: horizon}
+	k.Thread("stressor."+sc.ID, s.Run)
+	return s
+}
+
+// SetScenario installs the fault set for the next run.
+func (s *Stressor) SetScenario(sc fault.Scenario) {
+	s.scenario = sc
+}
+
+// Records reports every injector action taken, in time order.
+func (s *Stressor) Records() []Record { return s.records }
+
+// InjectionErrors reports actions that failed (missing injector,
+// unsupported model) — these indicate a broken campaign setup, not a
+// DUT failure.
+func (s *Stressor) InjectionErrors() []error {
+	var errs []error
+	for _, r := range s.records {
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("%s at %s: %w", r.Fault.Name, r.At, r.Err))
+		}
+	}
+	return errs
+}
+
+// timelineEntry is one scheduled action.
+type timelineEntry struct {
+	at     sim.Time
+	inject bool
+	desc   fault.Descriptor
+}
+
+// timeline expands the scenario into a sorted action list.
+func (s *Stressor) timeline() []timelineEntry {
+	var tl []timelineEntry
+	for _, d := range s.scenario.Faults {
+		switch d.Class {
+		case fault.Permanent:
+			tl = append(tl, timelineEntry{at: d.Start, inject: true, desc: d})
+		case fault.Transient:
+			tl = append(tl, timelineEntry{at: d.Start, inject: true, desc: d})
+			tl = append(tl, timelineEntry{at: d.Start + d.Duration, inject: false, desc: d})
+		case fault.Intermittent:
+			for t := d.Start; t < s.Horizon; t += d.Period {
+				tl = append(tl, timelineEntry{at: t, inject: true, desc: d})
+				tl = append(tl, timelineEntry{at: t + d.Duration, inject: false, desc: d})
+			}
+		}
+	}
+	sort.SliceStable(tl, func(i, j int) bool { return tl[i].at < tl[j].at })
+	return tl
+}
+
+// Run implements uvm.Component: walk the timeline in simulated time.
+func (s *Stressor) Run(ctx *sim.ThreadCtx) {
+	for _, e := range s.timeline() {
+		if e.at > ctx.Now() {
+			ctx.WaitTime(e.at - ctx.Now())
+		}
+		var err error
+		if e.inject {
+			err = s.registry.Inject(e.desc)
+		} else {
+			err = s.registry.Revert(e.desc)
+		}
+		s.records = append(s.records, Record{Fault: e.desc, At: ctx.Now(), Inject: e.inject, Err: err})
+	}
+}

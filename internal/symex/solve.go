@@ -1,0 +1,191 @@
+package symex
+
+import (
+	"fmt"
+
+	"repro/internal/mdl"
+)
+
+// EvalSym evaluates a symbolic expression against concrete inputs
+// (candidate verification). It fails on division by zero.
+func EvalSym(s Sym, inputs []int64) (int64, error) {
+	switch e := s.(type) {
+	case *SConst:
+		return e.V, nil
+	case *SInput:
+		if e.Idx < 0 || e.Idx >= len(inputs) {
+			return 0, fmt.Errorf("symex: input index %d out of range", e.Idx)
+		}
+		return inputs[e.Idx], nil
+	case *SUn:
+		v, err := EvalSym(e.X, inputs)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case mdl.TokNot:
+			return b2i(v == 0), nil
+		case mdl.TokMinus:
+			return -v, nil
+		}
+		return 0, fmt.Errorf("symex: bad unary %s", e.Op)
+	case *SBin:
+		l, err := EvalSym(e.L, inputs)
+		if err != nil {
+			return 0, err
+		}
+		r, err := EvalSym(e.R, inputs)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case mdl.TokPlus:
+			return l + r, nil
+		case mdl.TokMinus:
+			return l - r, nil
+		case mdl.TokStar:
+			return l * r, nil
+		case mdl.TokSlash:
+			if r == 0 {
+				return 0, fmt.Errorf("symex: division by zero")
+			}
+			return l / r, nil
+		case mdl.TokPercent:
+			if r == 0 {
+				return 0, fmt.Errorf("symex: modulo by zero")
+			}
+			return l % r, nil
+		case mdl.TokLT:
+			return b2i(l < r), nil
+		case mdl.TokLE:
+			return b2i(l <= r), nil
+		case mdl.TokGT:
+			return b2i(l > r), nil
+		case mdl.TokGE:
+			return b2i(l >= r), nil
+		case mdl.TokEQ:
+			return b2i(l == r), nil
+		case mdl.TokNE:
+			return b2i(l != r), nil
+		case mdl.TokAndAnd:
+			return b2i(l != 0 && r != 0), nil
+		case mdl.TokOrOr:
+			return b2i(l != 0 || r != 0), nil
+		}
+		return 0, fmt.Errorf("symex: bad op %s", e.Op)
+	default:
+		return 0, fmt.Errorf("symex: unknown sym %T", s)
+	}
+}
+
+// linearize expresses s as a*x_free + b with every other input fixed
+// to its value in inputs. ok is false when s is not linear in x_free
+// (multiplication of two free terms, division/modulo by or of a free
+// term, or a comparison/logical operator).
+func linearize(s Sym, inputs []int64, free int) (a, b int64, ok bool) {
+	switch e := s.(type) {
+	case *SConst:
+		return 0, e.V, true
+	case *SInput:
+		if e.Idx == free {
+			return 1, 0, true
+		}
+		return 0, inputs[e.Idx], true
+	case *SUn:
+		if e.Op != mdl.TokMinus {
+			return 0, 0, false
+		}
+		a, b, ok = linearize(e.X, inputs, free)
+		return -a, -b, ok
+	case *SBin:
+		la, lb, lok := linearize(e.L, inputs, free)
+		ra, rb, rok := linearize(e.R, inputs, free)
+		if !lok || !rok {
+			return 0, 0, false
+		}
+		switch e.Op {
+		case mdl.TokPlus:
+			return la + ra, lb + rb, true
+		case mdl.TokMinus:
+			return la - ra, lb - rb, true
+		case mdl.TokStar:
+			switch {
+			case la == 0:
+				return lb * ra, lb * rb, true
+			case ra == 0:
+				return la * rb, lb * rb, true
+			default:
+				return 0, 0, false // quadratic
+			}
+		case mdl.TokSlash, mdl.TokPercent:
+			// Integer division is non-linear unless fully concrete.
+			if la == 0 && ra == 0 && rb != 0 {
+				if e.Op == mdl.TokSlash {
+					return 0, lb / rb, true
+				}
+				return 0, lb % rb, true
+			}
+			return 0, 0, false
+		default:
+			return 0, 0, false
+		}
+	default:
+		return 0, 0, false
+	}
+}
+
+// candidates proposes values for input[free] that could make the
+// condition evaluate to `want`. Proposals are verified by the caller
+// with EvalSym, so over-approximation is fine.
+func candidates(cond Sym, inputs []int64, free int, want bool) []int64 {
+	switch e := cond.(type) {
+	case *SUn:
+		if e.Op == mdl.TokNot {
+			return candidates(e.X, inputs, free, !want)
+		}
+	case *SBin:
+		switch e.Op {
+		case mdl.TokAndAnd, mdl.TokOrOr:
+			// Try flipping either side; full verification happens later.
+			out := candidates(e.L, inputs, free, want)
+			out = append(out, candidates(e.R, inputs, free, want)...)
+			return out
+		case mdl.TokLT, mdl.TokLE, mdl.TokGT, mdl.TokGE, mdl.TokEQ, mdl.TokNE:
+			// Normalize to d(x) = L - R REL 0.
+			diff := &SBin{Op: mdl.TokMinus, L: e.L, R: e.R}
+			a, b, ok := linearize(diff, inputs, free)
+			if !ok || a == 0 {
+				return nil
+			}
+			// Boundary where a*x + b == 0.
+			root := -b / a
+			// Offer the root and its neighbourhood: integer division
+			// truncation and strict/non-strict boundaries are all
+			// covered by candidate verification.
+			return []int64{root - 1, root, root + 1}
+		}
+	}
+	return nil
+}
+
+// solveBranch proposes full input vectors flipping the given branch,
+// trying each input position as the free variable and verifying every
+// candidate symbolically.
+func solveBranch(br Branch, inputs []int64) [][]int64 {
+	var out [][]int64
+	want := !br.Taken
+	for free := range inputs {
+		for _, cand := range candidates(br.Cond, inputs, free, want) {
+			next := append([]int64(nil), inputs...)
+			next[free] = cand
+			v, err := EvalSym(br.Cond, next)
+			if err != nil {
+				continue
+			}
+			if (v != 0) == want {
+				out = append(out, next)
+			}
+		}
+	}
+	return out
+}

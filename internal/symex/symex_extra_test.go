@@ -1,0 +1,138 @@
+package symex
+
+import (
+	"testing"
+
+	"repro/internal/mdl"
+)
+
+func TestEvalSymAllOps(t *testing.T) {
+	x := &SInput{Name: "x", Idx: 0}
+	seven := &SConst{V: 7}
+	cases := []struct {
+		op   mdl.TokKind
+		want int64 // with x = 10
+	}{
+		{mdl.TokPlus, 17}, {mdl.TokMinus, 3}, {mdl.TokStar, 70},
+		{mdl.TokSlash, 1}, {mdl.TokPercent, 3},
+		{mdl.TokLT, 0}, {mdl.TokLE, 0}, {mdl.TokGT, 1}, {mdl.TokGE, 1},
+		{mdl.TokEQ, 0}, {mdl.TokNE, 1},
+		{mdl.TokAndAnd, 1}, {mdl.TokOrOr, 1},
+	}
+	for _, c := range cases {
+		got, err := EvalSym(&SBin{Op: c.op, L: x, R: seven}, []int64{10})
+		if err != nil || got != c.want {
+			t.Errorf("x %s 7 = %d, %v; want %d", c.op, got, err, c.want)
+		}
+	}
+	if _, err := EvalSym(&SBin{Op: mdl.TokSlash, L: x, R: &SConst{V: 0}}, []int64{1}); err == nil {
+		t.Error("division by zero accepted")
+	}
+	if _, err := EvalSym(&SBin{Op: mdl.TokPercent, L: x, R: &SConst{V: 0}}, []int64{1}); err == nil {
+		t.Error("modulo by zero accepted")
+	}
+	if v, _ := EvalSym(&SUn{Op: mdl.TokNot, X: &SConst{V: 0}}, nil); v != 1 {
+		t.Error("not")
+	}
+	if v, _ := EvalSym(&SUn{Op: mdl.TokMinus, X: &SConst{V: 4}}, nil); v != -4 {
+		t.Error("neg")
+	}
+	if _, err := EvalSym(&SInput{Idx: 5}, []int64{1}); err == nil {
+		t.Error("out-of-range input accepted")
+	}
+}
+
+func TestCandidatesLogicalDescent(t *testing.T) {
+	// (x > 10) && (x < 20): flipping to true from x=0 must propose
+	// values satisfying both; verification filters them.
+	x := &SInput{Name: "x", Idx: 0}
+	cond := &SBin{Op: mdl.TokAndAnd,
+		L: &SBin{Op: mdl.TokGT, L: x, R: &SConst{V: 10}},
+		R: &SBin{Op: mdl.TokLT, L: x, R: &SConst{V: 20}},
+	}
+	br := Branch{Cond: cond, Taken: false}
+	sols := solveBranch(br, []int64{0})
+	if len(sols) == 0 {
+		t.Fatal("no verified solutions for conjunction")
+	}
+	for _, s := range sols {
+		if s[0] <= 10 || s[0] >= 20 {
+			t.Errorf("solution %v fails the conjunction", s)
+		}
+	}
+}
+
+func TestCandidatesNegation(t *testing.T) {
+	x := &SInput{Name: "x", Idx: 0}
+	cond := &SUn{Op: mdl.TokNot, X: &SBin{Op: mdl.TokEQ, L: x, R: &SConst{V: 5}}}
+	// !(x==5) is true at x=0; flip to false needs x=5.
+	br := Branch{Cond: cond, Taken: true}
+	sols := solveBranch(br, []int64{0})
+	found := false
+	for _, s := range sols {
+		if s[0] == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("negated equality not solved: %v", sols)
+	}
+}
+
+func TestExploreThroughFunctionCalls(t *testing.T) {
+	p := mdl.MustParse(`
+func helper(v) {
+  return v * 2 - 6
+}
+func f(x) {
+  if helper(x) == 40 {
+    return 1
+  }
+  return 0
+}`)
+	ex, err := Explore(p, "f", []int64{0}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.CoverageFraction(p) != 1 {
+		t.Errorf("coverage = %v; helper(x)==40 (x=23) not solved", ex.CoverageFraction(p))
+	}
+}
+
+func TestExploreNonLinearFallsBackGracefully(t *testing.T) {
+	// x*x == 49 is not linear: the solver can't flip it, but Explore
+	// must terminate cleanly with partial coverage.
+	p := mdl.MustParse(`
+func f(x) {
+  if x * x == 49 {
+    return 1
+  }
+  return 0
+}`)
+	ex, err := Explore(p, "f", []int64{0}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Runs == 0 || ex.CoverageFraction(p) == 0 {
+		t.Error("exploration made no progress")
+	}
+}
+
+func TestRunawayPathBudget(t *testing.T) {
+	// A non-terminating function must surface the step budget as a
+	// recorded path error, not hang.
+	p := mdl.MustParse(`
+func f(x) {
+  while true {
+    let y = 1
+  }
+  return 0
+}`)
+	res, err := Run(p, "f", []int64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err == nil {
+		t.Error("runaway loop produced no error")
+	}
+}

@@ -1,0 +1,269 @@
+package symex
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mdl"
+	"repro/internal/mutation"
+)
+
+func TestRunRecordsPathAndOutput(t *testing.T) {
+	p := mdl.MustParse(`
+func f(x, y) {
+  if x > 10 {
+    return x + y
+  }
+  return 0
+}`)
+	res, err := Run(p, "f", []int64{20, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != 25 {
+		t.Errorf("output = %d", res.Output)
+	}
+	if len(res.Branches) != 1 || !res.Branches[0].Taken {
+		t.Fatalf("branches = %+v", res.Branches)
+	}
+	if res.Branches[0].Cond.String() != "(x > 10)" {
+		t.Errorf("cond = %s", res.Branches[0].Cond)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	p := mdl.MustParse(`func f(x) { return 1 / x }`)
+	res, err := Run(p, "f", []int64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err == nil {
+		t.Error("division by zero not recorded")
+	}
+	if _, err := Run(p, "nosuch", nil); err == nil {
+		t.Error("unknown function accepted")
+	}
+	if _, err := Run(p, "f", []int64{1, 2}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestEvalSymMatchesInterpreter(t *testing.T) {
+	p := mdl.MustParse(`
+func f(a, b) {
+  let x = a * 3 - b / 2
+  if x > 7 && a != b {
+    return x
+  }
+  return -x
+}`)
+	in := mdl.NewInterp(p)
+	f := func(a, b int8) bool {
+		args := []int64{int64(a), int64(b%100) | 1} // avoid div-by-zero interplay
+		res, err := Run(p, "f", args)
+		if err != nil || res.Err != nil {
+			return res != nil && res.Err != nil // runtime error is fine if both agree
+		}
+		want, err := in.Call("f", args...)
+		return err == nil && res.Output == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearize(t *testing.T) {
+	// 3*x + 40 - y with y fixed to 4, free = x.
+	s := &SBin{Op: mdl.TokMinus,
+		L: &SBin{Op: mdl.TokPlus,
+			L: &SBin{Op: mdl.TokStar, L: &SConst{V: 3}, R: &SInput{Name: "x", Idx: 0}},
+			R: &SConst{V: 40}},
+		R: &SInput{Name: "y", Idx: 1},
+	}
+	a, b, ok := linearize(s, []int64{0, 4}, 0)
+	if !ok || a != 3 || b != 36 {
+		t.Errorf("linearize = %d, %d, %v", a, b, ok)
+	}
+	// x*y is quadratic in either variable.
+	q := &SBin{Op: mdl.TokStar, L: &SInput{Idx: 0}, R: &SInput{Idx: 1}}
+	if _, _, ok := linearize(q, []int64{2, 3}, 0); ok {
+		// x*y with y fixed IS linear (y is a constant 3 here).
+		a, b, _ := linearize(q, []int64{2, 3}, 0)
+		if a != 3 || b != 0 {
+			t.Errorf("x*y with y fixed: %d, %d", a, b)
+		}
+	}
+	// Division by a free variable is non-linear.
+	d := &SBin{Op: mdl.TokSlash, L: &SConst{V: 10}, R: &SInput{Idx: 0}}
+	if _, _, ok := linearize(d, []int64{2}, 0); ok {
+		t.Error("10/x reported linear")
+	}
+}
+
+func TestSolveBranchFlipsComparison(t *testing.T) {
+	// Branch: (x > 100) taken=false at x=5. Flip should propose x
+	// making it true.
+	br := Branch{
+		Cond:  &SBin{Op: mdl.TokGT, L: &SInput{Name: "x", Idx: 0}, R: &SConst{V: 100}},
+		Taken: false,
+	}
+	sols := solveBranch(br, []int64{5})
+	if len(sols) == 0 {
+		t.Fatal("no solutions")
+	}
+	for _, s := range sols {
+		if s[0] <= 100 {
+			t.Errorf("solution %v does not flip the branch", s)
+		}
+	}
+}
+
+func TestExploreNeedleInHaystack(t *testing.T) {
+	// The classic concolic demo: random testing essentially never
+	// finds the magic constant; one branch negation does.
+	p := mdl.MustParse(`
+func f(x) {
+  if x == 123456 {
+    return 1
+  }
+  return 0
+}`)
+	ex, err := Explore(p, "f", []int64{0}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.CoverageFraction(p) != 1 {
+		t.Errorf("coverage = %v; the == branch was not solved", ex.CoverageFraction(p))
+	}
+	found := false
+	for _, in := range ex.Corpus {
+		if in[0] == 123456 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("corpus %v missing the magic input", ex.Corpus)
+	}
+}
+
+func TestExploreNestedBranches(t *testing.T) {
+	p := mdl.MustParse(`
+func f(a, b) {
+  if a > 50 {
+    if b < -10 {
+      return 3
+    }
+    return 2
+  }
+  if a * 2 + b == 77 {
+    return 1
+  }
+  return 0
+}`)
+	ex, err := Explore(p, "f", []int64{0, 0}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.CoverageFraction(p); got != 1 {
+		t.Errorf("coverage = %v, corpus %v", got, ex.Corpus)
+	}
+}
+
+func TestExploreLoopCondition(t *testing.T) {
+	p := mdl.MustParse(`
+func f(n) {
+  let acc = 0
+  let i = 0
+  while i < n {
+    acc = acc + i
+    i = i + 1
+  }
+  if acc > 100 {
+    return 1
+  }
+  return 0
+}`)
+	ex, err := Explore(p, "f", []int64{0}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.CoverageFraction(p); got != 1 {
+		t.Errorf("coverage = %v (acc>100 needs n>=15)", got)
+	}
+}
+
+func TestExploreBudgetRespected(t *testing.T) {
+	p := mdl.MustParse(`
+func f(x) {
+  if x > 0 { return 1 }
+  return 0
+}`)
+	ex, err := Explore(p, "f", []int64{0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Runs != 1 {
+		t.Errorf("runs = %d", ex.Runs)
+	}
+}
+
+func TestExtendSuiteKillsSurvivors(t *testing.T) {
+	p := mdl.MustParse(`
+func f(x, y) {
+  let out = 0
+  if x > 10 {
+    out = x - y
+  }
+  if out > 90 {
+    out = 90
+  }
+  return out
+}`)
+	// Weak suite: one vector; leaves many survivors.
+	weak := []mutation.Test{{Fn: "f", Args: []int64{20, 5}}}
+	before, err := mutation.Qualify(p, weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, after, err := ExtendSuite(p, "f", weak, []int64{0, 0}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Score <= before.Score {
+		t.Errorf("score did not improve: %.2f -> %.2f", before.Score, after.Score)
+	}
+	if len(suite) <= len(weak) {
+		t.Error("no tests added")
+	}
+	t.Logf("score %.2f -> %.2f with %d generated tests (survivors %d -> %d)",
+		before.Score, after.Score, len(suite)-len(weak),
+		len(before.Survivors()), len(after.Survivors()))
+}
+
+func TestExtendSuiteNoSurvivorsNoChange(t *testing.T) {
+	p := mdl.MustParse(`func f(x) { return x + 1 }`)
+	// x+1: mutants x-1, x*1(=x), const 1->2/0... a couple of vectors
+	// kill them all.
+	full := []mutation.Test{{Fn: "f", Args: []int64{5}}, {Fn: "f", Args: []int64{-3}}}
+	rep, err := mutation.Qualify(p, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Survivors()) != 0 {
+		t.Skip("model has survivors; adjust fixture")
+	}
+	suite, after, err := ExtendSuite(p, "f", full, []int64{0}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != len(full) || after.Score != rep.Score {
+		t.Error("suite changed despite no survivors")
+	}
+}
+
+func TestSymStrings(t *testing.T) {
+	s := &SBin{Op: mdl.TokPlus, L: &SUn{Op: mdl.TokMinus, X: &SInput{Name: "a", Idx: 0}}, R: &SConst{V: 7}}
+	if s.String() != "(-a + 7)" {
+		t.Errorf("String = %q", s.String())
+	}
+}

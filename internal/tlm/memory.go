@@ -1,0 +1,187 @@
+package tlm
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Memory is a byte-addressable TLM memory target with per-beat access
+// latencies, optional DMI, and backdoor access for fault injection:
+// FlipBit models a single-event upset (SEU) in a memory cell, StuckAt
+// models a permanent cell defect. Both are the canonical "erroneous
+// data in arbitrary components, such as registers or memory cells"
+// injections from Sec. 1 of the paper.
+type Memory struct {
+	name string
+	base uint64
+	data []byte
+
+	// ReadLatency and WriteLatency are consumed per access beat
+	// (one payload = one beat regardless of length, matching LT style).
+	ReadLatency  sim.Time
+	WriteLatency sim.Time
+	// AllowDMI lets initiators bypass transactions entirely.
+	AllowDMI bool
+
+	stuckMask map[uint64]stuck // addr -> per-bit stuck info
+
+	reads, writes uint64
+}
+
+type stuck struct {
+	mask  byte // bits that are stuck
+	value byte // the value those bits are stuck at
+}
+
+// NewMemory creates a memory of the given size mapped at base.
+func NewMemory(name string, base uint64, size int) *Memory {
+	return &Memory{
+		name: name, base: base, data: make([]byte, size),
+		stuckMask: make(map[uint64]stuck),
+	}
+}
+
+// Name reports the memory instance name.
+func (m *Memory) Name() string { return m.name }
+
+// Size reports the memory size in bytes.
+func (m *Memory) Size() int { return len(m.data) }
+
+// Base reports the first mapped address.
+func (m *Memory) Base() uint64 { return m.base }
+
+// Stats reports the number of read and write transactions served.
+func (m *Memory) Stats() (reads, writes uint64) { return m.reads, m.writes }
+
+// contains reports whether the [addr, addr+n) range is fully mapped.
+func (m *Memory) contains(addr uint64, n int) bool {
+	return addr >= m.base && addr-m.base+uint64(n) <= uint64(len(m.data))
+}
+
+// applyStuck overlays permanent cell defects onto a read value.
+func (m *Memory) applyStuck(off uint64, v byte) byte {
+	if s, ok := m.stuckMask[off]; ok {
+		v = v&^s.mask | s.value&s.mask
+	}
+	return v
+}
+
+// BTransport implements Target.
+func (m *Memory) BTransport(p *Payload, delay *sim.Time) {
+	if !m.contains(p.Address, len(p.Data)) {
+		p.Response = RespAddressError
+		return
+	}
+	off := p.Address - m.base
+	switch p.Command {
+	case CmdRead:
+		m.reads++
+		for i := range p.Data {
+			if p.EnabledByte(i) {
+				p.Data[i] = m.applyStuck(off+uint64(i), m.data[off+uint64(i)])
+			}
+		}
+		*delay += m.ReadLatency
+	case CmdWrite:
+		m.writes++
+		for i := range p.Data {
+			if p.EnabledByte(i) {
+				m.data[off+uint64(i)] = p.Data[i]
+			}
+		}
+		*delay += m.WriteLatency
+	case CmdIgnore:
+		// No transfer.
+	default:
+		p.Response = RespCommandError
+		return
+	}
+	p.DMIAllowed = m.AllowDMI && len(m.stuckMask) == 0
+	p.Response = RespOK
+}
+
+// TransportDbg implements DebugTarget: zero-time backdoor access.
+func (m *Memory) TransportDbg(p *Payload) int {
+	if !m.contains(p.Address, len(p.Data)) {
+		p.Response = RespAddressError
+		return 0
+	}
+	off := p.Address - m.base
+	switch p.Command {
+	case CmdRead:
+		for i := range p.Data {
+			p.Data[i] = m.applyStuck(off+uint64(i), m.data[off+uint64(i)])
+		}
+	case CmdWrite:
+		copy(m.data[off:], p.Data)
+	}
+	p.Response = RespOK
+	return len(p.Data)
+}
+
+// GetDMIPtr implements DMITarget. DMI is denied while any stuck-at
+// defect is active, because a raw pointer would bypass the defect
+// overlay and hide the fault from the simulation.
+func (m *Memory) GetDMIPtr(p *Payload, dmi *DMIData) bool {
+	if !m.AllowDMI || len(m.stuckMask) > 0 || !m.contains(p.Address, 1) {
+		return false
+	}
+	dmi.Ptr = m.data
+	dmi.StartAddr = m.base
+	dmi.EndAddr = m.base + uint64(len(m.data)) - 1
+	dmi.ReadAllowed = true
+	dmi.WriteAllowed = true
+	dmi.ReadLatency = m.ReadLatency
+	dmi.WriteLatency = m.WriteLatency
+	return true
+}
+
+// FlipBit injects a single-event upset: bit (0-7) of the cell at the
+// absolute address addr inverts. It returns an error when addr is
+// unmapped.
+func (m *Memory) FlipBit(addr uint64, bit uint) error {
+	if !m.contains(addr, 1) || bit > 7 {
+		return fmt.Errorf("tlm: FlipBit(0x%x, %d) outside %s", addr, bit, m.name)
+	}
+	m.data[addr-m.base] ^= 1 << bit
+	return nil
+}
+
+// StuckAt injects a permanent cell defect: bit of the cell at addr
+// reads as value until ClearFaults. Writes still update the underlying
+// storage, so the defect is observable only on read — matching a
+// stuck-at output fault.
+func (m *Memory) StuckAt(addr uint64, bit uint, value bool) error {
+	if !m.contains(addr, 1) || bit > 7 {
+		return fmt.Errorf("tlm: StuckAt(0x%x, %d) outside %s", addr, bit, m.name)
+	}
+	off := addr - m.base
+	s := m.stuckMask[off]
+	s.mask |= 1 << bit
+	if value {
+		s.value |= 1 << bit
+	} else {
+		s.value &^= 1 << bit
+	}
+	m.stuckMask[off] = s
+	return nil
+}
+
+// ClearFaults removes all stuck-at defects (bit flips are persistent
+// state changes and are not reverted).
+func (m *Memory) ClearFaults() {
+	clear(m.stuckMask)
+}
+
+// Poke writes raw bytes without timing (test/loader backdoor).
+func (m *Memory) Poke(addr uint64, data []byte) {
+	copy(m.data[addr-m.base:], data)
+}
+
+// Peek reads raw bytes without timing or defect overlay.
+func (m *Memory) Peek(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	copy(out, m.data[addr-m.base:])
+	return out
+}

@@ -1,0 +1,133 @@
+package tlm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Router is an address-decoding interconnect: incoming transactions are
+// forwarded to the target whose address range contains the payload
+// address, with a per-hop routing latency added. It models the
+// communication architecture left "undefined and open for design space
+// exploration" in the paper's TLM discussion — swap routing latency and
+// mapping without touching initiators or targets.
+type Router struct {
+	name string
+	// HopLatency is added to the annotated delay per routed transaction.
+	HopLatency sim.Time
+
+	ranges []mapRange
+	hops   uint64
+}
+
+type mapRange struct {
+	start, end uint64 // inclusive
+	target     Target
+	name       string
+}
+
+// NewRouter creates an empty router.
+func NewRouter(name string) *Router {
+	return &Router{name: name}
+}
+
+// Name reports the router instance name.
+func (r *Router) Name() string { return r.name }
+
+// Map binds [start, start+size) to a target. Overlapping ranges are a
+// wiring bug and are rejected.
+func (r *Router) Map(name string, start uint64, size uint64, t Target) error {
+	if size == 0 {
+		return fmt.Errorf("tlm: router %s: empty range for %s", r.name, name)
+	}
+	end := start + size - 1
+	for _, mr := range r.ranges {
+		if start <= mr.end && mr.start <= end {
+			return fmt.Errorf("tlm: router %s: range %s [0x%x,0x%x] overlaps %s [0x%x,0x%x]",
+				r.name, name, start, end, mr.name, mr.start, mr.end)
+		}
+	}
+	r.ranges = append(r.ranges, mapRange{start: start, end: end, target: t, name: name})
+	sort.Slice(r.ranges, func(i, j int) bool { return r.ranges[i].start < r.ranges[j].start })
+	return nil
+}
+
+// MustMap is Map that panics on wiring errors (elaboration-time use).
+func (r *Router) MustMap(name string, start uint64, size uint64, t Target) {
+	if err := r.Map(name, start, size, t); err != nil {
+		panic(err)
+	}
+}
+
+// decode finds the target range for addr, or nil.
+func (r *Router) decode(addr uint64) *mapRange {
+	lo, hi := 0, len(r.ranges)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		mr := &r.ranges[mid]
+		switch {
+		case addr < mr.start:
+			hi = mid - 1
+		case addr > mr.end:
+			lo = mid + 1
+		default:
+			return mr
+		}
+	}
+	return nil
+}
+
+// BTransport implements Target by decoding and forwarding.
+func (r *Router) BTransport(p *Payload, delay *sim.Time) {
+	mr := r.decode(p.Address)
+	if mr == nil {
+		p.Response = RespAddressError
+		return
+	}
+	r.hops++
+	*delay += r.HopLatency
+	mr.target.BTransport(p, delay)
+}
+
+// TransportDbg implements DebugTarget by forwarding without latency.
+func (r *Router) TransportDbg(p *Payload) int {
+	mr := r.decode(p.Address)
+	if mr == nil {
+		p.Response = RespAddressError
+		return 0
+	}
+	if dt, ok := mr.target.(DebugTarget); ok {
+		return dt.TransportDbg(p)
+	}
+	return 0
+}
+
+// GetDMIPtr implements DMITarget by forwarding; the router clamps the
+// granted window to the mapped range so a DMI pointer never spans two
+// targets.
+func (r *Router) GetDMIPtr(p *Payload, dmi *DMIData) bool {
+	mr := r.decode(p.Address)
+	if mr == nil {
+		return false
+	}
+	dt, ok := mr.target.(DMITarget)
+	if !ok || !dt.GetDMIPtr(p, dmi) {
+		return false
+	}
+	if dmi.StartAddr < mr.start {
+		dmi.Ptr = dmi.Ptr[mr.start-dmi.StartAddr:]
+		dmi.StartAddr = mr.start
+	}
+	if dmi.EndAddr > mr.end {
+		dmi.Ptr = dmi.Ptr[:dmi.EndAddr-dmi.StartAddr+1-(dmi.EndAddr-mr.end)]
+		dmi.EndAddr = mr.end
+	}
+	dmi.ReadLatency += r.HopLatency
+	dmi.WriteLatency += r.HopLatency
+	return true
+}
+
+// Hops reports how many transactions the router has forwarded.
+func (r *Router) Hops() uint64 { return r.hops }

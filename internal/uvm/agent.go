@@ -1,0 +1,54 @@
+package uvm
+
+import "repro/internal/sim"
+
+// Agent bundles the standard UVM trio — sequencer, driver and monitor
+// — into one reusable component ("UVM components utilize TLM
+// interfaces for communication and make use of UVM agents to interact
+// with the DUT", Sec. 2.3 of the paper). An active agent owns the
+// run-phase loop: it pulls items from its sequencer, hands them to
+// the driver function, and publishes what the driver observed on the
+// monitor port. A passive agent (Active=false) only exposes the
+// monitor port for someone else to publish into.
+type Agent[T any] struct {
+	Comp
+	// Sequencer feeds the driver.
+	Sequencer *Sequencer[T]
+	// Drive executes one item against the DUT and returns the
+	// observed transaction (what a bus monitor would have seen).
+	Drive func(ctx *sim.ThreadCtx, item T) T
+	// Monitor broadcasts observed transactions.
+	Monitor *AnalysisPort[T]
+	// Active selects whether the agent runs the driver loop.
+	Active bool
+
+	driven uint64
+}
+
+// NewAgent creates an active agent under parent.
+func NewAgent[T any](k *sim.Kernel, parent Component, name string) *Agent[T] {
+	a := &Agent[T]{Active: true}
+	NewComp(a, parent, name)
+	a.Sequencer = NewSequencer[T](k, a.FullName()+".sqr")
+	a.Monitor = NewAnalysisPort[T](a.FullName() + ".mon")
+	return a
+}
+
+// Driven reports how many items the driver executed.
+func (a *Agent[T]) Driven() uint64 { return a.driven }
+
+// Run implements Component: the get_next_item / drive / item_done /
+// monitor loop. The loop runs until the simulation ends (agents do
+// not hold objections; sequences do).
+func (a *Agent[T]) Run(ctx *sim.ThreadCtx) {
+	if !a.Active || a.Drive == nil {
+		return
+	}
+	for {
+		item := a.Sequencer.GetNext(ctx)
+		observed := a.Drive(ctx, item)
+		a.driven++
+		a.Monitor.Write(observed)
+		a.Sequencer.ItemDone()
+	}
+}

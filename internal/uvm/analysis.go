@@ -1,0 +1,67 @@
+package uvm
+
+// AnalysisPort broadcasts transactions from monitors to any number of
+// subscribers (scoreboards, coverage collectors, failure classifiers).
+// Writes are synchronous function calls in subscription order, which
+// keeps campaigns deterministic.
+type AnalysisPort[T any] struct {
+	name string
+	subs []func(T)
+}
+
+// NewAnalysisPort creates a named port.
+func NewAnalysisPort[T any](name string) *AnalysisPort[T] {
+	return &AnalysisPort[T]{name: name}
+}
+
+// Name reports the port name.
+func (p *AnalysisPort[T]) Name() string { return p.name }
+
+// Subscribe registers a callback for every Write.
+func (p *AnalysisPort[T]) Subscribe(fn func(T)) {
+	p.subs = append(p.subs, fn)
+}
+
+// Write broadcasts one transaction to all subscribers.
+func (p *AnalysisPort[T]) Write(v T) {
+	for _, fn := range p.subs {
+		fn(v)
+	}
+}
+
+// Subscribers reports how many callbacks are attached (connectivity
+// checks during the connect phase).
+func (p *AnalysisPort[T]) Subscribers() int { return len(p.subs) }
+
+// AnalysisFIFO is a subscriber that queues transactions for later
+// pull-mode consumption (the uvm_tlm_analysis_fifo analogue).
+type AnalysisFIFO[T any] struct {
+	items []T
+}
+
+// NewAnalysisFIFO creates an empty FIFO and subscribes it to the port.
+func NewAnalysisFIFO[T any](port *AnalysisPort[T]) *AnalysisFIFO[T] {
+	f := &AnalysisFIFO[T]{}
+	port.Subscribe(func(v T) { f.items = append(f.items, v) })
+	return f
+}
+
+// Len reports queued transactions.
+func (f *AnalysisFIFO[T]) Len() int { return len(f.items) }
+
+// TryGet pops the oldest transaction; ok is false when empty.
+func (f *AnalysisFIFO[T]) TryGet() (v T, ok bool) {
+	if len(f.items) == 0 {
+		return v, false
+	}
+	v = f.items[0]
+	f.items = f.items[1:]
+	return v, true
+}
+
+// Drain returns and clears all queued transactions.
+func (f *AnalysisFIFO[T]) Drain() []T {
+	out := f.items
+	f.items = nil
+	return out
+}

@@ -1,0 +1,107 @@
+package uvm
+
+import "strings"
+
+// ConfigDB is the hierarchical configuration database: values are set
+// against a glob pattern over component full names plus a key, and
+// components look themselves up. Later Set calls win over earlier
+// ones, and a more literal match is not preferred over a later glob —
+// matching UVM's "last write wins" precedence, which is what makes
+// test-specific overrides (e.g. pointing the stressor at a different
+// injector) work without editing the environment.
+type ConfigDB struct {
+	entries []cfgEntry
+}
+
+type cfgEntry struct {
+	pattern string
+	key     string
+	value   any
+}
+
+// NewConfigDB creates an empty database.
+func NewConfigDB() *ConfigDB {
+	return &ConfigDB{}
+}
+
+// Set stores value under (pattern, key). The pattern matches component
+// full names; '*' matches any run of characters (including dots) and
+// '?' matches one character.
+func (db *ConfigDB) Set(pattern, key string, value any) {
+	db.entries = append(db.entries, cfgEntry{pattern: pattern, key: key, value: value})
+}
+
+// Get looks up key for the component; the most recent matching Set
+// wins. ok is false when nothing matches.
+func (db *ConfigDB) Get(c Component, key string) (value any, ok bool) {
+	return db.GetPath(c.FullName(), key)
+}
+
+// GetPath looks up key against an explicit hierarchical path.
+func (db *ConfigDB) GetPath(path, key string) (value any, ok bool) {
+	for i := len(db.entries) - 1; i >= 0; i-- {
+		e := &db.entries[i]
+		if e.key == key && globMatch(e.pattern, path) {
+			return e.value, true
+		}
+	}
+	return nil, false
+}
+
+// GetInt is Get with an int assertion; def is returned on miss or
+// type mismatch.
+func (db *ConfigDB) GetInt(c Component, key string, def int) int {
+	if v, ok := db.Get(c, key); ok {
+		if i, ok := v.(int); ok {
+			return i
+		}
+	}
+	return def
+}
+
+// GetString is Get with a string assertion.
+func (db *ConfigDB) GetString(c Component, key string, def string) string {
+	if v, ok := db.Get(c, key); ok {
+		if s, ok := v.(string); ok {
+			return s
+		}
+	}
+	return def
+}
+
+// GetBool is Get with a bool assertion.
+func (db *ConfigDB) GetBool(c Component, key string, def bool) bool {
+	if v, ok := db.Get(c, key); ok {
+		if b, ok := v.(bool); ok {
+			return b
+		}
+	}
+	return def
+}
+
+// globMatch matches pattern against s where '*' spans any run
+// (including dots, so "env.*" reaches all descendants) and '?' matches
+// exactly one character.
+func globMatch(pattern, s string) bool {
+	// Iterative two-pointer glob with backtracking on the last '*'.
+	pi, si := 0, 0
+	star, mark := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '?' || pattern[pi] == s[si]):
+			pi++
+			si++
+		case pi < len(pattern) && pattern[pi] == '*':
+			star = pi
+			mark = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			mark++
+			si = mark
+		default:
+			return false
+		}
+	}
+	return strings.Trim(pattern[pi:], "*") == ""
+}

@@ -1,0 +1,91 @@
+package uvm
+
+import "repro/internal/sim"
+
+// Sequencer mediates between sequences (stimulus generators) and a
+// driver: sequences push items, the driver pulls them one at a time
+// and acknowledges completion, giving the standard UVM
+// get_next_item/item_done handshake. One driver may pull from a
+// sequencer; any number of sequences may push (items interleave in
+// push order).
+type Sequencer[T any] struct {
+	k     *sim.Kernel
+	name  string
+	queue []T
+	avail *sim.Event
+	done  *sim.Event
+
+	pulled    uint64
+	completed uint64
+}
+
+// NewSequencer creates a sequencer on the kernel.
+func NewSequencer[T any](k *sim.Kernel, name string) *Sequencer[T] {
+	return &Sequencer[T]{
+		k:     k,
+		name:  name,
+		avail: k.NewEvent(name + ".avail"),
+		done:  k.NewEvent(name + ".done"),
+	}
+}
+
+// Name reports the sequencer name.
+func (s *Sequencer[T]) Name() string { return s.name }
+
+// Push enqueues an item without waiting for its completion.
+func (s *Sequencer[T]) Push(item T) {
+	s.queue = append(s.queue, item)
+	s.avail.Notify(0)
+}
+
+// Send enqueues an item and blocks the calling sequence until the
+// driver calls ItemDone for it (strict in-order completion).
+func (s *Sequencer[T]) Send(ctx *sim.ThreadCtx, item T) {
+	s.Push(item)
+	target := s.pushedCount()
+	for s.completed < target {
+		ctx.Wait(s.done)
+	}
+}
+
+// pushedCount is the sequence number of the most recently pushed item.
+func (s *Sequencer[T]) pushedCount() uint64 {
+	return s.pulled + uint64(len(s.queue))
+}
+
+// GetNext blocks the driver until an item is available and pops it.
+func (s *Sequencer[T]) GetNext(ctx *sim.ThreadCtx) T {
+	for len(s.queue) == 0 {
+		ctx.Wait(s.avail)
+	}
+	item := s.queue[0]
+	s.queue = s.queue[1:]
+	s.pulled++
+	return item
+}
+
+// TryNext pops an item without blocking; ok is false when idle.
+func (s *Sequencer[T]) TryNext() (item T, ok bool) {
+	if len(s.queue) == 0 {
+		return item, false
+	}
+	item = s.queue[0]
+	s.queue = s.queue[1:]
+	s.pulled++
+	return item, true
+}
+
+// ItemDone acknowledges completion of the last pulled item, releasing
+// a blocked Send.
+func (s *Sequencer[T]) ItemDone() {
+	s.completed++
+	s.done.Notify(0)
+}
+
+// Pending reports queued (not yet pulled) items.
+func (s *Sequencer[T]) Pending() int { return len(s.queue) }
+
+// Stats reports items pulled by the driver and completions.
+func (s *Sequencer[T]) Stats() (pulled, completed uint64) {
+	return s.pulled, s.completed
+}
