@@ -1,0 +1,32 @@
+# govp build/test entry points. `make tier1` is the gate every change
+# must pass: build, vet, and the full test suite under the race
+# detector — mandatory now that campaigns execute on worker pools.
+
+GO ?= go
+
+.PHONY: all build vet test race tier1 bench bench-campaign
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+tier1: build vet race
+
+# Full benchmark sweep (regenerates every experiment).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Sequential vs parallel campaign engine on the E8 single-fault
+# universe; compare the two sub-benchmarks with benchstat.
+bench-campaign:
+	$(GO) test -run xxx -bench BenchmarkCampaignParallel -benchtime 20x .

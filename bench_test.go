@@ -7,9 +7,15 @@ package govp
 // and re-validates the whole evaluation.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
+	"repro/internal/caps"
 	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/stressor"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -104,3 +110,51 @@ func BenchmarkX2_MechanismAblation(b *testing.B) { benchExperiment(b, "X2") }
 // BenchmarkX3_FaultSimAcceleration regenerates the bit-parallel
 // fault-grading comparison (Sec. 2.2 acceleration).
 func BenchmarkX3_FaultSimAcceleration(b *testing.B) { benchExperiment(b, "X3") }
+
+// BenchmarkCampaignParallel measures the worker-pool campaign engine
+// against the sequential loop on the E8 single-fault universe (the
+// repository's hot path). Each scenario builds a fresh CAPS virtual
+// prototype, so runs are independent and the speedup at
+// workers=GOMAXPROCS approaches the core count on a multi-core
+// machine; compare the sequential and workers sub-benchmarks with
+// benchstat. Results are deterministic for every worker count (see
+// TestCampaignDeterminismAcrossWorkers), so the sub-benchmarks also
+// cross-check each other's tallies.
+func BenchmarkCampaignParallel(b *testing.B) {
+	horizon := sim.MS(80)
+	runner, err := caps.NewRunner(caps.Protected(), caps.NormalDriving(), horizon)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var scenarios []fault.Scenario
+	for _, d := range runner.Universe(sim.MS(10)) {
+		scenarios = append(scenarios, fault.Single(d))
+	}
+	want, err := (&stressor.Campaign{Name: "ref", Run: runner.RunFunc()}).Execute(scenarios)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 0},
+		{fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0)), stressor.WorkersAuto},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			c := &stressor.Campaign{Name: "bench", Run: runner.RunFunc(), Workers: bc.workers}
+			b.ReportMetric(float64(len(scenarios)), "scenarios/op")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := c.Execute(scenarios)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Tally.String() != want.Tally.String() {
+					b.Fatalf("tally %s != sequential reference %s", res.Tally, want.Tally)
+				}
+			}
+		})
+	}
+}

@@ -7,7 +7,8 @@
 //	capsim -faults "short-to-supply @caps.accel0.harness from 10ms"
 //	capsim -world crash -unprotected \
 //	       -faults "omission @caps.can.bus from 15ms; open @caps.accel0.harness from 5ms"
-//	capsim -sites     # list injection sites
+//	capsim -sites                  # list injection sites
+//	capsim -campaign -workers -1   # exhaustive single-fault campaign, one worker per CPU
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"repro/internal/caps"
 	"repro/internal/fault"
 	"repro/internal/sim"
+	"repro/internal/stressor"
 )
 
 func main() {
@@ -26,6 +28,8 @@ func main() {
 	faults := flag.String("faults", "", "semicolon-separated fault descriptions")
 	horizonFlag := flag.String("horizon", "80ms", "simulated duration")
 	listSites := flag.Bool("sites", false, "list injection sites and exit")
+	campaign := flag.Bool("campaign", false, "run the exhaustive single-fault campaign instead of one scenario")
+	workers := flag.Int("workers", 0, "campaign worker-pool size: 0 = sequential, -1 = one per CPU")
 	flag.Parse()
 
 	cfg := caps.Protected()
@@ -56,6 +60,30 @@ func main() {
 	if *listSites {
 		for _, s := range runner.Sites() {
 			fmt.Println(s)
+		}
+		return
+	}
+	if *campaign {
+		var scenarios []fault.Scenario
+		for _, d := range runner.Universe(sim.MS(10)) {
+			scenarios = append(scenarios, fault.Single(d))
+		}
+		c := &stressor.Campaign{Name: "capsim", Run: runner.RunFunc(), Workers: *workers}
+		res, err := c.Execute(scenarios)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("world:     %s\n", *world)
+		fmt.Printf("config:    protected=%v\n", !*unprotected)
+		fmt.Printf("campaign:  %d single-fault scenarios, workers=%d\n", len(scenarios), *workers)
+		fmt.Printf("tally:     %s\n", res.Tally)
+		if res.RunsToFirstFailure > 0 {
+			fmt.Printf("first failure at run %d: %s\n",
+				res.RunsToFirstFailure, res.Outcomes[res.RunsToFirstFailure-1].Scenario.ID)
+		}
+		if res.Tally[fault.SafetyCritical] > 0 {
+			os.Exit(1)
 		}
 		return
 	}

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	mutate -model model.mdl -tests "fire:60,50,1;fire:10,10,1"
-//	mutate -demo           # run the built-in airbag-decision demo
+//	mutate -demo              # run the built-in airbag-decision demo
+//	mutate -demo -workers -1  # one mutant-execution worker per CPU
 //
 // Test syntax: semicolon-separated "func:arg,arg,..." vectors.
 package main
@@ -43,6 +44,7 @@ func main() {
 	testsFlag := flag.String("tests", "", "test vectors: func:a,b,...;func:...")
 	demo := flag.Bool("demo", false, "run the built-in demo model and suite")
 	showSurvivors := flag.Bool("survivors", true, "list surviving mutants")
+	workers := flag.Int("workers", 0, "mutant-execution worker-pool size: 0 = sequential, -1 = one per CPU")
 	flag.Parse()
 
 	src, tests := demoModel, demoTests
@@ -69,7 +71,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	rep, err := mutation.Qualify(prog, suite)
+	rep, err := mutation.QualifyWith(prog, suite, mutation.Options{Workers: *workers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -2,6 +2,7 @@ package caps
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -307,5 +308,36 @@ func TestPropagationTrace(t *testing.T) {
 	}
 	if !foundBarrier {
 		t.Errorf("trace missing the fusion barrier hop: %s", tr)
+	}
+}
+
+// TestParallelCampaignMatchesSequential runs the real E8 single-fault
+// campaign through the worker-pool engine against the sequential
+// loop. Beyond determinism, under `go test -race` this is the
+// concurrency audit of the whole prototype stack: several sim kernels,
+// CAPS systems and fault registries live at once, and any package-
+// level mutable state shared between them would trip the detector.
+func TestParallelCampaignMatchesSequential(t *testing.T) {
+	runner, err := NewRunner(Protected(), NormalDriving(), sim.MS(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scenarios []fault.Scenario
+	for _, d := range runner.Universe(sim.MS(10)) {
+		scenarios = append(scenarios, fault.Single(d))
+	}
+	seq, err := (&stressor.Campaign{Name: "caps", Run: runner.RunFunc()}).Execute(scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, stressor.WorkersAuto} {
+		par, err := (&stressor.Campaign{Name: "caps", Run: runner.RunFunc(), Workers: workers}).Execute(scenarios)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(par, seq) {
+			t.Errorf("workers=%d: parallel campaign diverged from sequential\ngot tally %s, want %s",
+				workers, par.Tally, seq.Tally)
+		}
 	}
 }

@@ -35,7 +35,7 @@ func runE8() (*Result, error) {
 		for _, d := range universe {
 			scenarios = append(scenarios, fault.Single(d))
 		}
-		c := &stressor.Campaign{Name: name, Run: runner.RunFunc()}
+		c := &stressor.Campaign{Name: name, Run: runner.RunFunc(), Workers: CampaignWorkers}
 		res, err := c.Execute(scenarios)
 		return res, universe, err
 	}

@@ -12,7 +12,15 @@ import (
 	"sort"
 
 	"repro/internal/report"
+	"repro/internal/stressor"
 )
+
+// CampaignWorkers sizes the worker pool of the campaign-heavy
+// experiments (E8, X2): 0 forces sequential execution, N > 0 a pool
+// of N, and the stressor.WorkersAuto default one worker per CPU.
+// Campaign results are deterministic for every setting, so this knob
+// only trades wall-clock time.
+var CampaignWorkers = stressor.WorkersAuto
 
 // Result is one experiment's outcome.
 type Result struct {

@@ -54,7 +54,7 @@ func runX2() (*Result, error) {
 		for _, d := range runner.Universe(sim.MS(10)) {
 			scenarios = append(scenarios, fault.Single(d))
 		}
-		c := &stressor.Campaign{Name: v.name, Run: runner.RunFunc()}
+		c := &stressor.Campaign{Name: v.name, Run: runner.RunFunc(), Workers: CampaignWorkers}
 		res, err := c.Execute(scenarios)
 		if err != nil {
 			return nil, fmt.Errorf("X2 %s: %w", v.name, err)

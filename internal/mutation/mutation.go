@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/mdl"
+	"repro/internal/par"
 )
 
 // Mutant is one seeded syntactic fault.
@@ -173,20 +174,39 @@ func (r *Report) Survivors() []Mutant {
 	return out
 }
 
+// WorkersAuto asks QualifyWith for one worker per available CPU.
+const WorkersAuto = par.Auto
+
+// Options configure a qualification run.
+type Options struct {
+	// Reparse re-parses the model source for every mutant before
+	// execution — the naive rebuild-per-mutant baseline of E9.
+	Reparse bool
+	// Workers selects mutant-execution parallelism: 0 runs mutants
+	// sequentially, N > 0 uses a pool of N goroutines, WorkersAuto
+	// sizes the pool to GOMAXPROCS. Every mutant executes in its own
+	// interpreter against a read-only program, so the Report is
+	// identical for every setting.
+	Workers int
+}
+
 // Qualify runs the full analysis using mutation schemata: the program
 // is parsed once; each mutant is selected by flag.
 func Qualify(p *mdl.Program, tests []Test) (*Report, error) {
-	return qualify(p, tests, false)
+	return QualifyWith(p, tests, Options{})
 }
 
 // QualifyReparse is the naive baseline: the model source is re-parsed
 // for every mutant before execution (standing in for rebuild-per-
 // mutant flows). Results are identical to Qualify; only cost differs.
 func QualifyReparse(p *mdl.Program, tests []Test) (*Report, error) {
-	return qualify(p, tests, true)
+	return QualifyWith(p, tests, Options{Reparse: true})
 }
 
-func qualify(p *mdl.Program, tests []Test, reparse bool) (*Report, error) {
+// QualifyWith runs the analysis under explicit options. Mutant fates
+// are independent of each other, so parallel execution reassembles
+// the exact sequential Report (result order, kill counts, score).
+func QualifyWith(p *mdl.Program, tests []Test, opts Options) (*Report, error) {
 	if len(tests) == 0 {
 		return nil, fmt.Errorf("mutation: empty test suite")
 	}
@@ -203,40 +223,59 @@ func qualify(p *mdl.Program, tests []Test, reparse bool) (*Report, error) {
 	cov := golden.CoverageFraction()
 
 	mutants := Generate(p)
+	type fate struct {
+		res MutantResult
+		err error
+	}
+	fates := par.Map(opts.Workers, len(mutants), func(i int) fate {
+		res, err := runMutant(p, mutants[i], tests, expected, opts.Reparse)
+		return fate{res: res, err: err}
+	})
+
 	rep := &Report{Total: len(mutants), StatementCoverage: cov}
-	for _, m := range mutants {
-		prog := p
-		if reparse {
-			var err error
-			prog, err = mdl.Parse(p.Source)
-			if err != nil {
-				return nil, fmt.Errorf("mutation: reparse failed: %w", err)
-			}
+	for _, f := range fates {
+		if f.err != nil {
+			return nil, f.err
 		}
-		in := mdl.NewInterp(prog)
-		mut := m.Mut
-		in.SetMutation(&mut)
-		res := MutantResult{Mutant: m, Verdict: Survived, KillingTest: -1}
-		for i, t := range tests {
-			v, err := in.Call(t.Fn, t.Args...)
-			if err != nil {
-				res.Verdict = KilledByError
-				res.KillingTest = i
-				break
-			}
-			if v != expected[i] {
-				res.Verdict = KilledByValue
-				res.KillingTest = i
-				break
-			}
-		}
-		if res.Verdict != Survived {
+		if f.res.Verdict != Survived {
 			rep.Killed++
 		}
-		rep.Results = append(rep.Results, res)
+		rep.Results = append(rep.Results, f.res)
 	}
 	if rep.Total > 0 {
 		rep.Score = float64(rep.Killed) / float64(rep.Total)
 	}
 	return rep, nil
+}
+
+// runMutant executes one mutant against the suite in a fresh
+// interpreter and reports its fate. It only reads the shared program
+// (or its private re-parse), so concurrent calls are safe.
+func runMutant(p *mdl.Program, m Mutant, tests []Test, expected []int64, reparse bool) (MutantResult, error) {
+	prog := p
+	if reparse {
+		var err error
+		prog, err = mdl.Parse(p.Source)
+		if err != nil {
+			return MutantResult{}, fmt.Errorf("mutation: reparse failed: %w", err)
+		}
+	}
+	in := mdl.NewInterp(prog)
+	mut := m.Mut
+	in.SetMutation(&mut)
+	res := MutantResult{Mutant: m, Verdict: Survived, KillingTest: -1}
+	for i, t := range tests {
+		v, err := in.Call(t.Fn, t.Args...)
+		if err != nil {
+			res.Verdict = KilledByError
+			res.KillingTest = i
+			break
+		}
+		if v != expected[i] {
+			res.Verdict = KilledByValue
+			res.KillingTest = i
+			break
+		}
+	}
+	return res, nil
 }

@@ -258,3 +258,37 @@ func BenchmarkQualifyReparse(b *testing.B) {
 		}
 	}
 }
+
+// TestQualifyWithWorkersDeterministic is the parallel-qualification
+// contract: any worker count reassembles the exact sequential Report
+// (result order, per-mutant verdicts, kill count, score), in both
+// schemata and reparse modes.
+func TestQualifyWithWorkersDeterministic(t *testing.T) {
+	p := prog(t)
+	suite := strongSuite()
+	for _, reparse := range []bool{false, true} {
+		baseline, err := QualifyWith(p, suite, Options{Reparse: reparse})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 4, 8, WorkersAuto} {
+			got, err := QualifyWith(p, suite, Options{Reparse: reparse, Workers: workers})
+			if err != nil {
+				t.Fatalf("reparse=%v workers=%d: %v", reparse, workers, err)
+			}
+			if got.Total != baseline.Total || got.Killed != baseline.Killed || got.Score != baseline.Score {
+				t.Fatalf("reparse=%v workers=%d: report %d/%d (%.2f) diverged from %d/%d (%.2f)",
+					reparse, workers, got.Killed, got.Total, got.Score,
+					baseline.Killed, baseline.Total, baseline.Score)
+			}
+			for i := range baseline.Results {
+				if got.Results[i].Mutant.ID != baseline.Results[i].Mutant.ID ||
+					got.Results[i].Verdict != baseline.Results[i].Verdict ||
+					got.Results[i].KillingTest != baseline.Results[i].KillingTest {
+					t.Fatalf("reparse=%v workers=%d: result %d = %+v, want %+v",
+						reparse, workers, i, got.Results[i], baseline.Results[i])
+				}
+			}
+		}
+	}
+}

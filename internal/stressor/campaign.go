@@ -1,17 +1,25 @@
 package stressor
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/fault"
+	"repro/internal/par"
 )
 
 // RunFunc executes one complete fault-injected simulation for the
 // given scenario — building a fresh virtual prototype, injecting,
 // running and classifying — and returns the outcome. Campaigns stay
 // agnostic of what the prototype is; the CAPS and ECU experiments
-// supply their own RunFuncs.
+// supply their own RunFuncs. A RunFunc handed to a parallel campaign
+// (Workers != 0) must be safe for concurrent invocation: each call
+// should build its own kernel and system, as the CAPS runner does.
 type RunFunc func(sc fault.Scenario) fault.Outcome
+
+// WorkersAuto asks Execute for one worker per available CPU.
+const WorkersAuto = par.Auto
 
 // Campaign repeats stress tests over a scenario list: the quantitative
 // evaluation loop of Sec. 3.4.
@@ -22,8 +30,16 @@ type Campaign struct {
 	Run RunFunc
 	// StopOnFirst aborts the campaign at the first unhandled failure —
 	// the "how many runs until the critical effect is found" metric of
-	// experiment E4.
+	// experiment E4. Under parallel execution the campaign still stops
+	// at the earliest-indexed failure, exactly as sequential execution
+	// would.
 	StopOnFirst bool
+	// Workers selects the execution mode: 0 runs scenarios
+	// sequentially on the calling goroutine, N > 0 fans them out to a
+	// pool of N goroutines, and WorkersAuto sizes the pool to
+	// GOMAXPROCS. Scenario runs are independent (each builds a fresh
+	// prototype), so the Result is identical for every setting.
+	Workers int
 }
 
 // Result is a finished campaign.
@@ -36,15 +52,124 @@ type Result struct {
 	RunsToFirstFailure int
 }
 
-// Execute runs every scenario (validating first) and tallies
-// classifications.
+// Execute runs every scenario and tallies classifications. The whole
+// list is validated up front, before any (expensive) run starts, so a
+// malformed scenario can never discard completed work. Outcomes keep
+// scenario order regardless of Workers.
 func (c *Campaign) Execute(scenarios []fault.Scenario) (*Result, error) {
-	res := &Result{Name: c.Name, Tally: make(fault.Tally)}
-	for i, sc := range scenarios {
+	for _, sc := range scenarios {
 		if err := sc.Validate(); err != nil {
 			return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
 		}
-		o := c.Run(sc)
+	}
+	var outs []fault.Outcome
+	var ran []bool
+	if workers := par.Resolve(c.Workers); workers == 0 {
+		outs, ran = c.runSequential(scenarios)
+	} else {
+		outs, ran = c.runParallel(scenarios, workers)
+	}
+	return c.assemble(scenarios, outs, ran), nil
+}
+
+// runSequential is the classic single-goroutine loop; it stops early
+// after the first failure when StopOnFirst is set.
+func (c *Campaign) runSequential(scenarios []fault.Scenario) ([]fault.Outcome, []bool) {
+	outs := make([]fault.Outcome, len(scenarios))
+	ran := make([]bool, len(scenarios))
+	for i, sc := range scenarios {
+		outs[i] = c.safeRun(sc)
+		ran[i] = true
+		if c.StopOnFirst && outs[i].Class.IsFailure() {
+			break
+		}
+	}
+	return outs, ran
+}
+
+// runParallel fans scenarios out to a worker pool. Indices are
+// dispatched in order; under StopOnFirst, the first failure cancels
+// dispatch and workers discard any queued scenario ordered after the
+// earliest failure seen so far, so every scenario the sequential loop
+// would have run still runs and nothing past the stop point survives
+// into the result.
+func (c *Campaign) runParallel(scenarios []fault.Scenario, workers int) ([]fault.Outcome, []bool) {
+	outs := make([]fault.Outcome, len(scenarios))
+	ran := make([]bool, len(scenarios))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var mu sync.Mutex
+	firstFail := len(scenarios) // lowest failure index seen so far
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				if c.StopOnFirst {
+					mu.Lock()
+					skip := i > firstFail
+					mu.Unlock()
+					if skip {
+						continue
+					}
+				}
+				o := c.safeRun(scenarios[i])
+				mu.Lock()
+				outs[i] = o
+				ran[i] = true
+				if c.StopOnFirst && o.Class.IsFailure() && i < firstFail {
+					firstFail = i
+					cancel()
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+dispatch:
+	for i := range scenarios {
+		select {
+		case <-ctx.Done():
+			break dispatch
+		case indices <- i:
+		}
+	}
+	close(indices)
+	wg.Wait()
+	return outs, ran
+}
+
+// safeRun invokes the RunFunc, converting a panic into a
+// detected-safe outcome so one crashing scenario cannot take down the
+// whole campaign.
+func (c *Campaign) safeRun(sc fault.Scenario) (o fault.Outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			o = fault.Outcome{
+				Scenario: sc,
+				Class:    fault.DetectedSafe,
+				Detail:   fmt.Sprintf("campaign panic recovered: %v", r),
+			}
+		}
+	}()
+	return c.Run(sc)
+}
+
+// assemble folds per-index outcomes into a Result in scenario order,
+// reproducing the sequential semantics bit for bit: the tally and
+// outcome list stop at the first failure when StopOnFirst is set,
+// and extra outcomes a parallel run completed past that point are
+// discarded.
+func (c *Campaign) assemble(scenarios []fault.Scenario, outs []fault.Outcome, ran []bool) *Result {
+	res := &Result{Name: c.Name, Tally: make(fault.Tally)}
+	for i := range scenarios {
+		if !ran[i] {
+			break
+		}
+		o := outs[i]
 		res.Outcomes = append(res.Outcomes, o)
 		res.Tally.Add(o)
 		if o.Class.IsFailure() && res.RunsToFirstFailure == 0 {
@@ -54,7 +179,7 @@ func (c *Campaign) Execute(scenarios []fault.Scenario) (*Result, error) {
 			}
 		}
 	}
-	return res, nil
+	return res
 }
 
 // FailureRate reports the fraction of runs that ended in unhandled

@@ -1,0 +1,196 @@
+package stressor
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// makeScenarios builds n valid single-fault scenarios named s0..s(n-1).
+func makeScenarios(n int) []fault.Scenario {
+	out := make([]fault.Scenario, n)
+	for i := range out {
+		out[i] = fault.Single(fault.Descriptor{
+			Name: fmt.Sprintf("s%d", i), Model: fault.BitFlip, Target: "m",
+		})
+	}
+	return out
+}
+
+// classRunFunc returns a pure (goroutine-safe) RunFunc mapping
+// scenario si to classes[i].
+func classRunFunc(classes []fault.Classification) RunFunc {
+	return func(sc fault.Scenario) fault.Outcome {
+		var i int
+		fmt.Sscanf(sc.ID, "s%d", &i)
+		return fault.Outcome{Scenario: sc, Class: classes[i], Detail: "ran " + sc.ID}
+	}
+}
+
+// pattern expands a failure-index map over n scenarios, defaulting to
+// Masked.
+func pattern(n int, failures map[int]fault.Classification) []fault.Classification {
+	out := make([]fault.Classification, n)
+	for i := range out {
+		out[i] = fault.Masked
+	}
+	for i, c := range failures {
+		out[i] = c
+	}
+	return out
+}
+
+// TestCampaignDeterminismAcrossWorkers is the parallel-campaign
+// contract: for any scenario list and any worker count, Execute
+// returns a Result identical to the sequential one — outcome order,
+// tally, RunsToFirstFailure — including under StopOnFirst with
+// several failures in the list.
+func TestCampaignDeterminismAcrossWorkers(t *testing.T) {
+	const n = 20
+	cases := []struct {
+		name     string
+		failures map[int]fault.Classification
+	}{
+		{"no failures", nil},
+		{"single failure", map[int]fault.Classification{7: fault.SDC}},
+		{"multiple failures", map[int]fault.Classification{
+			3: fault.SDC, 5: fault.SafetyCritical, 11: fault.TimingViolation,
+		}},
+		{"failure first", map[int]fault.Classification{0: fault.SafetyCritical}},
+		{"adjacent failures", map[int]fault.Classification{
+			8: fault.SDC, 9: fault.SDC, 10: fault.SafetyCritical,
+		}},
+	}
+	for _, tc := range cases {
+		for _, stop := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/stop=%v", tc.name, stop), func(t *testing.T) {
+				scenarios := makeScenarios(n)
+				run := classRunFunc(pattern(n, tc.failures))
+				baseline, err := (&Campaign{Name: "det", Run: run, StopOnFirst: stop, Workers: 0}).Execute(scenarios)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{0, 1, 4, 8, WorkersAuto} {
+					c := &Campaign{Name: "det", Run: run, StopOnFirst: stop, Workers: workers}
+					got, err := c.Execute(scenarios)
+					if err != nil {
+						t.Fatalf("workers=%d: %v", workers, err)
+					}
+					if !reflect.DeepEqual(got, baseline) {
+						t.Errorf("workers=%d: result diverged from sequential\ngot:  %+v\nwant: %+v",
+							workers, got, baseline)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCampaignValidatesUpFront is the regression test for lazy
+// validation: a malformed scenario anywhere in the list must fail the
+// campaign before a single expensive run executes.
+func TestCampaignValidatesUpFront(t *testing.T) {
+	var mu sync.Mutex
+	runs := 0
+	c := &Campaign{
+		Name: "upfront",
+		Run: func(sc fault.Scenario) fault.Outcome {
+			mu.Lock()
+			runs++
+			mu.Unlock()
+			return fault.Outcome{Scenario: sc, Class: fault.Masked}
+		},
+	}
+	for _, workers := range []int{0, 4} {
+		c.Workers = workers
+		scenarios := makeScenarios(5)
+		scenarios = append(scenarios, fault.Scenario{ID: ""}) // invalid, at the end
+		_, err := c.Execute(scenarios)
+		if err == nil {
+			t.Fatalf("workers=%d: invalid scenario accepted", workers)
+		}
+		if runs != 0 {
+			t.Errorf("workers=%d: %d runs executed before validation failed", workers, runs)
+		}
+	}
+}
+
+// TestCampaignPanicRecovery: a RunFunc that panics on one scenario
+// must not kill the campaign — the panicking run classifies as
+// detected-safe with the panic in the detail, and every other
+// scenario still completes.
+func TestCampaignPanicRecovery(t *testing.T) {
+	const n = 12
+	run := func(sc fault.Scenario) fault.Outcome {
+		if sc.ID == "s5" {
+			panic("injector exploded")
+		}
+		return fault.Outcome{Scenario: sc, Class: fault.Masked}
+	}
+	for _, workers := range []int{0, 4} {
+		c := &Campaign{Name: "panic", Run: run, Workers: workers}
+		res, err := c.Execute(makeScenarios(n))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(res.Outcomes) != n {
+			t.Fatalf("workers=%d: %d outcomes, want %d", workers, len(res.Outcomes), n)
+		}
+		o := res.Outcomes[5]
+		if o.Class != fault.DetectedSafe || !strings.Contains(o.Detail, "injector exploded") {
+			t.Errorf("workers=%d: panic outcome = %+v", workers, o)
+		}
+		if res.Tally[fault.Masked] != n-1 || res.Tally[fault.DetectedSafe] != 1 {
+			t.Errorf("workers=%d: tally = %v", workers, res.Tally)
+		}
+	}
+}
+
+// TestCampaignStopOnFirstParallelDiscards: once an early-indexed
+// failure lands, a parallel StopOnFirst campaign must stop
+// dispatching later scenarios and discard any that were already in
+// flight — the Result is exactly the sequential one, and nowhere near
+// the full list executes.
+func TestCampaignStopOnFirstParallelDiscards(t *testing.T) {
+	const n, failAt, workers = 200, 2, 4
+	var mu sync.Mutex
+	executed := 0
+	run := func(sc fault.Scenario) fault.Outcome {
+		mu.Lock()
+		executed++
+		mu.Unlock()
+		var i int
+		fmt.Sscanf(sc.ID, "s%d", &i)
+		if i == failAt {
+			return fault.Outcome{Scenario: sc, Class: fault.SafetyCritical, Detail: "ran " + sc.ID}
+		}
+		time.Sleep(100 * time.Microsecond) // keep non-failing runs slower than the failure
+		return fault.Outcome{Scenario: sc, Class: fault.Masked, Detail: "ran " + sc.ID}
+	}
+	scenarios := makeScenarios(n)
+	seq, err := (&Campaign{Name: "stop", Run: run, StopOnFirst: true, Workers: 0}).Execute(scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	executed = 0
+	par, err := (&Campaign{Name: "stop", Run: run, StopOnFirst: true, Workers: workers}).Execute(scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par, seq) {
+		t.Errorf("parallel StopOnFirst diverged\ngot:  %+v\nwant: %+v", par, seq)
+	}
+	if len(par.Outcomes) != failAt+1 || par.RunsToFirstFailure != failAt+1 {
+		t.Errorf("outcomes = %d, first = %d", len(par.Outcomes), par.RunsToFirstFailure)
+	}
+	// The exact overshoot depends on scheduling, but cancellation must
+	// keep it far below the full list.
+	if executed > 50 {
+		t.Errorf("parallel campaign executed %d of %d scenarios after the stop point", executed, n)
+	}
+}

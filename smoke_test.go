@@ -1,0 +1,75 @@
+package govp
+
+// Smoke tests for every command and example binary: each main is
+// built and run via `go run` and must exit 0 while printing a
+// sentinel line of its expected output. Before these tests the
+// cmd/ and examples/ trees compiled but never executed under
+// `go test ./...`, so a crash at startup would have shipped silently.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// runMain executes `go run <pkg> <args...>` from the module root (the
+// test working directory) and returns the combined output.
+func runMain(t *testing.T, pkg string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", pkg}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %s %s: %v\n%s", pkg, strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestCommandSmoke(t *testing.T) {
+	cases := []struct {
+		name     string
+		pkg      string
+		args     []string
+		sentinel string
+	}{
+		{"capsim-sites", "./cmd/capsim", []string{"-sites"}, "caps."},
+		{"capsim-scenario", "./cmd/capsim",
+			[]string{"-faults", "open @caps.accel0.harness from 5ms"}, "outcome:"},
+		{"capsim-campaign", "./cmd/capsim", []string{"-campaign", "-workers", "-1"}, "tally:"},
+		{"mutate-demo", "./cmd/mutate", []string{"-demo", "-workers", "4"}, "mutation score"},
+		{"ftacalc", "./cmd/ftacalc", nil, "Minimal cut sets"},
+		{"mpderive", "./cmd/mpderive", nil, "Derived formal fault/error descriptions"},
+		{"vpsafety-list", "./cmd/vpsafety", []string{"-list"}, "E8"},
+		{"vpsafety-e8", "./cmd/vpsafety", []string{"-exp", "E8"}, "Shape HOLDS"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := runMain(t, tc.pkg, tc.args...)
+			if !strings.Contains(out, tc.sentinel) {
+				t.Errorf("output of %s %v lacks %q:\n%s", tc.pkg, tc.args, tc.sentinel, out)
+			}
+		})
+	}
+}
+
+func TestExampleSmoke(t *testing.T) {
+	cases := []struct {
+		pkg      string
+		sentinel string
+	}{
+		{"./examples/quickstart", "fault detected by the scoreboard"},
+		{"./examples/virtual_ecu", "lockstep divergence"},
+		{"./examples/caps_airbag", "crash check (G2)"},
+		{"./examples/fta_fmeda", "top-event probability"},
+		{"./examples/full_evaluation", "full safety evaluation"},
+		{"./examples/mission_profile", "fault/error descriptions"},
+		{"./examples/mutation_qualification", "mutation score"},
+	}
+	for _, tc := range cases {
+		t.Run(strings.TrimPrefix(tc.pkg, "./examples/"), func(t *testing.T) {
+			out := runMain(t, tc.pkg)
+			if !strings.Contains(out, tc.sentinel) {
+				t.Errorf("output of %s lacks %q:\n%s", tc.pkg, tc.sentinel, out)
+			}
+		})
+	}
+}
