@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race tier1 bench bench-campaign
+.PHONY: all build vet test race tier1 bench bench-smoke bench-campaign
 
 all: tier1
 
@@ -25,6 +25,11 @@ tier1: build vet race
 # Full benchmark sweep (regenerates every experiment).
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# One iteration of every benchmark in the module: catches benchmarks
+# that rot (compile but crash) without paying for real measurement.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Sequential vs parallel campaign engine on the E8 single-fault
 # universe; compare the two sub-benchmarks with benchstat.

@@ -14,6 +14,7 @@ import (
 	"repro/internal/caps"
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stressor"
 )
@@ -120,6 +121,50 @@ func BenchmarkX3_FaultSimAcceleration(b *testing.B) { benchExperiment(b, "X3") }
 // benchstat. Results are deterministic for every worker count (see
 // TestCampaignDeterminismAcrossWorkers), so the sub-benchmarks also
 // cross-check each other's tallies.
+// BenchmarkKernelObsOverhead measures the cost of the observability
+// hooks on the kernel hot path: the same two-process ping-pong
+// workload uninstrumented (the nil-check fast path the ±5% overhead
+// budget of DESIGN.md §8 applies to) and with a full metrics+trace
+// instrument attached. Compare the sub-benchmarks with benchstat.
+func BenchmarkKernelObsOverhead(b *testing.B) {
+	const rounds = 2000
+	workload := func(k *sim.Kernel) {
+		ping := k.NewEvent("ping")
+		pong := k.NewEvent("pong")
+		k.Thread("ping", func(ctx *sim.ThreadCtx) {
+			for i := 0; i < rounds; i++ {
+				ping.Notify(sim.NS(10))
+				ctx.Wait(pong)
+			}
+		})
+		k.Thread("pong", func(ctx *sim.ThreadCtx) {
+			for i := 0; i < rounds; i++ {
+				ctx.Wait(ping)
+				pong.Notify(sim.NS(10))
+			}
+		})
+	}
+	run := func(b *testing.B, instrument bool) {
+		b.ReportMetric(rounds, "rounds/op")
+		for i := 0; i < b.N; i++ {
+			k := sim.NewKernel()
+			if instrument {
+				k.SetInstrument(&sim.Instrument{
+					Metrics: obs.NewRegistry(),
+					Trace:   obs.NewTraceRecorder(),
+				})
+			}
+			workload(k)
+			if err := k.Run(sim.TimeMax); err != nil {
+				b.Fatal(err)
+			}
+			k.Shutdown()
+		}
+	}
+	b.Run("uninstrumented", func(b *testing.B) { run(b, false) })
+	b.Run("instrumented", func(b *testing.B) { run(b, true) })
+}
+
 func BenchmarkCampaignParallel(b *testing.B) {
 	horizon := sim.MS(80)
 	runner, err := caps.NewRunner(caps.Protected(), caps.NormalDriving(), horizon)

@@ -9,15 +9,24 @@
 //	       -faults "omission @caps.can.bus from 15ms; open @caps.accel0.harness from 5ms"
 //	capsim -sites                  # list injection sites
 //	capsim -campaign -workers -1   # exhaustive single-fault campaign, one worker per CPU
+//	capsim -campaign e8 -progress -metrics m.json -trace-events t.json
+//
+// An optional positional argument after -campaign names the campaign
+// (it labels the metrics and trace spans). -metrics writes the final
+// metrics snapshot as JSON, -trace-events a Chrome trace-event file
+// loadable in chrome://tracing or Perfetto, and -progress streams a
+// live progress line to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/caps"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stressor"
 )
@@ -30,7 +39,38 @@ func main() {
 	listSites := flag.Bool("sites", false, "list injection sites and exit")
 	campaign := flag.Bool("campaign", false, "run the exhaustive single-fault campaign instead of one scenario")
 	workers := flag.Int("workers", 0, "campaign worker-pool size: 0 = sequential, -1 = one per CPU")
+	metricsPath := flag.String("metrics", "", "write the metrics snapshot (JSON) to this file")
+	tracePath := flag.String("trace-events", "", "write Chrome trace-event JSON to this file")
+	progress := flag.Bool("progress", false, "stream live campaign progress to stderr")
 	flag.Parse()
+
+	// "-campaign e8" names the campaign. The boolean flag consumes no
+	// operand, so the positional name stops flag parsing; pick it up
+	// and re-parse the remainder (already-set flags keep their values).
+	campaignName := "capsim"
+	if *campaign && flag.NArg() > 0 && !strings.HasPrefix(flag.Arg(0), "-") {
+		campaignName = flag.Arg(0)
+		if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil {
+			os.Exit(2)
+		}
+	}
+
+	var reg *obs.Registry
+	var tr *obs.TraceRecorder
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+	}
+	if *tracePath != "" {
+		tr = obs.NewTraceRecorder()
+	}
+	writeObs := func() {
+		if err := obs.WriteMetricsFile(reg, *metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		if err := obs.WriteTraceFile(tr, *tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
 
 	cfg := caps.Protected()
 	if *unprotected {
@@ -57,6 +97,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// Attach after NewRunner so the golden run stays out of the data.
+	runner.Instrument(reg, tr)
 	if *listSites {
 		for _, s := range runner.Sites() {
 			fmt.Println(s)
@@ -68,8 +110,15 @@ func main() {
 		for _, d := range runner.Universe(sim.MS(10)) {
 			scenarios = append(scenarios, fault.Single(d))
 		}
-		c := &stressor.Campaign{Name: "capsim", Run: runner.RunFunc(), Workers: *workers}
+		c := &stressor.Campaign{
+			Name: campaignName, Run: runner.RunFunc(), Workers: *workers,
+			Metrics: reg, Trace: tr,
+		}
+		if *progress {
+			c.Progress = obs.ProgressLine(os.Stderr)
+		}
 		res, err := c.Execute(scenarios)
+		writeObs()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -97,6 +146,7 @@ func main() {
 		os.Exit(1)
 	}
 	o := runner.RunScenario(sc)
+	writeObs()
 	fmt.Printf("world:     %s\n", *world)
 	fmt.Printf("config:    protected=%v\n", !*unprotected)
 	for _, d := range sc.Faults {

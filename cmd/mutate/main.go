@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/mdl"
 	"repro/internal/mutation"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -45,7 +46,19 @@ func main() {
 	demo := flag.Bool("demo", false, "run the built-in demo model and suite")
 	showSurvivors := flag.Bool("survivors", true, "list surviving mutants")
 	workers := flag.Int("workers", 0, "mutant-execution worker-pool size: 0 = sequential, -1 = one per CPU")
+	metricsPath := flag.String("metrics", "", "write the metrics snapshot (JSON) to this file")
+	tracePath := flag.String("trace-events", "", "write Chrome trace-event JSON to this file")
+	progress := flag.Bool("progress", false, "stream live qualification progress to stderr")
 	flag.Parse()
+
+	var reg *obs.Registry
+	var tr *obs.TraceRecorder
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+	}
+	if *tracePath != "" {
+		tr = obs.NewTraceRecorder()
+	}
 
 	src, tests := demoModel, demoTests
 	if !*demo {
@@ -71,7 +84,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	rep, err := mutation.QualifyWith(prog, suite, mutation.Options{Workers: *workers})
+	opts := mutation.Options{Workers: *workers, Metrics: reg, Trace: tr}
+	if *progress {
+		opts.Progress = obs.ProgressLine(os.Stderr)
+	}
+	rep, err := mutation.QualifyWith(prog, suite, opts)
+	if werr := obs.WriteMetricsFile(reg, *metricsPath); werr != nil {
+		fmt.Fprintln(os.Stderr, werr)
+	}
+	if werr := obs.WriteTraceFile(tr, *tracePath); werr != nil {
+		fmt.Fprintln(os.Stderr, werr)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

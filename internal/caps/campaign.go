@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stressor"
 	"repro/internal/tlm"
@@ -19,6 +20,9 @@ type Runner struct {
 	world   *World
 	horizon sim.Time
 	golden  analysis.Observation
+
+	metrics *obs.Registry
+	trace   *obs.TraceRecorder
 }
 
 // NewRunner builds the runner and performs the golden run.
@@ -37,6 +41,15 @@ func NewRunner(cfg Config, world *World, horizon sim.Time) (*Runner, error) {
 
 // Golden exposes the cached golden observation.
 func (r *Runner) Golden() analysis.Observation { return r.golden }
+
+// Instrument attaches observability sinks: every subsequent scenario
+// kernel publishes its statistics to reg and its run spans to tr.
+// Both sinks are race-safe, so instrumented runners work unchanged
+// inside parallel campaigns. Pass nils to detach.
+func (r *Runner) Instrument(reg *obs.Registry, tr *obs.TraceRecorder) {
+	r.metrics = reg
+	r.trace = tr
+}
 
 // Sites lists the prototype's injection sites.
 func (r *Runner) Sites() []string {
@@ -76,6 +89,11 @@ func (r *Runner) Universe(start sim.Time) []fault.Descriptor {
 func (r *Runner) execute(sc fault.Scenario) (*System, error) {
 	k := sim.NewKernel()
 	defer k.Shutdown()
+	if r.metrics != nil || r.trace != nil {
+		// One Instrument per kernel: the struct carries per-kernel
+		// delta state and must not be shared across scenarios.
+		k.SetInstrument(&sim.Instrument{Metrics: r.metrics, Trace: r.trace})
+	}
 	sys, reg := Build(k, r.cfg, r.world)
 	var st *stressor.Stressor
 	if len(sc.Faults) > 0 {
@@ -94,7 +112,7 @@ func (r *Runner) execute(sc fault.Scenario) (*System, error) {
 
 // observe extracts the run observation.
 func (r *Runner) observe(s *System) analysis.Observation {
-	obs := analysis.Observation{
+	ob := analysis.Observation{
 		Outputs: map[string]string{
 			"fired": fmt.Sprint(s.Fired),
 			"sev":   fmt.Sprint(s.Severities),
@@ -106,17 +124,17 @@ func (r *Runner) observe(s *System) analysis.Observation {
 		deadline := r.world.CrashStart + r.cfg.DeployDeadline
 		switch {
 		case !s.Fired:
-			obs.GoalViolated = true
-			obs.GoalDetail = "no deployment in crash (G2)"
+			ob.GoalViolated = true
+			ob.GoalDetail = "no deployment in crash (G2)"
 		case s.FiredAt > deadline:
-			obs.DeadlineMissed = true
+			ob.DeadlineMissed = true
 		}
 	} else if s.Fired {
-		obs.GoalViolated = true
-		obs.GoalDetail = "inadvertent deployment in normal operation (G1)"
+		ob.GoalViolated = true
+		ob.GoalDetail = "inadvertent deployment in normal operation (G1)"
 	}
-	obs.LatentState = r.stateCorrupted(s)
-	return obs
+	ob.LatentState = r.stateCorrupted(s)
+	return ob
 }
 
 // stateCorrupted compares persistent state against the design values.
@@ -152,10 +170,10 @@ func (r *Runner) RunScenarioTraced(sc fault.Scenario) (fault.Outcome, *analysis.
 	if err != nil {
 		return fault.Outcome{Scenario: sc, Class: fault.DetectedSafe, Detail: "campaign error: " + err.Error()}, &analysis.Trace{}
 	}
-	obs := r.observe(sys)
-	obs.Activated = len(sc.Faults) > 0
-	class := analysis.Classify(r.golden, obs)
-	return fault.Outcome{Scenario: sc, Class: class, Detail: analysis.Describe(obs)}, &sys.Trace
+	ob := r.observe(sys)
+	ob.Activated = len(sc.Faults) > 0
+	class := analysis.Classify(r.golden, ob)
+	return fault.Outcome{Scenario: sc, Class: class, Detail: analysis.Describe(ob)}, &sys.Trace
 }
 
 // RunFunc adapts the runner to the campaign engine.

@@ -49,8 +49,10 @@ func runE1() (*Result, error) {
 	}
 	var rows []e1Level
 	for _, l := range levels {
+		done := Phase("E1", l.name)
 		start := time.Now()
 		st, err := l.run(n)
+		done()
 		if err != nil {
 			return nil, fmt.Errorf("E1 %s: %w", l.name, err)
 		}

@@ -44,6 +44,7 @@ func runE2() (*Result, error) {
 			op: uint64(i) % 8,
 		})
 	}
+	goldenDone := Phase("E2", "golden")
 	golden := make([]uint64, len(vecs))
 	for i, v := range vecs {
 		ev.SetBus(alu.A, v.a)
@@ -53,6 +54,7 @@ func runE2() (*Result, error) {
 		y, _ := ev.BusValue(alu.Y)
 		golden[i] = y
 	}
+	goldenDone()
 
 	// Fault list: stuck-at-0 and stuck-at-1 on every 7th internal net
 	// (sampling keeps the experiment fast while covering the cone mix).
@@ -75,6 +77,7 @@ func runE2() (*Result, error) {
 		return "masked"
 	}
 
+	classifyDone := Phase("E2", "inject-classify")
 	for fi := range faults {
 		f := &faults[fi]
 		kind := rtl.FaultStuckAt0
@@ -118,6 +121,7 @@ func runE2() (*Result, error) {
 		}
 		f.high = classify(highDiff)
 	}
+	classifyDone()
 
 	agree, gateMaskedOnly, highMaskedOnly := 0, 0, 0
 	for _, f := range faults {

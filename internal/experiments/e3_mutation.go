@@ -84,7 +84,9 @@ func runE3() (*Result, error) {
 	}
 	var covs, scores []float64
 	for _, s := range suites {
+		done := Phase("E3", "qualify:"+s.name)
 		rep, err := mutation.Qualify(p, s.tests)
+		done()
 		if err != nil {
 			return nil, fmt.Errorf("E3 %s: %w", s.name, err)
 		}

@@ -65,6 +65,7 @@ func runE4() (*Result, error) {
 	}
 
 	// Monte Carlo, several seeds.
+	mcDone := Phase("E4", "monte-carlo")
 	mcFirst := make([]int, 0, E4Seeds)
 	for seed := int64(1); seed <= int64(E4Seeds); seed++ {
 		mc := scenario.NewMonteCarlo(mcUniverse, E4Budget, rand.New(rand.NewSource(seed)))
@@ -83,10 +84,13 @@ func runE4() (*Result, error) {
 		}
 		mcFirst = append(mcFirst, first)
 	}
+	mcDone()
 
 	// Guided.
+	guidedDone := Phase("E4", "weak-spot-guided")
 	g := scenario.NewGuided(universe, E4Budget)
 	outcomes := scenario.Drive(g, run)
+	guidedDone()
 	gFirst := firstCritical(outcomes)
 	gFails := countCritical(outcomes)
 	gFirstStr := "never"

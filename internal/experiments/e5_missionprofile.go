@@ -44,6 +44,7 @@ func runE5() (*Result, error) {
 	// Mission-profile pipeline (Fig. 2): OEM profile -> refine to the
 	// sensor cluster -> derive fault descriptions -> schedule into
 	// operating states.
+	deriveDone := Phase("E5", "derive")
 	oem := missionprofile.VehicleUnderhood("vehicle")
 	tier1, err := oem.Refine("sensor-cluster", []missionprofile.TransferRule{
 		{Kind: missionprofile.Vibration, Factor: 1.5}, // firewall mounting point
@@ -62,6 +63,7 @@ func runE5() (*Result, error) {
 	}
 	pool = pool[:E5Runs]
 	mpScenarios := missionprofile.Schedule(tier1, pool, horizon-sim.MS(10), rand.New(rand.NewSource(11)))
+	deriveDone()
 
 	// Uniform baseline: random single faults over the raw universe.
 	universe := runner.Universe(0)
@@ -87,7 +89,9 @@ func runE5() (*Result, error) {
 		return tally, float64(harness) / float64(len(scs)), detections
 	}
 
+	mpDone := Phase("E5", "profile-campaign")
 	mpTally, mpHarness, mpDet := classifyAll(mpScenarios)
+	mpDone()
 	var mcScenarios []fault.Scenario
 	for {
 		sc, ok := mc.Next()
@@ -96,7 +100,9 @@ func runE5() (*Result, error) {
 		}
 		mcScenarios = append(mcScenarios, sc)
 	}
+	mcDone := Phase("E5", "uniform-campaign")
 	mcTally, mcHarness, mcDet := classifyAll(mcScenarios)
+	mcDone()
 
 	t := &report.Table{
 		Title:   "E5: mission-profile-derived vs uniform random campaigns (protected CAPS)",

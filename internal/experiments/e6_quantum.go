@@ -41,6 +41,7 @@ func runE6() (*Result, error) {
 	}
 	var rows []row
 	for _, q := range quanta {
+		done := Phase("E6", fmt.Sprintf("quantum=%v", q))
 		k := sim.NewKernel()
 		s := ecu.NewScheduler(k, horizon)
 		s.Quantum = q
@@ -68,6 +69,7 @@ func runE6() (*Result, error) {
 		}
 		t.AddRow(q, st.TimeSteps, wall.Round(time.Microsecond), s.Misses(), s.ObservedMisses(), det)
 		rows = append(rows, row{quantum: q, timeSteps: st.TimeSteps, trueM: s.Misses(), obsM: s.ObservedMisses()})
+		done()
 	}
 
 	// Shape checks: (1) true misses constant, (2) kernel work shrinks

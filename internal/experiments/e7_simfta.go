@@ -34,6 +34,7 @@ func runE7() (*Result, error) {
 	// Campaign: all singles, then all unordered pairs (the system has
 	// no triple-point protection left to defeat, so pairs complete the
 	// cut-set search for this DUT).
+	campaignDone := Phase("E7", "campaign")
 	var outcomes []fault.Outcome
 	for _, d := range universe {
 		outcomes = append(outcomes, runner.RunScenario(fault.Single(d)))
@@ -48,6 +49,7 @@ func runE7() (*Result, error) {
 			outcomes = append(outcomes, runner.RunScenario(sc))
 		}
 	}
+	campaignDone()
 
 	// Event probabilities: uniform per-mission basic-event probability
 	// (absolute rates are not the point; structure is).
@@ -57,7 +59,9 @@ func runE7() (*Result, error) {
 		probs[analysis.EventKey(d)] = p
 	}
 	isG1 := func(c fault.Classification) bool { return c == fault.SafetyCritical }
+	synthDone := Phase("E7", "synthesize")
 	synth := analysis.SynthesizeFaultTree("G1-inadvertent-deployment", outcomes, isG1, probs, p)
+	synthDone()
 
 	// Analytic tree from design knowledge of the unprotected system:
 	// any single fault forcing the (only) sensor to the rail fires the

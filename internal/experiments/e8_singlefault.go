@@ -26,6 +26,8 @@ func runE8() (*Result, error) {
 	horizon := sim.MS(80)
 
 	runCampaign := func(cfg caps.Config, name string) (*stressor.Result, []fault.Descriptor, error) {
+		done := Phase("E8", "campaign:"+name)
+		defer done()
 		runner, err := caps.NewRunner(cfg, caps.NormalDriving(), horizon)
 		if err != nil {
 			return nil, nil, err
@@ -36,6 +38,7 @@ func runE8() (*Result, error) {
 			scenarios = append(scenarios, fault.Single(d))
 		}
 		c := &stressor.Campaign{Name: name, Run: runner.RunFunc(), Workers: CampaignWorkers}
+		instrumentCampaign(c)
 		res, err := c.Execute(scenarios)
 		return res, universe, err
 	}
@@ -90,8 +93,10 @@ func runE8() (*Result, error) {
 		}
 		return r
 	}
+	fmedaDone := Phase("E8", "fmeda")
 	fProt := worksheet(prot)
 	fUnprot := worksheet(unprot)
+	fmedaDone()
 
 	ft := &report.Table{
 		Title:   "E8a: FMEDA metrics with campaign-measured diagnostic coverage",

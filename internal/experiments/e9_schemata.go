@@ -68,6 +68,7 @@ func lookup(x) {
 	allFaster := true
 	var worstSpeedup float64 = 1e9
 	for _, m := range models {
+		done := Phase("E9", "model:"+m.name)
 		p, err := mdl.Parse(m.src)
 		if err != nil {
 			return nil, fmt.Errorf("E9 %s: %w", m.name, err)
@@ -111,6 +112,7 @@ func lookup(x) {
 			schemata.Round(time.Microsecond),
 			rebuild.Round(time.Microsecond),
 			fmt.Sprintf("%.1fx", speedup))
+		done()
 	}
 
 	return &Result{

@@ -23,6 +23,7 @@ func init() {
 // the conceptual figure a runnable pipeline.
 func runF2() (*Result, error) {
 	// Stage 1: formalize the OEM profile.
+	refineDone := Phase("F2", "formalize-refine")
 	oem := missionprofile.VehicleUnderhood("vehicle-front")
 	if err := oem.Validate(); err != nil {
 		return nil, err
@@ -54,8 +55,11 @@ func runF2() (*Result, error) {
 		pt.AddRow(p.Level.String(), p.Component, v.Max, tp.Max)
 	}
 
+	refineDone()
+
 	// Stage 3: derive fault descriptions at the Tier-1 level against
 	// the prototype's injection sites.
+	deriveDone := Phase("F2", "derive")
 	horizon := sim.MS(60)
 	runner, err := caps.NewRunner(caps.Protected(), caps.NormalDriving(), horizon)
 	if err != nil {
@@ -65,6 +69,7 @@ func runF2() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	deriveDone()
 	dt := &report.Table{
 		Title:   "F2b: derived fault/error descriptions (formalized stressor input)",
 		Columns: []string{"descriptor", "stress", "model", "class", "FIT"},
@@ -75,12 +80,14 @@ func runF2() (*Result, error) {
 	}
 
 	// Stage 4: schedule into operating states and run the stressor.
+	injectDone := Phase("F2", "schedule-inject")
 	scenarios := missionprofile.Schedule(tier1, derived, horizon-sim.MS(5), rand.New(rand.NewSource(3)))
 	tally := make(fault.Tally)
 	for _, sc := range scenarios {
 		o := runner.RunScenario(sc)
 		tally.Add(o)
 	}
+	injectDone()
 	st := &report.Table{
 		Title:   "F2c: stressor campaign outcome (protected CAPS)",
 		Columns: []string{"scenarios", "outcome tally"},

@@ -43,6 +43,7 @@ func runF3() (*Result, error) {
 	const perIteration = 5
 	iterations := 0
 	totalRuns := 0
+	loopDone := Phase("F3", "closure-loop")
 	for fs.Coverage() < 1 {
 		iterations++
 		holes := fs.Holes()
@@ -65,6 +66,7 @@ func runF3() (*Result, error) {
 			return nil, fmt.Errorf("F3: loop did not converge")
 		}
 	}
+	loopDone()
 
 	ws := fs.WorstBySite()
 	wt := &report.Table{

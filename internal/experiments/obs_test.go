@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestPhaseAttribution: with sinks attached, an experiment records its
+// phases into exp.phase_ns, emits experiment-category trace spans and
+// gets a wall-clock attribution table appended to its result.
+func TestPhaseAttribution(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTraceRecorder()
+	Instrument(reg, tr)
+	defer Instrument(nil, nil)
+
+	res := runAndCheck(t, "E6")
+
+	last := res.Tables[len(res.Tables)-1]
+	if !strings.Contains(last.Title, "attribution") {
+		t.Errorf("last table is %q, want the attribution table", last.Title)
+	}
+	if len(last.Rows) < 2 {
+		t.Errorf("attribution table has %d rows, want per-quantum phases + total", len(last.Rows))
+	}
+
+	phases := map[string]bool{}
+	for _, m := range reg.Snapshot() {
+		if m.Name == "exp.phase_ns" && m.Label("exp") == "E6" {
+			phases[m.Label("phase")] = true
+			if m.Count == 0 {
+				t.Errorf("phase %q recorded no observation", m.Label("phase"))
+			}
+		}
+	}
+	if !phases["total"] || !phases["quantum=0 s"] {
+		t.Errorf("phases recorded = %v, want at least total and quantum=0 s", phases)
+	}
+	if tr.Len() == 0 {
+		t.Error("trace recorder captured no spans")
+	}
+}
+
+// TestAttributionTableUninstrumented: without sinks the harness stays
+// on the zero-cost path — no table, no metrics.
+func TestAttributionTableUninstrumented(t *testing.T) {
+	if Metrics != nil || Trace != nil {
+		t.Fatal("harness unexpectedly instrumented")
+	}
+	if tb := AttributionTable("E6"); tb != nil {
+		t.Errorf("AttributionTable = %+v, want nil when uninstrumented", tb)
+	}
+	res := runAndCheck(t, "X3")
+	for _, tb := range res.Tables {
+		if strings.Contains(tb.Title, "attribution") {
+			t.Errorf("uninstrumented run produced attribution table %q", tb.Title)
+		}
+	}
+}

@@ -55,6 +55,7 @@ func check(code, value) {
 	}
 	allImproved := true
 	for _, m := range models {
+		done := Phase("X1", "model:"+m.name)
 		p, err := mdl.Parse(m.src)
 		if err != nil {
 			return nil, fmt.Errorf("X1 %s: %w", m.name, err)
@@ -75,6 +76,7 @@ func check(code, value) {
 			len(suite)-len(m.weak),
 			fmt.Sprintf("%.0f%%", after.Score*100),
 			len(after.Survivors()))
+		done()
 	}
 
 	return &Result{

@@ -44,6 +44,7 @@ func runX2() (*Result, error) {
 	worstCritical := 0
 	anyDegradation := false
 	for i, v := range variants {
+		done := Phase("X2", "campaign:"+v.name)
 		cfg := caps.Protected()
 		v.mutate(&cfg)
 		runner, err := caps.NewRunner(cfg, caps.NormalDriving(), horizon)
@@ -55,7 +56,9 @@ func runX2() (*Result, error) {
 			scenarios = append(scenarios, fault.Single(d))
 		}
 		c := &stressor.Campaign{Name: v.name, Run: runner.RunFunc(), Workers: CampaignWorkers}
+		instrumentCampaign(c)
 		res, err := c.Execute(scenarios)
+		done()
 		if err != nil {
 			return nil, fmt.Errorf("X2 %s: %w", v.name, err)
 		}

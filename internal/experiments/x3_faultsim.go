@@ -49,8 +49,10 @@ func runX3() (*Result, error) {
 		nets = append(nets, rtl.Net(n))
 	}
 
+	serialDone := Phase("X3", "serial")
 	sStart := time.Now()
 	sRes, err := rtl.SerialFaultGrade(alu.Circuit, nets, serial)
+	serialDone()
 	if err != nil {
 		return nil, err
 	}
@@ -60,9 +62,11 @@ func runX3() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	parallelDone := Phase("X3", "bit-parallel")
 	pStart := time.Now()
 	pRes := pe.FaultGrade(nets, parallel)
 	pWall := time.Since(pStart)
+	parallelDone()
 
 	t := &report.Table{
 		Title:   "X3: stuck-at fault grading, serial four-state vs bit-parallel (PPSFP)",

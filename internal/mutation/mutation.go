@@ -14,8 +14,10 @@ package mutation
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/mdl"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -188,6 +190,21 @@ type Options struct {
 	// interpreter against a read-only program, so the Report is
 	// identical for every setting.
 	Workers int
+
+	// Metrics, when non-nil, receives qualification telemetry: a
+	// mutation.mutant_duration_ns histogram, mutation.verdicts
+	// counters per verdict and a mutation.mutants counter. The Report
+	// is identical with or without it.
+	Metrics *obs.Registry
+	// Trace, when non-nil, records golden-run/generate phases and one
+	// span per mutant on the executing worker's trace row.
+	Trace *obs.TraceRecorder
+	// Progress, when non-nil, receives rate-limited live updates
+	// while mutants execute (Failures counts killed mutants).
+	Progress obs.ProgressFunc
+	// ProgressInterval overrides the update rate limit (0 selects
+	// obs.DefaultProgressInterval, negative disables limiting).
+	ProgressInterval time.Duration
 }
 
 // Qualify runs the full analysis using mutation schemata: the program
@@ -205,12 +222,14 @@ func QualifyReparse(p *mdl.Program, tests []Test) (*Report, error) {
 
 // QualifyWith runs the analysis under explicit options. Mutant fates
 // are independent of each other, so parallel execution reassembles
-// the exact sequential Report (result order, kill counts, score).
+// the exact sequential Report (result order, kill counts, score),
+// and attaching Metrics/Trace/Progress never changes it.
 func QualifyWith(p *mdl.Program, tests []Test, opts Options) (*Report, error) {
 	if len(tests) == 0 {
 		return nil, fmt.Errorf("mutation: empty test suite")
 	}
 	// Golden run: expected values + structural coverage.
+	goldenSpan := opts.Trace.Begin("mutation", "golden-run", 0)
 	golden := mdl.NewInterp(p)
 	expected := make([]int64, len(tests))
 	for i, t := range tests {
@@ -221,16 +240,37 @@ func QualifyWith(p *mdl.Program, tests []Test, opts Options) (*Report, error) {
 		expected[i] = v
 	}
 	cov := golden.CoverageFraction()
+	goldenSpan.End()
 
+	genSpan := opts.Trace.Begin("mutation", "generate", 0)
 	mutants := Generate(p)
+	genSpan.End()
+
+	var durHist *obs.Histogram
+	if opts.Metrics != nil {
+		durHist = opts.Metrics.Histogram("mutation.mutant_duration_ns")
+	}
+	meter := obs.NewProgressMeter("mutation", len(mutants), opts.ProgressInterval, opts.Progress)
+
 	type fate struct {
 		res MutantResult
 		err error
 	}
-	fates := par.Map(opts.Workers, len(mutants), func(i int) fate {
+	fates := par.MapIndexed(opts.Workers, len(mutants), func(worker, i int) fate {
+		sp := opts.Trace.Begin("mutation", fmt.Sprintf("mutant-%d", mutants[i].ID), worker)
+		var t0 time.Time
+		if durHist != nil {
+			t0 = time.Now()
+		}
 		res, err := runMutant(p, mutants[i], tests, expected, opts.Reparse)
+		if durHist != nil {
+			durHist.Observe(uint64(time.Since(t0)))
+		}
+		sp.Arg("operator", mutants[i].Operator).Arg("verdict", res.Verdict.String()).End()
+		meter.Step(res.Verdict != Survived)
 		return fate{res: res, err: err}
 	})
+	meter.Finish()
 
 	rep := &Report{Total: len(mutants), StatementCoverage: cov}
 	for _, f := range fates {
@@ -244,6 +284,14 @@ func QualifyWith(p *mdl.Program, tests []Test, opts Options) (*Report, error) {
 	}
 	if rep.Total > 0 {
 		rep.Score = float64(rep.Killed) / float64(rep.Total)
+	}
+	if opts.Metrics != nil {
+		// Counters derive from the assembled report, so recorded
+		// values are deterministic across worker counts.
+		opts.Metrics.Counter("mutation.mutants").Add(uint64(rep.Total))
+		for _, r := range rep.Results {
+			opts.Metrics.Counter("mutation.verdicts", obs.L("verdict", r.Verdict.String())).Inc()
+		}
 	}
 	return rep, nil
 }

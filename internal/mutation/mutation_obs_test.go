@@ -1,0 +1,102 @@
+package mutation
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/mdl"
+	"repro/internal/obs"
+)
+
+const obsModel = `
+func clamp(v, lo, hi) {
+  if v < lo { return lo }
+  if v > hi { return hi }
+  return v
+}
+func scale(v) {
+  return clamp(v * 2 + 1, 0, 100)
+}
+`
+
+var obsTests = []Test{
+	{Fn: "scale", Args: []int64{5}},
+	{Fn: "scale", Args: []int64{60}},
+	{Fn: "scale", Args: []int64{-10}},
+	{Fn: "clamp", Args: []int64{7, 0, 10}},
+}
+
+// TestQualifyInstrumentedDeterminism: attaching Metrics, Trace and
+// Progress must not change the Report, for sequential and parallel
+// mutant execution alike.
+func TestQualifyInstrumentedDeterminism(t *testing.T) {
+	prog, err := mdl.Parse(obsModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := Qualify(prog, obsTests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 4} {
+		got, err := QualifyWith(prog, obsTests, Options{
+			Workers:          workers,
+			Metrics:          obs.NewRegistry(),
+			Trace:            obs.NewTraceRecorder(),
+			Progress:         func(obs.ProgressUpdate) {},
+			ProgressInterval: -1,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, baseline) {
+			t.Errorf("workers=%d: instrumented report diverged", workers)
+		}
+	}
+}
+
+// TestQualifyMetricsContent: verdict counters match the report, every
+// mutant lands in the duration histogram, and the trace carries the
+// golden-run/generate phases plus one span per mutant.
+func TestQualifyMetricsContent(t *testing.T) {
+	prog, err := mdl.Parse(obsModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	tr := obs.NewTraceRecorder()
+	var final obs.ProgressUpdate
+	rep, err := QualifyWith(prog, obsTests, Options{
+		Workers: 4, Metrics: reg, Trace: tr,
+		Progress: func(u obs.ProgressUpdate) {
+			if u.Final {
+				final = u
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("mutation.mutants").Value(); got != uint64(rep.Total) {
+		t.Errorf("mutation.mutants = %d, want %d", got, rep.Total)
+	}
+	byVerdict := map[Verdict]int{}
+	for _, r := range rep.Results {
+		byVerdict[r.Verdict]++
+	}
+	for v, want := range byVerdict {
+		got := reg.Counter("mutation.verdicts", obs.L("verdict", v.String())).Value()
+		if got != uint64(want) {
+			t.Errorf("verdicts{%s} = %d, want %d", v, got, want)
+		}
+	}
+	if h := reg.Histogram("mutation.mutant_duration_ns"); h.Count() != uint64(rep.Total) {
+		t.Errorf("duration histogram count = %d, want %d", h.Count(), rep.Total)
+	}
+	if tr.Len() != rep.Total+2 {
+		t.Errorf("trace has %d events, want %d (mutants + golden + generate)", tr.Len(), rep.Total+2)
+	}
+	if !final.Final || final.Completed != rep.Total || final.Failures != rep.Killed {
+		t.Errorf("final progress = %+v (killed=%d)", final, rep.Killed)
+	}
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ProgressUpdate is one live snapshot of a long-running campaign,
+// streamed to a ProgressFunc while runs complete.
+type ProgressUpdate struct {
+	// Name labels the campaign or qualification run.
+	Name string
+	// Completed and Total count finished runs out of the planned list.
+	Completed int
+	Total     int
+	// Failures counts completed runs that ended in an unhandled
+	// failure (or killed mutants, for mutation qualification).
+	Failures int
+	// Elapsed is the wall-clock time since the meter was created.
+	Elapsed time.Duration
+	// RunsPerSec is the mean completion rate so far.
+	RunsPerSec float64
+	// ETA estimates the remaining wall-clock time at the current rate
+	// (0 when the rate is still unknown).
+	ETA time.Duration
+	// Final marks the last update of the run.
+	Final bool
+}
+
+// ProgressFunc receives rate-limited progress updates. It is called
+// from whichever goroutine completed a run, but never concurrently
+// with itself — the meter serializes calls.
+type ProgressFunc func(ProgressUpdate)
+
+// ProgressMeter tracks completions and streams rate-limited updates to
+// a callback. All methods are goroutine-safe; a nil meter is a no-op,
+// so campaign code can call Step/Finish unconditionally.
+type ProgressMeter struct {
+	mu        sync.Mutex
+	name      string
+	total     int
+	interval  time.Duration
+	fn        ProgressFunc
+	start     time.Time
+	lastEmit  time.Time
+	completed int
+	failures  int
+	finished  bool
+}
+
+// DefaultProgressInterval is the rate limit applied when a meter is
+// created with interval 0.
+const DefaultProgressInterval = 250 * time.Millisecond
+
+// NewProgressMeter creates a meter over total runs that emits at most
+// one update per interval (plus the final one). A nil fn yields a nil
+// meter, keeping uninstrumented campaigns free of bookkeeping. An
+// interval < 0 disables rate limiting (every Step emits — used by
+// tests); interval 0 selects DefaultProgressInterval.
+func NewProgressMeter(name string, total int, interval time.Duration, fn ProgressFunc) *ProgressMeter {
+	if fn == nil {
+		return nil
+	}
+	if interval == 0 {
+		interval = DefaultProgressInterval
+	}
+	return &ProgressMeter{
+		name: name, total: total, interval: interval, fn: fn,
+		start: time.Now(),
+	}
+}
+
+// Step records one completed run (failed marks an unhandled failure)
+// and emits an update if the rate limit allows.
+func (m *ProgressMeter) Step(failed bool) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.completed++
+	if failed {
+		m.failures++
+	}
+	now := time.Now()
+	if m.interval > 0 && !m.lastEmit.IsZero() && now.Sub(m.lastEmit) < m.interval {
+		return
+	}
+	m.emit(now, false)
+}
+
+// Finish emits the final update; further Steps are ignored.
+func (m *ProgressMeter) Finish() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.finished {
+		return
+	}
+	m.finished = true
+	m.emit(time.Now(), true)
+}
+
+// emit builds and delivers one update; the caller holds m.mu, which
+// also serializes the callback.
+func (m *ProgressMeter) emit(now time.Time, final bool) {
+	m.lastEmit = now
+	u := ProgressUpdate{
+		Name:      m.name,
+		Completed: m.completed,
+		Total:     m.total,
+		Failures:  m.failures,
+		Elapsed:   now.Sub(m.start),
+		Final:     final,
+	}
+	if u.Elapsed > 0 && m.completed > 0 {
+		u.RunsPerSec = float64(m.completed) / u.Elapsed.Seconds()
+		if remaining := m.total - m.completed; remaining > 0 && u.RunsPerSec > 0 {
+			u.ETA = time.Duration(float64(remaining) / u.RunsPerSec * float64(time.Second))
+		}
+	}
+	m.fn(u)
+}
+
+// ProgressLine renders updates as a single live status line on w
+// (carriage-return overwrite, newline on the final update) — the
+// -progress stderr view of the campaign CLIs.
+func ProgressLine(w io.Writer) ProgressFunc {
+	return func(u ProgressUpdate) {
+		pct := 0.0
+		if u.Total > 0 {
+			pct = 100 * float64(u.Completed) / float64(u.Total)
+		}
+		fmt.Fprintf(w, "\r%s: %d/%d (%.1f%%) failures=%d %.1f runs/s eta=%s ",
+			u.Name, u.Completed, u.Total, pct, u.Failures,
+			u.RunsPerSec, u.ETA.Round(time.Second))
+		if u.Final {
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestProgressUnlimited: with rate limiting disabled every Step emits,
+// and the final update carries the totals.
+func TestProgressUnlimited(t *testing.T) {
+	var got []ProgressUpdate
+	m := NewProgressMeter("camp", 4, -1, func(u ProgressUpdate) { got = append(got, u) })
+	m.Step(false)
+	m.Step(true)
+	m.Step(false)
+	m.Step(false)
+	m.Finish()
+	if len(got) != 5 {
+		t.Fatalf("%d updates, want 5", len(got))
+	}
+	last := got[len(got)-1]
+	if !last.Final || last.Completed != 4 || last.Total != 4 || last.Failures != 1 {
+		t.Errorf("final update = %+v", last)
+	}
+	if got[0].Final {
+		t.Error("first update marked final")
+	}
+}
+
+// TestProgressRateLimited: a long interval suppresses intermediate
+// updates (only the first Step and the final Finish emit).
+func TestProgressRateLimited(t *testing.T) {
+	count := 0
+	m := NewProgressMeter("camp", 100, time.Hour, func(ProgressUpdate) { count++ })
+	for i := 0; i < 100; i++ {
+		m.Step(false)
+	}
+	m.Finish()
+	if count != 2 {
+		t.Errorf("%d updates, want 2 (first + final)", count)
+	}
+}
+
+// TestProgressNilMeter: nil callback yields a nil, no-op meter.
+func TestProgressNilMeter(t *testing.T) {
+	m := NewProgressMeter("x", 10, 0, nil)
+	if m != nil {
+		t.Fatal("nil fn should yield nil meter")
+	}
+	m.Step(false) // must not panic
+	m.Finish()
+}
+
+// TestProgressConcurrent: Steps from many goroutines must serialize
+// cleanly (run with -race).
+func TestProgressConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	var last ProgressUpdate
+	m := NewProgressMeter("camp", 800, -1, func(u ProgressUpdate) {
+		mu.Lock()
+		last = u
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				m.Step(i%10 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	m.Finish()
+	if !last.Final || last.Completed != 800 || last.Failures != 80 {
+		t.Errorf("final update = %+v", last)
+	}
+}
+
+// TestProgressLine renders a live stderr-style line.
+func TestProgressLine(t *testing.T) {
+	var buf bytes.Buffer
+	fn := ProgressLine(&buf)
+	fn(ProgressUpdate{Name: "e8", Completed: 50, Total: 200, Failures: 2,
+		RunsPerSec: 10, ETA: 15 * time.Second})
+	fn(ProgressUpdate{Name: "e8", Completed: 200, Total: 200, Final: true})
+	out := buf.String()
+	if !strings.Contains(out, "e8: 50/200 (25.0%)") || !strings.Contains(out, "failures=2") {
+		t.Errorf("progress line = %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("final update did not terminate the line")
+	}
+}

@@ -28,6 +28,14 @@ func Resolve(workers int) int {
 // a channel. fn must be safe for concurrent invocation when workers
 // exceeds 1.
 func Map[T any](workers, n int, fn func(i int) T) []T {
+	return MapIndexed(workers, n, func(_, i int) T { return fn(i) })
+}
+
+// MapIndexed is Map with the executing worker's id (0..workers-1)
+// passed to fn — observability instrumentation uses it to attribute
+// work to pool slots (trace rows, per-worker utilization). Sequential
+// execution passes worker 0.
+func MapIndexed[T any](workers, n int, fn func(worker, i int) T) []T {
 	out := make([]T, n)
 	workers = Resolve(workers)
 	if workers > n {
@@ -35,19 +43,19 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			out[i] = fn(i)
+			out[i] = fn(0, i)
 		}
 		return out
 	}
 	indices := make(chan int)
 	done := make(chan struct{})
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer func() { done <- struct{}{} }()
 			for i := range indices {
-				out[i] = fn(i)
+				out[i] = fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		indices <- i

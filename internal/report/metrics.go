@@ -1,0 +1,38 @@
+package report
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// MetricsTable renders a slice of metric snapshots (obs.Registry
+// .Snapshot, possibly filtered) as a result table — the renderer the
+// experiment harness uses for its wall-clock attribution tables.
+// Counter and gauge rows fill only the value column; histogram rows
+// add count/mean/min/max. Metrics whose name ends in "_ns" are
+// nanosecond quantities and render as milliseconds.
+func MetricsTable(title string, metrics []obs.Metric) *Table {
+	t := &Table{
+		Title:   title,
+		Columns: []string{"metric", "kind", "value", "count", "mean", "min", "max"},
+	}
+	for _, m := range metrics {
+		ns := len(m.Name) > 3 && m.Name[len(m.Name)-3:] == "_ns"
+		val := func(v float64) string {
+			if ns {
+				return fmt.Sprintf("%.3gms", v/float64(time.Millisecond))
+			}
+			return fmt.Sprintf("%.4g", v)
+		}
+		switch m.Kind {
+		case "histogram":
+			t.AddRow(m.Full, m.Kind, val(float64(m.Sum)), m.Count,
+				val(m.Mean), val(float64(m.Min)), val(float64(m.Max)))
+		default:
+			t.AddRow(m.Full, m.Kind, val(m.Value), "", "", "", "")
+		}
+	}
+	return t
+}

@@ -1,0 +1,33 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestMetricsTable(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("campaign.runs", obs.L("campaign", "e8")).Add(156)
+	reg.Gauge("campaign.worker_utilization").Set(0.83)
+	h := reg.Histogram("exp.phase_ns", obs.L("phase", "campaign"))
+	h.Observe(2_000_000) // 2ms
+	h.Observe(4_000_000) // 4ms
+
+	tb := MetricsTable("attribution", reg.Snapshot())
+	out := tb.Render()
+	for _, want := range []string{
+		"== attribution ==",
+		"campaign.runs{campaign=e8}", "counter", "156",
+		"gauge", "0.83",
+		"exp.phase_ns{phase=campaign}", "histogram", "6ms", "3ms", // sum, mean
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics table missing %q:\n%s", want, out)
+		}
+	}
+	if len(tb.Rows) != 3 {
+		t.Errorf("rows = %d, want 3", len(tb.Rows))
+	}
+}

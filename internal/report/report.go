@@ -53,7 +53,13 @@ func (t *Table) Render() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
+			// A row may carry more cells than Columns; render the
+			// overflow with zero width instead of panicking.
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s", w, c)
 		}
 		b.WriteByte('\n')
 	}

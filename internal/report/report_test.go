@@ -38,6 +38,26 @@ func TestAddRowFloatFormat(t *testing.T) {
 	}
 }
 
+// TestRenderRaggedRow is the regression test for the
+// index-out-of-range panic: AddRow with more cells than Columns must
+// render (extra cells at zero width) and round-trip through CSV, not
+// panic.
+func TestRenderRaggedRow(t *testing.T) {
+	tb := &Table{Title: "ragged", Columns: []string{"a", "b"}}
+	tb.AddRow("x", "y", "overflow", "more")
+	tb.AddRow("only-one")
+	out := tb.Render()
+	for _, want := range []string{"x", "y", "overflow", "more", "only-one"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, "x,y,overflow,more") {
+		t.Errorf("CSV lost overflow cells:\n%s", csv)
+	}
+}
+
 func TestCSVEscaping(t *testing.T) {
 	out := sample().CSV()
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// instrModel is a small deterministic workload: a timer-driven
+// producer, a method sensitive to the produced signal, and a consumer
+// thread — enough to exercise every instrumentation hook.
+func instrModel(k *Kernel) func() string {
+	n := NewSignal(k, "n", 0)
+	sum := NewSignal(k, "sum", 0)
+	k.Thread("producer", func(c *ThreadCtx) {
+		for i := 1; i <= 50; i++ {
+			n.Write(i)
+			c.WaitTime(3)
+		}
+	})
+	k.MethodNoInit("adder", func() {
+		sum.Write(sum.Read() + n.Read())
+	}, n.Changed())
+	done := k.NewEvent("done")
+	k.Thread("watch", func(c *ThreadCtx) {
+		for n.Read() < 50 {
+			c.Wait(n.Changed())
+		}
+		done.Notify(1)
+	})
+	return func() string {
+		return fmt.Sprintf("now=%s n=%d sum=%d stats=%+v", k.Now(), n.Read(), sum.Read(), k.Stats())
+	}
+}
+
+// runInstrModel runs the workload (optionally instrumented, optionally
+// VCD-traced) and returns the final-state string.
+func runInstrModel(t *testing.T, in *Instrument, vcd *bytes.Buffer) string {
+	t.Helper()
+	k := NewKernel()
+	defer k.Shutdown()
+	final := instrModel(k)
+	if vcd != nil {
+		tr := NewTracer(vcd)
+		k.AttachTracer(tr)
+	}
+	if in != nil {
+		k.SetInstrument(in)
+	}
+	// Two Run calls so flushInstr's delta accounting is exercised.
+	if err := k.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(TimeMax); err != nil {
+		t.Fatal(err)
+	}
+	return final()
+}
+
+// TestInstrumentPreservesResults is the determinism contract: an
+// instrumented kernel must produce byte-identical simulation results —
+// final state, kernel stats and VCD output — because instrumentation
+// only observes wall-clock time, never simulated state.
+func TestInstrumentPreservesResults(t *testing.T) {
+	var vcdPlain, vcdInstr bytes.Buffer
+	plain := runInstrModel(t, nil, &vcdPlain)
+	reg := obs.NewRegistry()
+	tr := obs.NewTraceRecorder()
+	instr := runInstrModel(t, &Instrument{Metrics: reg, Trace: tr}, &vcdInstr)
+	if plain != instr {
+		t.Errorf("results diverged\nplain: %s\ninstr: %s", plain, instr)
+	}
+	if vcdPlain.String() != vcdInstr.String() {
+		t.Error("VCD output diverged under instrumentation")
+	}
+}
+
+// TestInstrumentMetrics checks what the hooks record: kernel counters
+// matching Stats exactly (across multiple Run calls), per-process
+// counters, depth histograms, and one trace span per Run call.
+func TestInstrumentMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTraceRecorder()
+
+	k := NewKernel()
+	defer k.Shutdown()
+	final := instrModel(k)
+	k.SetInstrument(&Instrument{Metrics: reg, Trace: tr})
+	if err := k.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(TimeMax); err != nil {
+		t.Fatal(err)
+	}
+	_ = final()
+
+	st := k.Stats()
+	if got := reg.Counter("sim.delta_cycles").Value(); got != st.DeltaCycles {
+		t.Errorf("sim.delta_cycles = %d, want %d", got, st.DeltaCycles)
+	}
+	if got := reg.Counter("sim.activations").Value(); got != st.Activations {
+		t.Errorf("sim.activations = %d, want %d", got, st.Activations)
+	}
+	if got := reg.Counter("sim.time_steps").Value(); got != st.TimeSteps {
+		t.Errorf("sim.time_steps = %d, want %d", got, st.TimeSteps)
+	}
+
+	// Per-process counters must sum to the kernel activation count.
+	var perProc uint64
+	for _, ps := range k.ProcStats() {
+		got := reg.Counter("sim.proc.activations", obs.L("proc", ps.Name)).Value()
+		if got != ps.Activations {
+			t.Errorf("proc %s: counter %d != ProcStats %d", ps.Name, got, ps.Activations)
+		}
+		perProc += got
+	}
+	if perProc != st.Activations {
+		t.Errorf("per-proc activations %d != kernel %d", perProc, st.Activations)
+	}
+	// The producer runs 50 loop iterations plus its initial activation.
+	for _, ps := range k.ProcStats() {
+		if ps.Name == "producer" && ps.Activations != 51 {
+			t.Errorf("producer activations = %d, want 51", ps.Activations)
+		}
+	}
+
+	if h := reg.Histogram("sim.deltas_per_step"); h.Count() == 0 || h.Min() < 1 {
+		t.Errorf("deltas_per_step histogram empty or zero-valued: count=%d min=%d", h.Count(), h.Min())
+	}
+	if h := reg.Histogram("sim.runnable_depth"); h.Count() != st.DeltaCycles {
+		t.Errorf("runnable_depth count = %d, want one per delta cycle (%d)", h.Count(), st.DeltaCycles)
+	}
+	if h := reg.Histogram("sim.event_queue_depth"); h.Count() != st.TimeSteps {
+		t.Errorf("event_queue_depth count = %d, want one per time step (%d)", h.Count(), st.TimeSteps)
+	}
+	if reg.Counter("sim.run_ns").Value() == 0 {
+		t.Error("sim.run_ns not recorded")
+	}
+	if tr.Len() != 2 {
+		t.Errorf("trace has %d spans, want 2 (one per Run call)", tr.Len())
+	}
+}
+
+// TestInstrumentAutoTID: kernels that don't pick a trace row get
+// distinct auto-assigned ones.
+func TestInstrumentAutoTID(t *testing.T) {
+	a, b := &Instrument{}, &Instrument{}
+	NewKernel().SetInstrument(a)
+	NewKernel().SetInstrument(b)
+	if a.TID == b.TID || a.TID < 1000 || b.TID < 1000 {
+		t.Errorf("auto TIDs = %d, %d", a.TID, b.TID)
+	}
+	explicit := &Instrument{TID: 7}
+	NewKernel().SetInstrument(explicit)
+	if explicit.TID != 7 {
+		t.Errorf("explicit TID overwritten: %d", explicit.TID)
+	}
+}

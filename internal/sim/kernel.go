@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 )
 
 // DefaultMaxDeltas bounds the number of delta cycles the kernel will
@@ -83,6 +84,7 @@ type Kernel struct {
 	threadPanic error
 
 	tracers []*Tracer
+	instr   *Instrument
 }
 
 // NewKernel creates an empty simulator.
@@ -158,6 +160,19 @@ func (k *Kernel) RunUntil(until Time) error {
 	k.stopped = false
 	defer func() { k.running = false }()
 
+	if in := k.instr; in != nil {
+		runStart := time.Now()
+		startStats := k.stats
+		sp := in.Trace.Begin("sim", "kernel.run", in.TID)
+		defer func() {
+			k.flushInstr(runStart)
+			sp.Arg("delta_cycles", k.stats.DeltaCycles-startStats.DeltaCycles).
+				Arg("activations", k.stats.Activations-startStats.Activations).
+				Arg("time_steps", k.stats.TimeSteps-startStats.TimeSteps).
+				Arg("sim_now", k.now.String()).End()
+		}()
+	}
+
 	for {
 		// One time point: delta cycles until quiescent.
 		var deltasHere uint64
@@ -177,6 +192,9 @@ func (k *Kernel) RunUntil(until Time) error {
 			if k.stopped {
 				return nil
 			}
+		}
+		if in := k.instr; in != nil && in.deltasPerStep != nil && deltasHere > 0 {
+			in.deltasPerStep.Observe(deltasHere)
 		}
 
 		// Advance to the next timed notification.
@@ -198,6 +216,9 @@ func (k *Kernel) RunUntil(until Time) error {
 				k.now = next.at
 				k.stats.TimeSteps++
 				fired = true
+				if in := k.instr; in != nil && in.eventQueueDepth != nil {
+					in.eventQueueDepth.Observe(uint64(k.timed.Len() + 1))
+				}
 			}
 			e.pending = notifyNone
 			e.fire()
@@ -216,6 +237,9 @@ func (k *Kernel) RunUntil(until Time) error {
 // notification phase.
 func (k *Kernel) deltaCycle() error {
 	k.stats.DeltaCycles++
+	if in := k.instr; in != nil && in.runnableDepth != nil {
+		in.runnableDepth.Observe(uint64(len(k.runnable) + len(k.deltaQueue)))
+	}
 
 	// Evaluate: run every runnable process in creation order. Processes
 	// made runnable during the phase (immediate notification) run within

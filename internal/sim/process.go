@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 type procState uint8
 
@@ -45,6 +48,14 @@ type Proc struct {
 	waitCause   *Event   // which event resumed the last dynamic wait
 
 	noInit bool
+
+	// instrumentation accumulators, maintained only while an
+	// Instrument is attached to the kernel (see instrument.go);
+	// pub* record the portion already flushed to the registry.
+	activations    uint64
+	runNanos       int64
+	pubActivations uint64
+	pubRunNanos    int64
 
 	// thread machinery
 	started bool
@@ -122,6 +133,12 @@ func (p *Proc) dynamicFired(e *Event) {
 func (p *Proc) run() {
 	p.state = procRunning
 	p.k.stats.Activations++
+	instrumented := p.k.instr != nil
+	var t0 time.Time
+	if instrumented {
+		p.activations++
+		t0 = time.Now()
+	}
 	switch p.kind {
 	case methodProc:
 		p.fn()
@@ -136,6 +153,9 @@ func (p *Proc) run() {
 			p.resume <- struct{}{}
 		}
 		<-p.yield
+	}
+	if instrumented {
+		p.runNanos += int64(time.Since(t0))
 	}
 }
 

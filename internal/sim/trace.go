@@ -80,15 +80,26 @@ func vcdCode(i int) string {
 	}
 }
 
+// writeHeader emits the VCD declarations. Like sampleDelta it stores
+// the first write error so a full disk or closed pipe surfaces via Err
+// instead of silently truncating the dump.
 func (t *Tracer) writeHeader() {
-	fmt.Fprintf(t.w, "$timescale 1ps $end\n$scope module top $end\n")
+	t.started = true
+	if _, err := fmt.Fprintf(t.w, "$timescale 1ps $end\n$scope module top $end\n"); err != nil {
+		t.err = err
+		return
+	}
 	sort.SliceStable(t.vars, func(i, j int) bool { return t.vars[i].name < t.vars[j].name })
 	for i, v := range t.vars {
 		v.code = vcdCode(i)
-		fmt.Fprintf(t.w, "$var wire %d %s %s $end\n", v.width, v.code, v.name)
+		if _, err := fmt.Fprintf(t.w, "$var wire %d %s %s $end\n", v.width, v.code, v.name); err != nil {
+			t.err = err
+			return
+		}
 	}
-	fmt.Fprintf(t.w, "$upscope $end\n$enddefinitions $end\n")
-	t.started = true
+	if _, err := fmt.Fprintf(t.w, "$upscope $end\n$enddefinitions $end\n"); err != nil {
+		t.err = err
+	}
 }
 
 // sampleDelta is called by the kernel at the end of every delta cycle.
@@ -98,6 +109,9 @@ func (t *Tracer) sampleDelta(now Time) {
 	}
 	if !t.started {
 		t.writeHeader()
+		if t.err != nil {
+			return
+		}
 	}
 	wroteTime := t.haveTime && t.lastTime == now
 	for _, v := range t.vars {

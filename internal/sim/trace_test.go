@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// traceModel builds the reference tracing model: a bool signal and an
+// int signal driven by one thread at known times. Int values are
+// chosen to render as 0/1 strings so the expected VCD vector changes
+// are literal (the hashing fallback has its own test).
+func traceModel(k *Kernel) (*Signal[bool], *Signal[int]) {
+	b := NewSignal(k, "b", false)
+	n := NewSignal(k, "n", 0)
+	k.Thread("drv", func(c *ThreadCtx) {
+		c.WaitTime(2)
+		b.Write(true)
+		n.Write(10)
+		c.WaitTime(3)
+		b.Write(false)
+	})
+	return b, n
+}
+
+// TestTracerGolden pins the exact VCD output: header ordering (vars
+// sorted by name, base-94 codes in order), one timestamp per changed
+// time point, scalar changes for width-1 vars and vector changes for
+// wider ones, and change-only sampling (the #5 block has no n entry).
+func TestTracerGolden(t *testing.T) {
+	k := NewKernel()
+	defer k.Shutdown()
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	b, n := traceModel(k)
+	// Register out of name order: the header must sort b before n.
+	TraceSignal(tr, n)
+	TraceSignal(tr, b)
+	k.AttachTracer(tr)
+	if err := k.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	golden := strings.Join([]string{
+		"$timescale 1ps $end",
+		"$scope module top $end",
+		"$var wire 1 ! b $end",
+		`$var wire 64 " n $end`,
+		"$upscope $end",
+		"$enddefinitions $end",
+		"#0",
+		"0!",
+		`b0 "`,
+		"#2",
+		"1!",
+		`b10 "`,
+		"#5",
+		"0!",
+		"",
+	}, "\n")
+	if got := buf.String(); got != golden {
+		t.Errorf("VCD mismatch\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+// TestToBinary covers both renderings: 0/1/x/z strings pass through,
+// anything else becomes a stable 64-bit hash.
+func TestToBinary(t *testing.T) {
+	for _, s := range []string{"0", "1", "01xz", "1100"} {
+		if got := toBinary(s); got != s {
+			t.Errorf("toBinary(%q) = %q, want passthrough", s, got)
+		}
+	}
+	h := toBinary("hello")
+	if len(h) != 64 || strings.Trim(h, "01") != "" {
+		t.Errorf("hashed value %q is not a 64-bit binary string", h)
+	}
+	if toBinary("hello") != h {
+		t.Error("hash not stable")
+	}
+	if toBinary("world") == h {
+		t.Error("distinct values hashed identically")
+	}
+}
+
+// failingWriter errors once its byte budget is exhausted.
+type failingWriter struct {
+	budget int
+	wrote  bytes.Buffer
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.wrote.Len()+len(p) > f.budget {
+		return 0, errDiskFull
+	}
+	return f.wrote.Write(p)
+}
+
+// TestTracerWriteErrors: a failing writer must surface through Err —
+// whether the header or a later sample hits it — and must stop all
+// further output instead of silently truncating the dump.
+func TestTracerWriteErrors(t *testing.T) {
+	// Budgets: 0 and 40 fail inside the header; 124 fails at the first
+	// scalar change, 140 at a vector change (the full dump is 150
+	// bytes).
+	for _, budget := range []int{0, 40, 124, 140} {
+		t.Run(fmt.Sprintf("budget=%d", budget), func(t *testing.T) {
+			k := NewKernel()
+			defer k.Shutdown()
+			w := &failingWriter{budget: budget}
+			tr := NewTracer(w)
+			b, n := traceModel(k)
+			TraceSignal(tr, b)
+			TraceSignal(tr, n)
+			k.AttachTracer(tr)
+			if err := k.Run(10); err != nil {
+				t.Fatal(err) // tracer errors must not break the simulation
+			}
+			if !errors.Is(tr.Err(), errDiskFull) {
+				t.Fatalf("Err() = %v, want errDiskFull", tr.Err())
+			}
+			lenAtError := w.wrote.Len()
+			// Another run must not emit a single further byte.
+			k2 := NewKernel()
+			defer k2.Shutdown()
+			traceModel(k2)
+			k2.AttachTracer(tr)
+			if err := k2.Run(10); err != nil {
+				t.Fatal(err)
+			}
+			if w.wrote.Len() != lenAtError {
+				t.Errorf("tracer kept writing after error: %d -> %d bytes",
+					lenAtError, w.wrote.Len())
+			}
+		})
+	}
+}

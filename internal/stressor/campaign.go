@@ -3,9 +3,12 @@ package stressor
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -24,7 +27,7 @@ const WorkersAuto = par.Auto
 // Campaign repeats stress tests over a scenario list: the quantitative
 // evaluation loop of Sec. 3.4.
 type Campaign struct {
-	// Name labels the campaign in reports.
+	// Name labels the campaign in reports and metrics.
 	Name string
 	// Run executes one scenario.
 	Run RunFunc
@@ -40,6 +43,24 @@ type Campaign struct {
 	// GOMAXPROCS. Scenario runs are independent (each builds a fresh
 	// prototype), so the Result is identical for every setting.
 	Workers int
+
+	// Metrics, when non-nil, receives campaign telemetry: a
+	// campaign.scenario_duration_ns histogram, campaign.outcomes
+	// counters per classification, campaign.runs / elapsed_ns /
+	// panic_recoveries counters, per-worker campaign.worker_busy_ns
+	// and a campaign.worker_utilization gauge — all labeled with the
+	// campaign name. The Result itself is byte-identical with or
+	// without Metrics attached.
+	Metrics *obs.Registry
+	// Trace, when non-nil, records one span per scenario run on the
+	// executing worker's trace row (Chrome trace-event timeline).
+	Trace *obs.TraceRecorder
+	// Progress, when non-nil, receives rate-limited live updates
+	// (completed/total, failures, rate, ETA) while the campaign runs.
+	Progress obs.ProgressFunc
+	// ProgressInterval overrides the update rate limit (0 selects
+	// obs.DefaultProgressInterval, negative disables limiting).
+	ProgressInterval time.Duration
 }
 
 // Result is a finished campaign.
@@ -50,41 +71,144 @@ type Result struct {
 	// RunsToFirstFailure is the 1-based index of the first unhandled
 	// failure, or 0 when none occurred.
 	RunsToFirstFailure int
+	// PanicRecoveries counts runs whose RunFunc panicked and was
+	// recovered. Those runs tally as detected-safe (the campaign
+	// reached a safe state by construction), but an infrastructure
+	// crash is not a genuine detection — a non-zero count flags the
+	// campaign setup, not the DUT.
+	PanicRecoveries int
+}
+
+// campaignObs carries the per-Execute instrumentation state. A nil
+// *campaignObs is valid and free: uninstrumented campaigns skip all
+// timing calls.
+type campaignObs struct {
+	meter *obs.ProgressMeter
+	trace *obs.TraceRecorder
+	dur   *obs.Histogram
+	// busy accumulates per-worker run time; each worker touches only
+	// its own slot and the slice is read after the pool joins.
+	busy []time.Duration
+}
+
+// newObs builds the instrumentation state, or nil when the campaign
+// carries no observability hooks.
+func (c *Campaign) newObs(total, workers int) *campaignObs {
+	if c.Metrics == nil && c.Trace == nil && c.Progress == nil {
+		return nil
+	}
+	o := &campaignObs{
+		meter: obs.NewProgressMeter(c.Name, total, c.ProgressInterval, c.Progress),
+		trace: c.Trace,
+	}
+	if c.Metrics != nil {
+		o.dur = c.Metrics.Histogram("campaign.scenario_duration_ns", obs.L("campaign", c.Name))
+		if workers == 0 {
+			workers = 1
+		}
+		o.busy = make([]time.Duration, workers)
+	}
+	return o
+}
+
+// runOne executes one scenario through the instrumentation shell:
+// span, duration histogram, per-worker busy time, progress step.
+func (c *Campaign) runOne(o *campaignObs, sc fault.Scenario, worker int) (fault.Outcome, bool) {
+	if o == nil {
+		return c.safeRun(sc)
+	}
+	sp := o.trace.Begin("campaign", sc.ID, worker)
+	var t0 time.Time
+	timed := o.dur != nil || o.busy != nil
+	if timed {
+		t0 = time.Now()
+	}
+	out, panicked := c.safeRun(sc)
+	if timed {
+		d := time.Since(t0)
+		if o.dur != nil {
+			o.dur.Observe(uint64(d))
+		}
+		if o.busy != nil {
+			o.busy[worker] += d
+		}
+	}
+	sp.Arg("class", out.Class.String()).End()
+	o.meter.Step(out.Class.IsFailure())
+	return out, panicked
 }
 
 // Execute runs every scenario and tallies classifications. The whole
 // list is validated up front, before any (expensive) run starts, so a
 // malformed scenario can never discard completed work. Outcomes keep
-// scenario order regardless of Workers.
+// scenario order regardless of Workers, and attaching Metrics, Trace
+// or Progress never changes the Result.
 func (c *Campaign) Execute(scenarios []fault.Scenario) (*Result, error) {
 	for _, sc := range scenarios {
 		if err := sc.Validate(); err != nil {
 			return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
 		}
 	}
+	workers := par.Resolve(c.Workers)
+	o := c.newObs(len(scenarios), workers)
+	start := time.Now()
 	var outs []fault.Outcome
-	var ran []bool
-	if workers := par.Resolve(c.Workers); workers == 0 {
-		outs, ran = c.runSequential(scenarios)
+	var ran, panicked []bool
+	if workers == 0 {
+		outs, ran, panicked = c.runSequential(scenarios, o)
 	} else {
-		outs, ran = c.runParallel(scenarios, workers)
+		outs, ran, panicked = c.runParallel(scenarios, workers, o)
 	}
-	return c.assemble(scenarios, outs, ran), nil
+	res := c.assemble(scenarios, outs, ran, panicked)
+	c.publish(o, res, time.Since(start))
+	return res, nil
+}
+
+// publish folds the finished result into the registry. Counters are
+// derived from the assembled Result (not the raw runs), so the
+// recorded outcome counts are deterministic across worker counts.
+func (c *Campaign) publish(o *campaignObs, res *Result, elapsed time.Duration) {
+	if o != nil {
+		o.meter.Finish()
+	}
+	if c.Metrics == nil {
+		return
+	}
+	reg := c.Metrics
+	name := obs.L("campaign", c.Name)
+	for class, n := range res.Tally {
+		reg.Counter("campaign.outcomes", name, obs.L("class", class.String())).Add(uint64(n))
+	}
+	reg.Counter("campaign.runs", name).Add(uint64(len(res.Outcomes)))
+	reg.Counter("campaign.elapsed_ns", name).Add(uint64(elapsed.Nanoseconds()))
+	if res.PanicRecoveries > 0 {
+		reg.Counter("campaign.panic_recoveries", name).Add(uint64(res.PanicRecoveries))
+	}
+	var total time.Duration
+	for w, b := range o.busy {
+		reg.Counter("campaign.worker_busy_ns", name, obs.L("worker", strconv.Itoa(w))).Add(uint64(b))
+		total += b
+	}
+	if elapsed > 0 && len(o.busy) > 0 {
+		util := total.Seconds() / (elapsed.Seconds() * float64(len(o.busy)))
+		reg.Gauge("campaign.worker_utilization", name).Set(util)
+	}
 }
 
 // runSequential is the classic single-goroutine loop; it stops early
 // after the first failure when StopOnFirst is set.
-func (c *Campaign) runSequential(scenarios []fault.Scenario) ([]fault.Outcome, []bool) {
+func (c *Campaign) runSequential(scenarios []fault.Scenario, o *campaignObs) ([]fault.Outcome, []bool, []bool) {
 	outs := make([]fault.Outcome, len(scenarios))
 	ran := make([]bool, len(scenarios))
+	panicked := make([]bool, len(scenarios))
 	for i, sc := range scenarios {
-		outs[i] = c.safeRun(sc)
+		outs[i], panicked[i] = c.runOne(o, sc, 0)
 		ran[i] = true
 		if c.StopOnFirst && outs[i].Class.IsFailure() {
 			break
 		}
 	}
-	return outs, ran
+	return outs, ran, panicked
 }
 
 // runParallel fans scenarios out to a worker pool. Indices are
@@ -93,9 +217,10 @@ func (c *Campaign) runSequential(scenarios []fault.Scenario) ([]fault.Outcome, [
 // earliest failure seen so far, so every scenario the sequential loop
 // would have run still runs and nothing past the stop point survives
 // into the result.
-func (c *Campaign) runParallel(scenarios []fault.Scenario, workers int) ([]fault.Outcome, []bool) {
+func (c *Campaign) runParallel(scenarios []fault.Scenario, workers int, o *campaignObs) ([]fault.Outcome, []bool, []bool) {
 	outs := make([]fault.Outcome, len(scenarios))
 	ran := make([]bool, len(scenarios))
+	panicked := make([]bool, len(scenarios))
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
@@ -106,7 +231,7 @@ func (c *Campaign) runParallel(scenarios []fault.Scenario, workers int) ([]fault
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range indices {
 				if c.StopOnFirst {
@@ -117,17 +242,18 @@ func (c *Campaign) runParallel(scenarios []fault.Scenario, workers int) ([]fault
 						continue
 					}
 				}
-				o := c.safeRun(scenarios[i])
+				out, p := c.runOne(o, scenarios[i], w)
 				mu.Lock()
-				outs[i] = o
+				outs[i] = out
 				ran[i] = true
-				if c.StopOnFirst && o.Class.IsFailure() && i < firstFail {
+				panicked[i] = p
+				if c.StopOnFirst && out.Class.IsFailure() && i < firstFail {
 					firstFail = i
 					cancel()
 				}
 				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 dispatch:
 	for i := range scenarios {
@@ -139,15 +265,17 @@ dispatch:
 	}
 	close(indices)
 	wg.Wait()
-	return outs, ran
+	return outs, ran, panicked
 }
 
 // safeRun invokes the RunFunc, converting a panic into a
 // detected-safe outcome so one crashing scenario cannot take down the
-// whole campaign.
-func (c *Campaign) safeRun(sc fault.Scenario) (o fault.Outcome) {
+// whole campaign. The second return reports whether a panic was
+// recovered, feeding Result.PanicRecoveries.
+func (c *Campaign) safeRun(sc fault.Scenario) (o fault.Outcome, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
+			panicked = true
 			o = fault.Outcome{
 				Scenario: sc,
 				Class:    fault.DetectedSafe,
@@ -155,15 +283,16 @@ func (c *Campaign) safeRun(sc fault.Scenario) (o fault.Outcome) {
 			}
 		}
 	}()
-	return c.Run(sc)
+	return c.Run(sc), false
 }
 
 // assemble folds per-index outcomes into a Result in scenario order,
 // reproducing the sequential semantics bit for bit: the tally and
 // outcome list stop at the first failure when StopOnFirst is set,
 // and extra outcomes a parallel run completed past that point are
-// discarded.
-func (c *Campaign) assemble(scenarios []fault.Scenario, outs []fault.Outcome, ran []bool) *Result {
+// discarded. PanicRecoveries counts only runs included in the result,
+// so it too is identical across worker counts.
+func (c *Campaign) assemble(scenarios []fault.Scenario, outs []fault.Outcome, ran, panicked []bool) *Result {
 	res := &Result{Name: c.Name, Tally: make(fault.Tally)}
 	for i := range scenarios {
 		if !ran[i] {
@@ -172,6 +301,9 @@ func (c *Campaign) assemble(scenarios []fault.Scenario, outs []fault.Outcome, ra
 		o := outs[i]
 		res.Outcomes = append(res.Outcomes, o)
 		res.Tally.Add(o)
+		if panicked[i] {
+			res.PanicRecoveries++
+		}
 		if o.Class.IsFailure() && res.RunsToFirstFailure == 0 {
 			res.RunsToFirstFailure = i + 1
 			if c.StopOnFirst {

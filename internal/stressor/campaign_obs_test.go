@@ -1,0 +1,165 @@
+package stressor
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// TestCampaignInstrumentedDeterminism is the observability
+// no-interference contract (acceptance criterion of the obs layer):
+// for worker counts 0, 1 and 4, a campaign with Metrics, Trace and
+// Progress all attached returns a Result identical to the bare
+// sequential campaign — instrumentation observes, it never steers.
+func TestCampaignInstrumentedDeterminism(t *testing.T) {
+	const n = 24
+	classes := pattern(n, map[int]fault.Classification{
+		4: fault.SDC, 9: fault.SafetyCritical, 17: fault.TimingViolation,
+	})
+	run := classRunFunc(classes)
+	scenarios := makeScenarios(n)
+	for _, stop := range []bool{false, true} {
+		baseline, err := (&Campaign{Name: "det", Run: run, StopOnFirst: stop}).Execute(scenarios)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 4} {
+			c := &Campaign{
+				Name: "det", Run: run, StopOnFirst: stop, Workers: workers,
+				Metrics:          obs.NewRegistry(),
+				Trace:            obs.NewTraceRecorder(),
+				Progress:         func(obs.ProgressUpdate) {},
+				ProgressInterval: -1,
+			}
+			got, err := c.Execute(scenarios)
+			if err != nil {
+				t.Fatalf("stop=%v workers=%d: %v", stop, workers, err)
+			}
+			if !reflect.DeepEqual(got, baseline) {
+				t.Errorf("stop=%v workers=%d: instrumented result diverged\ngot:  %+v\nwant: %+v",
+					stop, workers, got, baseline)
+			}
+		}
+	}
+}
+
+// TestCampaignMetricsContent checks what an instrumented campaign
+// records: deterministic outcome counters matching the tally, a
+// duration histogram with one observation per included run, worker
+// busy counters and a utilization gauge.
+func TestCampaignMetricsContent(t *testing.T) {
+	const n = 30
+	classes := pattern(n, map[int]fault.Classification{3: fault.SDC, 12: fault.SDC})
+	for _, workers := range []int{0, 4} {
+		reg := obs.NewRegistry()
+		tr := obs.NewTraceRecorder()
+		c := &Campaign{Name: "m", Run: classRunFunc(classes), Workers: workers,
+			Metrics: reg, Trace: tr}
+		res, err := c.Execute(makeScenarios(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := obs.L("campaign", "m")
+		for class, want := range res.Tally {
+			got := reg.Counter("campaign.outcomes", name, obs.L("class", class.String())).Value()
+			if got != uint64(want) {
+				t.Errorf("workers=%d: outcomes{%s} = %d, want %d", workers, class, got, want)
+			}
+		}
+		if got := reg.Counter("campaign.runs", name).Value(); got != n {
+			t.Errorf("workers=%d: runs = %d, want %d", workers, got, n)
+		}
+		if h := reg.Histogram("campaign.scenario_duration_ns", name); h.Count() != n {
+			t.Errorf("workers=%d: duration histogram count = %d, want %d", workers, h.Count(), n)
+		}
+		if reg.Counter("campaign.elapsed_ns", name).Value() == 0 {
+			t.Errorf("workers=%d: elapsed_ns not recorded", workers)
+		}
+		util := reg.Gauge("campaign.worker_utilization", name).Value()
+		if util <= 0 || util > 1.01 {
+			t.Errorf("workers=%d: utilization = %v", workers, util)
+		}
+		wantSlots := workers
+		if wantSlots == 0 {
+			wantSlots = 1
+		}
+		var busySlots int
+		for w := 0; w < wantSlots; w++ {
+			if reg.Counter("campaign.worker_busy_ns", name, obs.L("worker", fmt.Sprint(w))).Value() > 0 {
+				busySlots++
+			}
+		}
+		if busySlots == 0 {
+			t.Errorf("workers=%d: no worker recorded busy time", workers)
+		}
+		if tr.Len() != n {
+			t.Errorf("workers=%d: trace has %d spans, want %d", workers, tr.Len(), n)
+		}
+	}
+}
+
+// TestCampaignPanicRecoveriesCounted: recovered panics must be
+// distinguishable from genuine detected-safe outcomes — on the Result
+// and in the registry — identically for every worker count.
+func TestCampaignPanicRecoveriesCounted(t *testing.T) {
+	const n = 12
+	run := func(sc fault.Scenario) fault.Outcome {
+		if sc.ID == "s3" || sc.ID == "s8" {
+			panic("injector exploded")
+		}
+		if sc.ID == "s5" {
+			// A genuine detection, to prove the two stay separate.
+			return fault.Outcome{Scenario: sc, Class: fault.DetectedSafe}
+		}
+		return fault.Outcome{Scenario: sc, Class: fault.Masked}
+	}
+	for _, workers := range []int{0, 1, 4} {
+		reg := obs.NewRegistry()
+		c := &Campaign{Name: "p", Run: run, Workers: workers, Metrics: reg}
+		res, err := c.Execute(makeScenarios(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PanicRecoveries != 2 {
+			t.Errorf("workers=%d: PanicRecoveries = %d, want 2", workers, res.PanicRecoveries)
+		}
+		if res.Tally[fault.DetectedSafe] != 3 {
+			t.Errorf("workers=%d: detected-safe tally = %d, want 3 (2 panics + 1 real)",
+				workers, res.Tally[fault.DetectedSafe])
+		}
+		got := reg.Counter("campaign.panic_recoveries", obs.L("campaign", "p")).Value()
+		if got != 2 {
+			t.Errorf("workers=%d: panic_recoveries counter = %d, want 2", workers, got)
+		}
+	}
+}
+
+// TestCampaignProgressStream: the progress callback sees every
+// completion when unthrottled, and the final update carries the
+// campaign totals.
+func TestCampaignProgressStream(t *testing.T) {
+	const n = 16
+	classes := pattern(n, map[int]fault.Classification{6: fault.SDC})
+	var updates []obs.ProgressUpdate
+	c := &Campaign{
+		Name: "prog", Run: classRunFunc(classes),
+		Progress:         func(u obs.ProgressUpdate) { updates = append(updates, u) },
+		ProgressInterval: -1,
+	}
+	if _, err := c.Execute(makeScenarios(n)); err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) != n+1 {
+		t.Fatalf("%d updates, want %d (one per run + final)", len(updates), n+1)
+	}
+	last := updates[len(updates)-1]
+	if !last.Final || last.Completed != n || last.Total != n || last.Failures != 1 {
+		t.Errorf("final update = %+v", last)
+	}
+	if last.Name != "prog" {
+		t.Errorf("update name = %q", last.Name)
+	}
+}
