@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race tier1 bench bench-smoke bench-campaign
+.PHONY: all build vet test race tier1 bench bench-smoke bench-campaign bench-json bench-reuse
 
 all: tier1
 
@@ -35,3 +35,15 @@ bench-smoke:
 # universe; compare the two sub-benchmarks with benchstat.
 bench-campaign:
 	$(GO) test -run xxx -bench BenchmarkCampaignParallel -benchtime 20x .
+
+# Rebuild-per-run vs kernel-reuse campaign paths (the PR 3 tentpole);
+# compare rebuild/* with reuse/* using benchstat.
+bench-reuse:
+	$(GO) test -run xxx -bench BenchmarkCampaignReuse -benchtime 10x .
+
+# Machine-readable benchmark snapshot: the perf trajectory artifact
+# committed per perf PR (BENCH_PR<n>.json). Override OUT to target a
+# different file, e.g. `make bench-json OUT=BENCH_PR4.json`.
+OUT ?= BENCH_PR3.json
+bench-json:
+	$(GO) run ./cmd/benchjson -benchtime 1x -o $(OUT) ./...

@@ -24,6 +24,7 @@ func benchExperiment(b *testing.B, id string) {
 	if !ok {
 		b.Fatalf("experiment %s not registered", id)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := e.Run()
@@ -145,6 +146,7 @@ func BenchmarkKernelObsOverhead(b *testing.B) {
 		})
 	}
 	run := func(b *testing.B, instrument bool) {
+		b.ReportAllocs()
 		b.ReportMetric(rounds, "rounds/op")
 		for i := 0; i < b.N; i++ {
 			k := sim.NewKernel()
@@ -189,6 +191,7 @@ func BenchmarkCampaignParallel(b *testing.B) {
 	for _, bc := range cases {
 		b.Run(bc.name, func(b *testing.B) {
 			c := &stressor.Campaign{Name: "bench", Run: runner.RunFunc(), Workers: bc.workers}
+			b.ReportAllocs()
 			b.ReportMetric(float64(len(scenarios)), "scenarios/op")
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -201,5 +204,93 @@ func BenchmarkCampaignParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkCampaignReuse is the tentpole measurement: the E8
+// single-fault universe with rebuild-per-run (the pre-reuse engine,
+// ReuseOff) against the pooled Kernel.Reset+Rearm path, sequentially
+// and at GOMAXPROCS workers. Both paths produce identical tallies
+// (cross-checked each iteration); only the per-scenario constant
+// factor differs. Compare rebuild/* with reuse/* using benchstat.
+//
+// Two regimes, because the reuse payoff scales with the ratio of
+// construction cost to simulated work:
+//
+//   - h=10ms is the campaign-overhead regime — short observation
+//     windows, the shape of statistical injection sweeps where a
+//     campaign burns through very many runs. This is where the PR 3
+//     acceptance bar (≥1.5× on the sequential pair) is measured.
+//   - h=80ms is the full-length E8 experiment, where per-run simulated
+//     work dominates both paths; reuse still wins the construction
+//     premium and allocates ~6× less.
+func BenchmarkCampaignReuse(b *testing.B) {
+	for _, reg := range []struct {
+		name    string
+		horizon sim.Time
+		inject  sim.Time
+	}{{"h=10ms", sim.MS(10), sim.MS(2)}, {"h=80ms", sim.MS(80), sim.MS(10)}} {
+		ref, err := caps.NewRunner(caps.Protected(), caps.NormalDriving(), reg.horizon)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scenarios := fault.Singles(ref.Universe(reg.inject))
+		want, err := (&stressor.Campaign{Name: "ref", Run: ref.RunFunc()}).Execute(scenarios)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ref.Close()
+		for _, mode := range []struct {
+			name     string
+			reuseOff bool
+		}{{"rebuild", true}, {"reuse", false}} {
+			for _, wc := range []struct {
+				name    string
+				workers int
+			}{{"sequential", 0}, {fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0)), stressor.WorkersAuto}} {
+				b.Run(reg.name+"/"+mode.name+"/"+wc.name, func(b *testing.B) {
+					runner, err := caps.NewRunner(caps.Protected(), caps.NormalDriving(), reg.horizon)
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer runner.Close()
+					runner.ReuseOff = mode.reuseOff
+					c := &stressor.Campaign{Name: "bench", Run: runner.RunFunc(), Workers: wc.workers}
+					b.ReportAllocs()
+					b.ReportMetric(float64(len(scenarios)), "scenarios/op")
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						res, err := c.Execute(scenarios)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if res.Tally.String() != want.Tally.String() {
+							b.Fatalf("tally %s != reference %s", res.Tally, want.Tally)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkKernelTimedScheduling isolates the allocation-lean event
+// queue: a reused kernel running a self-retriggering timed event in
+// steady state. allocs/op must report 0 (also pinned by
+// TestSteadyStateTimedSchedulingAllocs).
+func BenchmarkKernelTimedScheduling(b *testing.B) {
+	k := sim.NewKernel()
+	tick := k.NewEvent("tick")
+	k.MethodNoInit("ticker", func() { tick.Notify(sim.NS(10)) }, tick)
+	tick.Notify(sim.NS(10))
+	if err := k.Run(sim.US(1)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := k.Run(sim.US(1)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,150 @@
+// Command benchjson runs the module's benchmark suite and emits a
+// machine-readable snapshot (name → ns/op, B/op, allocs/op) so perf
+// PRs leave a recorded trajectory: each PR commits its BENCH_PR<n>.json
+// and later work diffs against it.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-bench regex] [-benchtime 1x] [-o BENCH_PR3.json] [packages...]
+//
+// Packages default to ./... — every benchmark in the module. The JSON
+// is stable (keys sorted, no timestamps), so regenerating on the same
+// machine produces a minimal diff.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line's measurements.
+type Result struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Extra carries benchmark-specific custom metrics reported via
+	// b.ReportMetric (e.g. scenarios/op), keyed by unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Snapshot is the file format.
+type Snapshot struct {
+	Go        string `json:"go"`
+	Benchtime string `json:"benchtime"`
+	// Results maps "<package>:<benchmark>" to its measurements; the
+	// package is module-relative ("." for the root).
+	Results map[string]Result `json:"results"`
+}
+
+// benchLine matches one `go test -bench` result row; the -<procs>
+// GOMAXPROCS suffix is stripped from the name.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+func main() {
+	benchRe := flag.String("bench", ".", "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{"./..."}
+	}
+
+	args := append([]string{"test", "-run=NONE", "-bench=" + *benchRe,
+		"-benchmem", "-benchtime=" + *benchtime}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		fatal(err)
+	}
+
+	snap := Snapshot{Go: runtime.Version(), Benchtime: *benchtime, Results: map[string]Result{}}
+	pkg := "."
+	sc := bufio.NewScanner(stdout)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	modPrefix := ""
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line) // stream progress through
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			if modPrefix == "" {
+				modPrefix = rest // first pkg line is the module root
+			}
+			pkg = strings.TrimPrefix(strings.TrimPrefix(rest, modPrefix), "/")
+			if pkg == "" {
+				pkg = "."
+			}
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		r := Result{Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[unit] = v
+			}
+		}
+		snap.Results[pkg+":"+m[1]] = r
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		fatal(fmt.Errorf("go test -bench failed: %w", err))
+	}
+	if len(snap.Results) == 0 {
+		fatal(fmt.Errorf("no benchmark results matched %q", *benchRe))
+	}
+
+	// MarshalIndent sorts map keys, so the file is byte-stable for a
+	// given set of measurements.
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(snap.Results), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -39,6 +39,8 @@ func main() {
 	listSites := flag.Bool("sites", false, "list injection sites and exit")
 	campaign := flag.Bool("campaign", false, "run the exhaustive single-fault campaign instead of one scenario")
 	workers := flag.Int("workers", 0, "campaign worker-pool size: 0 = sequential, -1 = one per CPU")
+	reuseOff := flag.Bool("reuse-off", false, "rebuild the prototype for every scenario instead of reusing pooled kernels")
+	dedup := flag.Bool("dedup", false, "collapse campaign scenarios with identical fault content into one run")
 	metricsPath := flag.String("metrics", "", "write the metrics snapshot (JSON) to this file")
 	tracePath := flag.String("trace-events", "", "write Chrome trace-event JSON to this file")
 	progress := flag.Bool("progress", false, "stream live campaign progress to stderr")
@@ -97,6 +99,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	defer runner.Close()
+	runner.ReuseOff = *reuseOff
 	// Attach after NewRunner so the golden run stays out of the data.
 	runner.Instrument(reg, tr)
 	if *listSites {
@@ -112,7 +116,7 @@ func main() {
 		}
 		c := &stressor.Campaign{
 			Name: campaignName, Run: runner.RunFunc(), Workers: *workers,
-			Metrics: reg, Trace: tr,
+			Dedup: *dedup, Metrics: reg, Trace: tr,
 		}
 		if *progress {
 			c.Progress = obs.ProgressLine(os.Stderr)
@@ -127,6 +131,9 @@ func main() {
 		fmt.Printf("config:    protected=%v\n", !*unprotected)
 		fmt.Printf("campaign:  %d single-fault scenarios, workers=%d\n", len(scenarios), *workers)
 		fmt.Printf("tally:     %s\n", res.Tally)
+		if res.DedupSavedRuns > 0 {
+			fmt.Printf("dedup:     %d duplicate runs skipped\n", res.DedupSavedRuns)
+		}
 		if res.RunsToFirstFailure > 0 {
 			fmt.Printf("first failure at run %d: %s\n",
 				res.RunsToFirstFailure, res.Outcomes[res.RunsToFirstFailure-1].Scenario.ID)

@@ -117,6 +117,17 @@ func (t *Trace) Record(at sim.Time, site, detail string) {
 // Hops reports the propagation path in time order.
 func (t *Trace) Hops() []Hop { return t.hops }
 
+// Reset clears the trace, keeping the hop buffer's capacity for reuse
+// across campaign runs.
+func (t *Trace) Reset() { t.hops = t.hops[:0] }
+
+// Clone returns an independent copy of the trace. Runners that reuse a
+// prototype across runs hand out clones so a returned trace is not
+// overwritten by the next run.
+func (t *Trace) Clone() *Trace {
+	return &Trace{hops: append([]Hop(nil), t.hops...)}
+}
+
 // Len reports the number of hops.
 func (t *Trace) Len() int { return len(t.hops) }
 

@@ -2,7 +2,6 @@ package can
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/sim"
 )
@@ -139,7 +138,8 @@ type TxRecord struct {
 
 // Bus is the shared medium.
 type Bus struct {
-	k *sim.Kernel
+	k    *sim.Kernel
+	name string
 	// BitTime is the duration of one bit (500 kbit/s default).
 	BitTime sim.Time
 	// MaxRetries bounds automatic retransmission per frame.
@@ -149,6 +149,22 @@ type Bus struct {
 	busy  bool
 	wake  *sim.Event
 	log   []TxRecord
+
+	// in-flight transmission, completed by the persistent txdone
+	// process (one event + one method for the bus's lifetime, not one
+	// pair per arbitration round — the CAN hot path must not grow the
+	// kernel's process table per frame).
+	txdone   *sim.Event
+	txWinner *Node
+	txFrame  Frame
+	// cont is the contenders scratch buffer, reused per round.
+	cont []*Node
+
+	// elaboration names and bound methods, computed once in NewBus so
+	// Rearm re-elaborates without re-deriving them (string concat and
+	// method-value creation both allocate).
+	wakeName, arbName, doneName, compName string
+	arbFn, compFn                         func()
 
 	// fault injection
 	corruptNext  int // corrupt the next n frames in transit
@@ -162,14 +178,54 @@ type Bus struct {
 func NewBus(k *sim.Kernel, name string) *Bus {
 	b := &Bus{
 		k:           k,
+		name:        name,
 		BitTime:     sim.US(2),
 		MaxRetries:  8,
-		wake:        k.NewEvent(name + ".wake"),
 		retriesLeft: make(map[*Node]int),
 		babbleFrame: Frame{ID: 0, Data: []byte{0}},
+		wakeName:    name + ".wake",
+		arbName:     name + ".arbitrate",
+		doneName:    name + ".txdone",
+		compName:    name + ".complete",
 	}
-	k.MethodNoInit(name+".arbitrate", b.arbitrate, b.wake)
+	b.arbFn = b.arbitrate
+	b.compFn = b.completePending
+	b.elaborate(k)
 	return b
+}
+
+// elaborate registers the bus's event and process quartet on the
+// kernel, in the fixed order both NewBus and Rearm rely on.
+func (b *Bus) elaborate(k *sim.Kernel) {
+	b.wake = k.NewEvent(b.wakeName)
+	k.MethodNoInit(b.arbName, b.arbFn, b.wake)
+	b.txdone = k.NewEvent(b.doneName)
+	k.MethodNoInit(b.compName, b.compFn, b.txdone)
+}
+
+// Rearm re-elaborates the bus onto a freshly Reset kernel and clears
+// all traffic, error-counter and fault state, following the
+// sim.Rearmable convention. The wake event and arbitration process are
+// re-created first thing, so a prototype that calls Rearm at the same
+// point Build called NewBus preserves the original process ordering.
+func (b *Bus) Rearm(k *sim.Kernel) {
+	b.k = k
+	b.elaborate(k)
+	b.txWinner = nil
+	b.txFrame = Frame{}
+	b.busy = false
+	b.log = b.log[:0]
+	b.corruptNext = 0
+	b.dropNext = 0
+	clear(b.retriesLeft)
+	b.arbitrations = 0
+	for _, n := range b.nodes {
+		n.tec, n.rec = 0, 0
+		n.state = ErrorActive
+		n.queue = n.queue[:0]
+		n.sent, n.received, n.errorsSeen = 0, 0, 0
+		n.Babbling = false
+	}
 }
 
 // Attach creates a node on the bus.
@@ -200,9 +256,11 @@ func (b *Bus) kick() {
 	}
 }
 
-// contenders lists nodes with traffic, including babbling ones.
+// contenders lists nodes with traffic, including babbling ones. The
+// returned slice is the bus's scratch buffer, valid until the next
+// round.
 func (b *Bus) contenders() []*Node {
-	var out []*Node
+	out := b.cont[:0]
 	for _, n := range b.nodes {
 		if n.state == BusOff {
 			continue
@@ -214,6 +272,7 @@ func (b *Bus) contenders() []*Node {
 			out = append(out, n)
 		}
 	}
+	b.cont = out
 	return out
 }
 
@@ -229,19 +288,37 @@ func (b *Bus) arbitrate() {
 	}
 	b.arbitrations++
 	// Lowest ID wins; ties resolve by attachment order (real CAN
-	// cannot have ID ties on a correct network).
-	sort.SliceStable(cont, func(i, j int) bool {
-		return cont[i].queue[0].ID < cont[j].queue[0].ID
-	})
+	// cannot have ID ties on a correct network). Stable insertion sort:
+	// the slice holds a handful of nodes and, unlike sort.SliceStable,
+	// this allocates nothing on the per-frame hot path.
+	for i := 1; i < len(cont); i++ {
+		n := cont[i]
+		j := i - 1
+		for j >= 0 && cont[j].queue[0].ID > n.queue[0].ID {
+			cont[j+1] = cont[j]
+			j--
+		}
+		cont[j+1] = n
+	}
 	winner := cont[0]
 	frame := winner.queue[0]
 	b.busy = true
 	dur := sim.Time(frame.Bits()) * b.BitTime
-	done := b.k.NewEvent("can.txdone")
-	b.k.MethodNoInit("can.complete", func() {
-		b.complete(winner, frame)
-	}, done)
-	done.Notify(dur)
+	b.txWinner = winner
+	b.txFrame = frame
+	b.txdone.Notify(dur)
+}
+
+// completePending runs when the in-flight frame's transmission time
+// elapses.
+func (b *Bus) completePending() {
+	w, f := b.txWinner, b.txFrame
+	if w == nil {
+		return
+	}
+	b.txWinner = nil
+	b.txFrame = Frame{}
+	b.complete(w, f)
 }
 
 // complete finishes a transmission: apply channel faults, deliver or

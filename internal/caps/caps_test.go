@@ -341,3 +341,36 @@ func TestParallelCampaignMatchesSequential(t *testing.T) {
 		}
 	}
 }
+
+// TestCampaignReuseDeterminism is the tentpole contract: the pooled
+// reuse path (Kernel.Reset + System.Rearm per scenario) must produce a
+// Campaign.Result byte-identical to rebuild-per-run, for sequential
+// and parallel execution alike.
+func TestCampaignReuseDeterminism(t *testing.T) {
+	run := func(reuseOff bool, workers int) *stressor.Result {
+		runner, err := NewRunner(Protected(), NormalDriving(), sim.MS(80))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer runner.Close()
+		runner.ReuseOff = reuseOff
+		scenarios := fault.Singles(runner.Universe(sim.MS(10)))
+		res, err := (&stressor.Campaign{Name: "caps-reuse", Run: runner.RunFunc(), Workers: workers}).Execute(scenarios)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(true, 0) // rebuild-per-run, sequential: the historical baseline
+	if len(ref.Outcomes) == 0 {
+		t.Fatal("empty universe")
+	}
+	for _, reuseOff := range []bool{true, false} {
+		for _, workers := range []int{0, 2, stressor.WorkersAuto} {
+			if got := run(reuseOff, workers); !reflect.DeepEqual(ref, got) {
+				t.Errorf("reuseOff=%v workers=%d diverged from baseline\ngot tally %s, want %s",
+					reuseOff, workers, got.Tally, ref.Tally)
+			}
+		}
+	}
+}

@@ -83,6 +83,17 @@ type System struct {
 	world *World
 	k     *sim.Kernel
 
+	// bound process bodies, created once in Build: Rearm re-registers
+	// them without paying method-value allocation per run.
+	fusionFn  func()
+	framewdFn func(*sim.ThreadCtx)
+	// cycleEv drives the fusion method process: it re-notifies itself
+	// every SamplePeriod. Modelled as an SC_METHOD rather than an
+	// SC_THREAD because the fusion cycle is the prototype's hottest
+	// process — a method activation is a plain call, a thread wake costs
+	// two goroutine switches.
+	cycleEv *sim.Event
+
 	sensors  []*Sensor
 	calib    *tlm.Memory
 	bus      *can.Bus
@@ -132,10 +143,9 @@ func Build(k *sim.Kernel, cfg Config, world *World) (*System, *fault.Registry) {
 	s.babbler = s.bus.Attach("babbler")
 	s.airbagRx.OnReceive = s.onFrame
 
-	k.Thread("caps.fusion", s.fusionLoop)
-	if cfg.FrameWatchdog {
-		k.Thread("caps.framewd", s.frameWatchdog)
-	}
+	s.fusionFn = s.fusionCycle
+	s.framewdFn = s.frameWatchdog
+	s.elaborate(k)
 
 	reg := fault.NewRegistry()
 	for i, sensor := range s.sensors {
@@ -182,6 +192,49 @@ func Build(k *sim.Kernel, cfg Config, world *World) (*System, *fault.Registry) {
 	return s, reg
 }
 
+// Rearm implements the sim.Rearmable convention: after k.Reset() it
+// re-elaborates the prototype's processes and events on the kernel and
+// re-seeds every piece of mutable state to its exact post-Build value,
+// so a reused system behaves identically to a freshly built one. The
+// elaboration order mirrors Build — bus (wake event + arbitrate
+// method) first, then the fusion thread, then the optional frame
+// watchdog — because process ids are assigned in creation order and
+// the schedule depends on them.
+func (s *System) Rearm(k *sim.Kernel) {
+	s.k = k
+	s.bus.Rearm(k)
+	for _, sen := range s.sensors {
+		sen.SetDisturbance(0, math.NaN())
+	}
+	s.calib.Wipe()
+	s.writeCalib(50)
+	s.threshold = s.cfg.FireThreshold
+	s.thresholdInv = ^s.cfg.FireThreshold
+	s.debounceCount = 0
+	s.inhibited = false
+	s.lastFrameAt = 0
+	s.gotFrame = false
+	s.Fired = false
+	s.FiredAt = 0
+	// Detections is handed out by reference in observations; start a
+	// fresh slice rather than truncating the old one.
+	s.Detections = nil
+	s.Severities = s.Severities[:0]
+	s.Trace.Reset()
+	s.elaborate(k)
+}
+
+// elaborate registers the fusion and watchdog processes, in the fixed
+// order both Build and Rearm rely on, and kicks off the fusion cycle.
+func (s *System) elaborate(k *sim.Kernel) {
+	s.cycleEv = k.NewEvent("caps.fusion.cycle")
+	k.MethodNoInit("caps.fusion", s.fusionFn, s.cycleEv)
+	s.cycleEv.Notify(s.cfg.SamplePeriod)
+	if s.cfg.FrameWatchdog {
+		k.Thread("caps.framewd", s.framewdFn)
+	}
+}
+
 // writeCalib stores the gain and its CRC.
 func (s *System) writeCalib(scale uint32) {
 	s.calib.Poke(calibScaleAddr, []byte{byte(scale), byte(scale >> 8), byte(scale >> 16), byte(scale >> 24)})
@@ -190,15 +243,18 @@ func (s *System) writeCalib(scale uint32) {
 
 // readCalib loads the gain, applying the CRC mechanism when enabled.
 func (s *System) readCalib() (scale float64) {
+	// Stack-allocated payloads: this runs every fusion cycle and must
+	// stay off the heap (tlm.NewRead would allocate payload + buffer).
 	var d sim.Time
-	p := tlm.NewRead(calibScaleAddr, 4)
-	s.calib.BTransport(p, &d)
-	raw := []byte{p.Data[0], p.Data[1], p.Data[2], p.Data[3]}
+	var raw [4]byte
+	p := tlm.Payload{Command: tlm.CmdRead, Address: calibScaleAddr, Data: raw[:]}
+	s.calib.BTransport(&p, &d)
 	val := uint32(raw[0]) | uint32(raw[1])<<8 | uint32(raw[2])<<16 | uint32(raw[3])<<24
 	if s.cfg.CalibCRC {
-		q := tlm.NewRead(calibCRCAddr, 1)
-		s.calib.BTransport(q, &d)
-		if rtl.CRC8(raw) != q.Data[0] {
+		var crc [1]byte
+		q := tlm.Payload{Command: tlm.CmdRead, Address: calibCRCAddr, Data: crc[:]}
+		s.calib.BTransport(&q, &d)
+		if rtl.CRC8(raw[:]) != crc[0] {
 			s.detect("calib-crc")
 			return 0.05 // safe default gain
 		}
@@ -216,39 +272,38 @@ func (s *System) detect(which string) {
 	s.Detections = append(s.Detections, which)
 }
 
-// fusionLoop samples sensors every cycle, plausibility-checks,
-// computes severity and sends it on the bus.
-func (s *System) fusionLoop(ctx *sim.ThreadCtx) {
-	for {
-		ctx.WaitTime(s.cfg.SamplePeriod)
-		now := ctx.Now()
-		scale := s.readCalib()
-		for i, sen := range s.sensors {
-			if sen.Faulted() {
-				s.Trace.Record(now, fmt.Sprintf("caps.accel%d", i), "disturbed sample")
-			}
+// fusionCycle samples sensors once per cycle, plausibility-checks,
+// computes severity, sends it on the bus and re-arms itself for the
+// next SamplePeriod.
+func (s *System) fusionCycle() {
+	now := s.k.Now()
+	scale := s.readCalib()
+	for i, sen := range s.sensors {
+		if sen.Faulted() {
+			s.Trace.Record(now, fmt.Sprintf("caps.accel%d", i), "disturbed sample")
 		}
-		g0 := s.sensors[0].Sample(now) / scale
-		g := g0
-		status := byte(0)
-		if s.cfg.Redundant {
-			g1 := s.sensors[1].Sample(now) / scale
-			if s.cfg.Plausibility && math.Abs(g0-g1) > s.cfg.PlausTolerance {
-				s.detect("plausibility")
-				s.Trace.Record(now, "caps.fusion", "plausibility check stopped disagreeing sensors")
-				status = 1 // invalid
-			}
-			g = (g0 + g1) / 2
-		}
-		sev := g * 0.77 // severity scaling: 80 g crash ~ 62 > threshold 60
-		if sev < 0 {
-			sev = 0
-		}
-		if sev > 255 {
-			sev = 255
-		}
-		_ = s.fusionTx.Send(can.Frame{ID: frameID, Data: []byte{byte(sev), status}})
 	}
+	g0 := s.sensors[0].Sample(now) / scale
+	g := g0
+	status := byte(0)
+	if s.cfg.Redundant {
+		g1 := s.sensors[1].Sample(now) / scale
+		if s.cfg.Plausibility && math.Abs(g0-g1) > s.cfg.PlausTolerance {
+			s.detect("plausibility")
+			s.Trace.Record(now, "caps.fusion", "plausibility check stopped disagreeing sensors")
+			status = 1 // invalid
+		}
+		g = (g0 + g1) / 2
+	}
+	sev := g * 0.77 // severity scaling: 80 g crash ~ 62 > threshold 60
+	if sev < 0 {
+		sev = 0
+	}
+	if sev > 255 {
+		sev = 255
+	}
+	_ = s.fusionTx.Send(can.Frame{ID: frameID, Data: []byte{byte(sev), status}})
+	s.cycleEv.Notify(s.cfg.SamplePeriod)
 }
 
 // onFrame is the airbag ECU's reception handler.

@@ -157,15 +157,32 @@ type ECCMemory struct {
 	CorrectionDelay sim.Time
 }
 
+// zeroCheck is the codeword check byte of a zeroed data word,
+// precomputed so bulk initialization does not re-derive it per cell.
+var zeroCheck = eccEncode(0)
+
 // NewECCMemory creates size bytes (rounded down to whole words) at
 // base.
 func NewECCMemory(name string, base uint64, size int) *ECCMemory {
 	n := size / 4
 	m := &ECCMemory{name: name, base: base, words: make([]uint32, n), check: make([]uint8, n)}
-	for i := range m.words {
-		m.check[i] = eccEncode(0)
+	for i := range m.check {
+		m.check[i] = zeroCheck
 	}
 	return m
+}
+
+// Clear returns the memory to its freshly constructed all-zero state
+// and zeroes the error counters, without reallocating the backing
+// arrays. Campaign runners use it to re-seed a reused core's memory
+// image between runs.
+func (m *ECCMemory) Clear() {
+	clear(m.words)
+	for i := range m.check {
+		m.check[i] = zeroCheck
+	}
+	m.corrected = 0
+	m.uncorrectable = 0
 }
 
 // Name reports the instance name.

@@ -57,6 +57,15 @@ func (ls *Lockstep) flag(idx int, who string, addr, val uint32, o storeRec) {
 		idx, who, addr, val, o.addr, o.val)
 }
 
+// Reset clears the comparator for another run, keeping the store-log
+// capacity. The store hooks installed by NewLockstep stay attached.
+func (ls *Lockstep) Reset() {
+	ls.pLog = ls.pLog[:0]
+	ls.sLog = ls.sLog[:0]
+	ls.diverged = false
+	ls.detail = ""
+}
+
 // FinalCheck compares store counts after both cores halt: a core that
 // stopped storing (e.g. crashed into a loop) also counts as
 // divergence.

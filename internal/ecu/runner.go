@@ -1,0 +1,441 @@
+package ecu
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/stressor"
+	"repro/internal/tlm"
+)
+
+// runnerProgram is the workload every campaign run executes: a control
+// loop folding a lookup table into a running checksum published at
+// 0x800, kicking the watchdog (0x8000) each iteration. It exercises
+// all three mechanisms — table reads hit the ECC memory, the store
+// stream feeds the lockstep comparator, and the kick cadence feeds the
+// watchdog.
+const runnerProgram = `
+	addi r1, r0, 0      ; i
+	addi r2, r0, 48     ; n
+	addi r3, r0, 0      ; acc
+loop:
+	shl  r4, r1, r6     ; r6=2 -> i*4 (set by loader)
+	lw   r5, 1024(r4)   ; table[i]
+	add  r3, r3, r5
+	xor  r3, r3, r1
+	sw   r3, 0(r8)      ; publish acc at 0x800
+	sw   r0, 0(r7)      ; kick watchdog at 0x8000
+	addi r1, r1, 1
+	blt  r1, r2, loop
+	halt
+`
+
+const (
+	runnerEntry     uint32 = 0x4000
+	runnerTableBase uint64 = 0x400
+	runnerTableLen         = 48
+	runnerAccAddr   uint64 = 0x800
+	runnerWdBase    uint64 = 0x8000
+)
+
+// RunnerConfig parameterizes the ECU fault-injection runner.
+type RunnerConfig struct {
+	// Quantum is the temporal-decoupling quantum for both cores.
+	Quantum sim.Time
+	// MaxInstrs bounds runaway (corrupted) programs per core.
+	MaxInstrs uint64
+	// Horizon is the simulated time budget per run.
+	Horizon sim.Time
+	// WatchdogTimeout is the kick window.
+	WatchdogTimeout sim.Time
+	// Deadline, when non-zero, marks runs whose cores halt correctly
+	// but later than this as timing violations.
+	Deadline sim.Time
+}
+
+// DefaultRunnerConfig returns the standard campaign parameters.
+func DefaultRunnerConfig() RunnerConfig {
+	return RunnerConfig{
+		Quantum:         sim.NS(500),
+		MaxInstrs:       100_000,
+		Horizon:         sim.US(200),
+		WatchdogTimeout: sim.US(50),
+	}
+}
+
+// ecuSlot is one reusable kernel + dual-core prototype. As in
+// caps.Runner, each concurrent run checks out a slot, so the pool
+// grows to the campaign's peak concurrency.
+type ecuSlot struct {
+	k        *sim.Kernel
+	wd       *Watchdog
+	primary  *CPU
+	shadow   *CPU
+	pram     *ECCMemory
+	sram     *ECCMemory
+	wdshadow *tlm.Memory
+	ls       *Lockstep
+	reg      *fault.Registry
+
+	// per-run scratch state
+	pDone, sDone bool
+	pErr, sErr   error
+	haltAt       sim.Time
+	tableBuf     []byte
+}
+
+// Runner executes SEU campaigns on the virtual ECU: register, program
+// counter and memory upsets against the lockstep + ECC + watchdog
+// mechanisms, classified golden-vs-faulty like the CAPS campaigns.
+// Kernel+prototype slots are reused across runs (Kernel.Reset +
+// re-arm); ReuseOff restores rebuild-per-run.
+type Runner struct {
+	cfg     RunnerConfig
+	program []uint32
+	golden  analysis.Observation
+
+	goldenRegs  [2][16]uint32
+	goldenTable []byte
+
+	// ReuseOff disables slot reuse: every scenario rebuilds the
+	// prototype from scratch.
+	ReuseOff bool
+
+	mu    sync.Mutex
+	slots []*ecuSlot
+}
+
+// NewRunner assembles the workload, builds the first slot and performs
+// the golden run.
+func NewRunner(cfg RunnerConfig) (*Runner, error) {
+	if cfg.Quantum == 0 {
+		cfg = DefaultRunnerConfig()
+	}
+	program, err := Assemble(runnerProgram)
+	if err != nil {
+		return nil, fmt.Errorf("ecu: runner program: %w", err)
+	}
+	r := &Runner{cfg: cfg, program: program}
+	ob, regs, table, err := r.execute(fault.Scenario{ID: "golden"})
+	if err != nil {
+		return nil, err
+	}
+	if ob.Detected {
+		return nil, fmt.Errorf("ecu: golden run tripped a mechanism: %v", ob.DetectedBy)
+	}
+	r.golden = ob
+	r.goldenRegs = regs
+	r.goldenTable = table
+	return r, nil
+}
+
+// Golden exposes the cached golden observation.
+func (r *Runner) Golden() analysis.Observation { return r.golden }
+
+// Close shuts down the thread goroutines parked in the slot pool.
+func (r *Runner) Close() {
+	r.mu.Lock()
+	slots := r.slots
+	r.slots = nil
+	r.mu.Unlock()
+	for _, s := range slots {
+		s.k.Shutdown()
+	}
+}
+
+// Sites lists the prototype's injection sites.
+func (r *Runner) Sites() []string {
+	return []string{"ecu.primary.mem", "ecu.primary.pc", "ecu.primary.regs", "ecu.shadow.regs"}
+}
+
+// buildSlot elaborates a fresh dual-core prototype on its own kernel.
+func (r *Runner) buildSlot() *ecuSlot {
+	k := sim.NewKernel()
+	s := &ecuSlot{k: k, tableBuf: make([]byte, 4*runnerTableLen)}
+	s.wd = NewWatchdog(k, "ecu.wd", r.cfg.WatchdogTimeout)
+
+	s.primary = NewCPU("ecu.primary")
+	s.pram = NewECCMemory("ecu.primary.eccram", 0, 64*1024)
+	pbus := tlm.NewRouter("ecu.primary.bus")
+	pbus.MustMap("ram", 0, runnerWdBase, s.pram)
+	pbus.MustMap("wd", runnerWdBase, 0x100, s.wd)
+	s.primary.Bus.Bind(pbus)
+
+	s.shadow = NewCPU("ecu.shadow")
+	s.sram = NewECCMemory("ecu.shadow.eccram", 0, 64*1024)
+	s.wdshadow = tlm.NewMemory("ecu.shadow.wdshadow", runnerWdBase, 0x100)
+	sbus := tlm.NewRouter("ecu.shadow.bus")
+	sbus.MustMap("ram", 0, runnerWdBase, s.sram)
+	sbus.MustMap("wdshadow", runnerWdBase, 0x100, s.wdshadow)
+	s.shadow.Bus.Bind(sbus)
+
+	s.ls = NewLockstep(s.primary, s.shadow)
+
+	reg := fault.NewRegistry()
+	reg.MustRegister(&fault.FuncInjector{
+		SiteName: "ecu.primary.regs",
+		Models:   []fault.Model{fault.BitFlip},
+		InjectFn: func(d fault.Descriptor) error {
+			s.primary.FlipRegBit(int(d.Address), d.Bit)
+			return nil
+		},
+	})
+	reg.MustRegister(&fault.FuncInjector{
+		SiteName: "ecu.shadow.regs",
+		Models:   []fault.Model{fault.BitFlip},
+		InjectFn: func(d fault.Descriptor) error {
+			s.shadow.FlipRegBit(int(d.Address), d.Bit)
+			return nil
+		},
+	})
+	reg.MustRegister(&fault.FuncInjector{
+		SiteName: "ecu.primary.pc",
+		Models:   []fault.Model{fault.BitFlip},
+		InjectFn: func(d fault.Descriptor) error {
+			s.primary.FlipPCBit(d.Bit)
+			return nil
+		},
+	})
+	reg.MustRegister(&fault.FuncInjector{
+		SiteName: "ecu.primary.mem",
+		Models:   []fault.Model{fault.BitFlip},
+		InjectFn: func(d fault.Descriptor) error {
+			return s.pram.FlipStoredBit(d.Address, d.Bit)
+		},
+	})
+	s.reg = reg
+
+	r.seedSlot(s)
+	return s
+}
+
+// seedSlot (re-)loads program, table and core state for one run.
+func (r *Runner) seedSlot(s *ecuSlot) {
+	for _, ram := range []*ECCMemory{s.pram, s.sram} {
+		LoadProgram(ram, uint64(runnerEntry), r.program)
+		for i := 0; i < runnerTableLen; i++ {
+			v := uint32(i*7 + 3)
+			p := tlm.NewWrite(runnerTableBase+uint64(4*i),
+				[]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+			ram.TransportDbg(p)
+		}
+	}
+	for _, c := range []*CPU{s.primary, s.shadow} {
+		c.Reset(runnerEntry)
+		c.SetReg(6, 2)                    // shift amount for i*4
+		c.SetReg(7, uint32(runnerWdBase)) // watchdog kick register
+		c.SetReg(8, uint32(runnerAccAddr))
+	}
+	s.pDone, s.sDone = false, false
+	s.pErr, s.sErr = nil, nil
+	s.haltAt = 0
+}
+
+// rearmSlot returns a pooled slot to its pristine post-build state.
+func (r *Runner) rearmSlot(s *ecuSlot) {
+	s.k.Reset()
+	s.wd.Rearm(s.k) // same elaboration position NewWatchdog held
+	s.pram.Clear()
+	s.sram.Clear()
+	s.wdshadow.Wipe()
+	s.ls.Reset()
+	r.seedSlot(s)
+}
+
+func (r *Runner) acquireSlot() *ecuSlot {
+	r.mu.Lock()
+	var s *ecuSlot
+	if n := len(r.slots); n > 0 {
+		s = r.slots[n-1]
+		r.slots[n-1] = nil
+		r.slots = r.slots[:n-1]
+	}
+	r.mu.Unlock()
+	if s == nil {
+		return r.buildSlot()
+	}
+	r.rearmSlot(s)
+	return s
+}
+
+func (r *Runner) releaseSlot(s *ecuSlot) {
+	r.mu.Lock()
+	r.slots = append(r.slots, s)
+	r.mu.Unlock()
+}
+
+// Universe enumerates a representative SEU space at the given
+// activation time: register bits on both cores, program-counter bits,
+// and stored-codeword bits (data and check) in the primary's table,
+// result cell and program text.
+func (r *Runner) Universe(start sim.Time) []fault.Descriptor {
+	var out []fault.Descriptor
+	add := func(target string, addr uint64, bit uint) {
+		out = append(out, fault.Descriptor{
+			Name:    fmt.Sprintf("%s/a%#x.b%d@%s", target, addr, bit, start),
+			Model:   fault.BitFlip,
+			Class:   fault.Permanent,
+			Domain:  fault.DigitalHW,
+			Target:  target,
+			Address: addr,
+			Bit:     bit,
+			Start:   start,
+		})
+	}
+	for _, reg := range []uint64{1, 3, 5, 9} {
+		for _, bit := range []uint{0, 7, 31} {
+			add("ecu.primary.regs", reg, bit)
+			add("ecu.shadow.regs", reg, bit)
+		}
+	}
+	for _, bit := range []uint{2, 3} {
+		add("ecu.primary.pc", 0, bit)
+	}
+	for _, addr := range []uint64{
+		runnerTableBase, runnerTableBase + 0x40, runnerTableBase + 4*(runnerTableLen-1),
+		runnerAccAddr, uint64(runnerEntry) + 8,
+	} {
+		for _, bit := range []uint{0, 5, 33} {
+			add("ecu.primary.mem", addr, bit)
+		}
+	}
+	return out
+}
+
+// execute runs one scenario and returns the observation plus the final
+// register files and primary table image (for latent-state analysis).
+func (r *Runner) execute(sc fault.Scenario) (analysis.Observation, [2][16]uint32, []byte, error) {
+	var s *ecuSlot
+	if r.ReuseOff {
+		s = r.buildSlot()
+		defer s.k.Shutdown()
+	} else {
+		s = r.acquireSlot()
+		defer r.releaseSlot(s)
+	}
+	return r.runOn(s, sc)
+}
+
+func (r *Runner) runOn(s *ecuSlot, sc fault.Scenario) (analysis.Observation, [2][16]uint32, []byte, error) {
+	k := s.k
+	s.wd.Start()
+	k.Thread("ecu.run.primary", func(ctx *sim.ThreadCtx) {
+		qk := tlm.NewQuantumKeeper(ctx, r.cfg.Quantum)
+		s.pErr = s.primary.Run(ctx, qk, r.cfg.MaxInstrs)
+		s.pDone = true
+	})
+	k.Thread("ecu.run.shadow", func(ctx *sim.ThreadCtx) {
+		qk := tlm.NewQuantumKeeper(ctx, r.cfg.Quantum)
+		s.sErr = s.shadow.Run(ctx, qk, r.cfg.MaxInstrs)
+		s.sDone = true
+	})
+	// The watchdog re-arms forever; disarm it once both cores are done
+	// so a healthy run drains its event queue before the horizon.
+	k.Thread("ecu.run.stopper", func(ctx *sim.ThreadCtx) {
+		for !s.pDone || !s.sDone {
+			ctx.WaitTime(sim.US(1))
+		}
+		s.haltAt = ctx.Now()
+		s.wd.Stop()
+	})
+	var st *stressor.Stressor
+	if len(sc.Faults) > 0 {
+		st = stressor.SpawnThread(k, s.reg, sc, r.cfg.Horizon)
+	}
+	if err := k.Run(r.cfg.Horizon); err != nil {
+		return analysis.Observation{}, [2][16]uint32{}, nil, err
+	}
+	if st != nil {
+		if errs := st.InjectionErrors(); len(errs) > 0 {
+			return analysis.Observation{}, [2][16]uint32{}, nil, fmt.Errorf("ecu: scenario %s: %v", sc.ID, errs[0])
+		}
+	}
+
+	s.ls.FinalCheck()
+	// A core trap (bus error, illegal opcode) escalates to the safety
+	// path, as real lockstep MCUs do.
+	for _, e := range []error{s.pErr, s.sErr} {
+		if e != nil {
+			s.ls.diverged = true
+			if s.ls.detail == "" {
+				s.ls.detail = "core trap: " + e.Error()
+			}
+		}
+	}
+
+	ob := analysis.Observation{Outputs: map[string]string{
+		"acc":    fmt.Sprintf("%#x", r.readWord(s.pram, runnerAccAddr)),
+		"sacc":   fmt.Sprintf("%#x", r.readWord(s.sram, runnerAccAddr)),
+		"halted": fmt.Sprintf("%v/%v", s.primary.Halted(), s.shadow.Halted()),
+	}}
+	if s.ls.Diverged() {
+		ob.Detected = true
+		ob.DetectedBy = append(ob.DetectedBy, "lockstep")
+	}
+	if s.wd.Timeouts() > 0 {
+		ob.Detected = true
+		ob.DetectedBy = append(ob.DetectedBy, "watchdog")
+	}
+	pc, pu := s.pram.Stats()
+	sc2, su := s.sram.Stats()
+	if pc+pu+sc2+su > 0 {
+		ob.Detected = true
+		ob.DetectedBy = append(ob.DetectedBy, "ecc")
+	}
+	if r.cfg.Deadline > 0 && s.primary.Halted() && s.shadow.Halted() && s.haltAt > r.cfg.Deadline {
+		ob.DeadlineMissed = true
+	}
+
+	var regs [2][16]uint32
+	for i := 0; i < 16; i++ {
+		regs[0][i] = s.primary.Reg(i)
+		regs[1][i] = s.shadow.Reg(i)
+	}
+	p := tlm.NewRead(runnerTableBase, len(s.tableBuf))
+	p.Data = s.tableBuf
+	s.pram.TransportDbg(p)
+	table := append([]byte(nil), s.tableBuf...)
+
+	if r.goldenTable != nil {
+		ob.LatentState = regs != r.goldenRegs || !bytesEqual(table, r.goldenTable)
+	}
+	return ob, regs, table, nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// readWord fetches one word through the debug port.
+func (r *Runner) readWord(m *ECCMemory, addr uint64) uint32 {
+	p := tlm.NewRead(addr, 4)
+	m.TransportDbg(p)
+	return uint32(p.Data[0]) | uint32(p.Data[1])<<8 | uint32(p.Data[2])<<16 | uint32(p.Data[3])<<24
+}
+
+// RunScenario executes and classifies one fault scenario.
+func (r *Runner) RunScenario(sc fault.Scenario) fault.Outcome {
+	ob, _, _, err := r.execute(sc)
+	if err != nil {
+		return fault.Outcome{Scenario: sc, Class: fault.DetectedSafe, Detail: "campaign error: " + err.Error()}
+	}
+	ob.Activated = len(sc.Faults) > 0
+	class := analysis.Classify(r.golden, ob)
+	return fault.Outcome{Scenario: sc, Class: class, Detail: analysis.Describe(ob)}
+}
+
+// RunFunc adapts the runner to the campaign engine.
+func (r *Runner) RunFunc() stressor.RunFunc {
+	return func(sc fault.Scenario) fault.Outcome { return r.RunScenario(sc) }
+}

@@ -1,0 +1,126 @@
+package ecu
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/stressor"
+)
+
+func TestRunnerGolden(t *testing.T) {
+	r, err := NewRunner(DefaultRunnerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	g := r.Golden()
+	if g.Outputs["halted"] != "true/true" {
+		t.Fatalf("golden cores did not halt: %v", g.Outputs)
+	}
+	if g.Outputs["acc"] != g.Outputs["sacc"] {
+		t.Fatalf("golden cores disagree: %v", g.Outputs)
+	}
+	if g.Outputs["acc"] == "0x0" {
+		t.Fatalf("golden checksum is zero — workload not running")
+	}
+	if g.Detected || g.LatentState {
+		t.Fatalf("golden run not clean: %+v", g)
+	}
+}
+
+func TestRunnerGoldenRepeatsOnReusedSlot(t *testing.T) {
+	r, err := NewRunner(DefaultRunnerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; i < 3; i++ {
+		ob, regs, table, err := r.execute(fault.Scenario{ID: fmt.Sprintf("g%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ob.Outputs, r.golden.Outputs) || ob.Detected {
+			t.Fatalf("rerun %d drifted: %+v vs %+v", i, ob, r.golden)
+		}
+		if regs != r.goldenRegs {
+			t.Fatalf("rerun %d register files drifted", i)
+		}
+		if !bytesEqual(table, r.goldenTable) {
+			t.Fatalf("rerun %d table image drifted", i)
+		}
+	}
+}
+
+func TestRunnerDetectsRegisterUpset(t *testing.T) {
+	r, err := NewRunner(DefaultRunnerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// Flip a live accumulator bit in the primary only: the store
+	// streams must diverge and lockstep must catch it.
+	out := r.RunScenario(fault.Single(fault.Descriptor{
+		Name: "seu-r3", Model: fault.BitFlip, Class: fault.Permanent,
+		Target: "ecu.primary.regs", Address: 3, Bit: 7, Start: 0,
+	}))
+	if out.Class != fault.DetectedSafe {
+		t.Fatalf("register upset not detected: %v (%s)", out.Class, out.Detail)
+	}
+}
+
+func TestRunnerECCCorrectsTableUpset(t *testing.T) {
+	r, err := NewRunner(DefaultRunnerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// Flip a data bit in a table cell before it is read: ECC corrects
+	// it on the fly, so the outputs match golden but the detection
+	// counter trips.
+	out := r.RunScenario(fault.Single(fault.Descriptor{
+		Name: "seu-table", Model: fault.BitFlip, Class: fault.Permanent,
+		Target: "ecu.primary.mem", Address: runnerTableBase + 0x40, Bit: 5, Start: 0,
+	}))
+	if out.Class != fault.DetectedSafe {
+		t.Fatalf("table upset not ECC-detected: %v (%s)", out.Class, out.Detail)
+	}
+}
+
+// TestRunnerDeterminism asserts byte-identical campaign results across
+// {rebuild, reuse} x {sequential, parallel} — the tentpole's core
+// guarantee, on the second prototype family.
+func TestRunnerDeterminism(t *testing.T) {
+	run := func(reuseOff bool, workers int) *stressor.Result {
+		r, err := NewRunner(DefaultRunnerConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		r.ReuseOff = reuseOff
+		scs := fault.Singles(r.Universe(0))
+		c := &stressor.Campaign{Name: "ecu-seu", Run: r.RunFunc(), Workers: workers}
+		res, err := c.Execute(scs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(true, 0)
+	if len(ref.Outcomes) == 0 {
+		t.Fatal("empty universe")
+	}
+	if ref.Tally[fault.DetectedSafe] == 0 {
+		t.Fatalf("no detections in SEU universe: %v", ref.Tally)
+	}
+	for _, reuseOff := range []bool{true, false} {
+		for _, workers := range []int{0, 2, stressor.WorkersAuto} {
+			got := run(reuseOff, workers)
+			if !reflect.DeepEqual(ref.Outcomes, got.Outcomes) || !reflect.DeepEqual(ref.Tally, got.Tally) {
+				t.Fatalf("reuseOff=%v workers=%d diverges from rebuild/sequential:\nref=%v\ngot=%v",
+					reuseOff, workers, ref.Tally, got.Tally)
+			}
+		}
+	}
+}

@@ -32,6 +32,19 @@ func NewWatchdog(k *sim.Kernel, name string, timeout sim.Time) *Watchdog {
 	return w
 }
 
+// Rearm re-creates the watchdog's timer event and expiry process on a
+// freshly Reset kernel and clears the counters, following the
+// sim.Rearmable convention. Call it at the same point in the
+// re-elaboration order that NewWatchdog held in the original build.
+func (w *Watchdog) Rearm(k *sim.Kernel) {
+	w.k = k
+	w.timer = k.NewEvent(w.name + ".timer")
+	k.MethodNoInit(w.name+".expire", w.expire, w.timer)
+	w.enabled = false
+	w.timeouts = 0
+	w.kicks = 0
+}
+
 // Start arms the watchdog; the first window begins now.
 func (w *Watchdog) Start() {
 	w.enabled = true

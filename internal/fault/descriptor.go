@@ -211,3 +211,13 @@ func (s Scenario) Validate() error {
 func Single(d Descriptor) Scenario {
 	return Scenario{ID: d.Name, Faults: []Descriptor{d}}
 }
+
+// Singles wraps each descriptor of a universe in its own single-fault
+// scenario — the standard shape of an exhaustive SEU campaign.
+func Singles(ds []Descriptor) []Scenario {
+	out := make([]Scenario, len(ds))
+	for i, d := range ds {
+		out[i] = Single(d)
+	}
+	return out
+}

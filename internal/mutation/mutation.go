@@ -256,13 +256,30 @@ func QualifyWith(p *mdl.Program, tests []Test, opts Options) (*Report, error) {
 		res MutantResult
 		err error
 	}
+	// One interpreter per pool worker, reused across that worker's
+	// mutants (SetMutation swaps the active mutant; the program itself
+	// is read-only) — the same slot-per-worker shape as the campaign
+	// runners. Reparse mode rebuilds per mutant by definition, so it
+	// takes no slot.
+	nslots := par.Resolve(opts.Workers)
+	if nslots < 1 {
+		nslots = 1
+	}
+	slots := make([]*mdl.Interp, nslots)
 	fates := par.MapIndexed(opts.Workers, len(mutants), func(worker, i int) fate {
 		sp := opts.Trace.Begin("mutation", fmt.Sprintf("mutant-%d", mutants[i].ID), worker)
 		var t0 time.Time
 		if durHist != nil {
 			t0 = time.Now()
 		}
-		res, err := runMutant(p, mutants[i], tests, expected, opts.Reparse)
+		var in *mdl.Interp
+		if !opts.Reparse {
+			if slots[worker] == nil {
+				slots[worker] = mdl.NewInterp(p)
+			}
+			in = slots[worker]
+		}
+		res, err := runMutant(p, in, mutants[i], tests, expected, opts.Reparse)
 		if durHist != nil {
 			durHist.Observe(uint64(time.Since(t0)))
 		}
@@ -296,21 +313,24 @@ func QualifyWith(p *mdl.Program, tests []Test, opts Options) (*Report, error) {
 	return rep, nil
 }
 
-// runMutant executes one mutant against the suite in a fresh
-// interpreter and reports its fate. It only reads the shared program
-// (or its private re-parse), so concurrent calls are safe.
-func runMutant(p *mdl.Program, m Mutant, tests []Test, expected []int64, reparse bool) (MutantResult, error) {
-	prog := p
+// runMutant executes one mutant against the suite and reports its
+// fate. A non-nil interpreter is reused (its mutation is swapped in
+// and cleared afterwards); with reparse, the source is re-parsed into
+// a private program first. Concurrent calls are safe as long as each
+// worker owns its interpreter.
+func runMutant(p *mdl.Program, in *mdl.Interp, m Mutant, tests []Test, expected []int64, reparse bool) (MutantResult, error) {
 	if reparse {
-		var err error
-		prog, err = mdl.Parse(p.Source)
+		prog, err := mdl.Parse(p.Source)
 		if err != nil {
 			return MutantResult{}, fmt.Errorf("mutation: reparse failed: %w", err)
 		}
+		in = mdl.NewInterp(prog)
+	} else if in == nil {
+		in = mdl.NewInterp(p)
 	}
-	in := mdl.NewInterp(prog)
 	mut := m.Mut
 	in.SetMutation(&mut)
+	defer in.SetMutation(nil)
 	res := MutantResult{Mutant: m, Verdict: Survived, KillingTest: -1}
 	for i, t := range tests {
 		v, err := in.Call(t.Fn, t.Args...)

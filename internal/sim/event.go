@@ -37,11 +37,40 @@ type Event struct {
 // Name reports the diagnostic name the event was created with.
 func (e *Event) Name() string { return e.name }
 
-// NewEvent creates a named event bound to the kernel.
+// NewEvent creates a named event bound to the kernel. After a Reset,
+// retired events are recycled from the kernel's free list (keeping
+// their sensitivity-list capacity) so re-elaboration does not allocate
+// in steady state.
 func (k *Kernel) NewEvent(name string) *Event {
-	e := &Event{k: k, name: name}
+	var e *Event
+	if n := len(k.eventPool); n > 0 {
+		e = k.eventPool[n-1]
+		k.eventPool[n-1] = nil
+		k.eventPool = k.eventPool[:n-1]
+		e.k = k
+		e.name = name
+	} else {
+		e = &Event{k: k, name: name}
+	}
 	k.events = append(k.events, e)
 	return e
+}
+
+// recycle strips the event back to a reusable blank, keeping the
+// capacity of its waiter lists. Called by Kernel.Reset.
+func (e *Event) recycle() {
+	e.name = ""
+	for i := range e.static {
+		e.static[i] = nil
+	}
+	e.static = e.static[:0]
+	for i := range e.dynamic {
+		e.dynamic[i] = nil
+	}
+	e.dynamic = e.dynamic[:0]
+	e.pending = notifyNone
+	e.pendingTime = 0
+	e.pendingSeq = 0
 }
 
 // Notify schedules the event to fire after delay of simulated time.
@@ -100,7 +129,7 @@ func (e *Event) Cancel() {
 // dynamic waiters.
 func (e *Event) fire() {
 	for _, p := range e.static {
-		if p.state == procWaiting && p.dynamicWait == nil {
+		if p.state == procWaiting && len(p.dynamicWait) == 0 {
 			e.k.makeRunnable(p)
 		}
 	}

@@ -69,6 +69,17 @@ func (k *Kernel) SetInstrument(in *Instrument) {
 	}
 }
 
+// resetKernelState clears the instrument's per-elaboration publication
+// state when the kernel is Reset. The kernel counters restart from
+// zero, so the already-published watermark must too — otherwise the
+// next flush would compute uint64 deltas against the old (larger)
+// totals and publish garbage. Registry totals themselves are
+// cumulative across runs by design and are left untouched.
+func (in *Instrument) resetKernelState() {
+	in.published = Stats{}
+	in.runNanos = 0
+}
+
 // ProcStat is one process's activity record, available on any kernel
 // whose instrument had Metrics attached while it ran.
 type ProcStat struct {

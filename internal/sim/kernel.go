@@ -1,10 +1,8 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 )
 
@@ -23,6 +21,19 @@ type Updater interface {
 	update()
 }
 
+// Rearmable is the convention prototypes implement to support kernel
+// reuse across campaign runs: after Kernel.Reset returns the kernel to
+// its pre-elaboration state, Rearm must re-create the prototype's
+// processes and events on the kernel in the exact order the original
+// elaboration did (process ids are assigned by creation order and the
+// evaluate phase runs in id order, so a different order changes the
+// schedule) and re-seed all mutable model state to its post-build
+// value. A re-armed prototype must be observationally identical to a
+// freshly built one.
+type Rearmable interface {
+	Rearm(k *Kernel)
+}
+
 // timedEntry is one pending timed notification in the event queue.
 type timedEntry struct {
 	at  Time
@@ -30,23 +41,61 @@ type timedEntry struct {
 	ev  *Event
 }
 
+func (e timedEntry) before(o timedEntry) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// timedHeap is a binary min-heap ordered by (at, seq). The sift
+// routines are hand-rolled rather than going through container/heap:
+// the interface-based heap boxes every timedEntry into an `any` on
+// Push and Pop, which costs one allocation per timed notification —
+// the single hottest allocation in a fault campaign.
 type timedHeap []timedEntry
 
 func (h timedHeap) Len() int { return len(h) }
-func (h timedHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+
+func (h *timedHeap) push(e timedEntry) {
+	s := append(*h, e)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].before(s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
+	*h = s
 }
-func (h timedHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *timedHeap) Push(x any)   { *h = append(*h, x.(timedEntry)) }
-func (h *timedHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *timedHeap) pop() timedEntry {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = timedEntry{} // release the *Event reference in the vacated slot
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s[r].before(s[l]) {
+			m = r
+		}
+		if !s[m].before(s[i]) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
 }
 
 // Stats reports kernel activity counters, used by the abstraction-level
@@ -73,6 +122,12 @@ type Kernel struct {
 	timed      timedHeap
 	seq        uint64
 
+	// spare buffers recycled by the evaluate and delta notification
+	// phases: each phase swaps its queue with the spare instead of
+	// allocating a fresh slice per delta cycle.
+	runnableSpare []*Proc
+	deltaSpare    []*Event
+
 	updateQueue []Updater
 
 	inEvaluate bool
@@ -85,6 +140,18 @@ type Kernel struct {
 
 	tracers []*Tracer
 	instr   *Instrument
+
+	// free lists recycling elaboration objects across Reset: NewEvent,
+	// Method and Thread draw from these, so re-elaborating the same
+	// prototype after Reset allocates nothing in steady state.
+	eventPool []*Event
+	procPool  []*Proc
+
+	// workerPool parks idle thread-worker goroutines (see threadWorker
+	// in process.go). Workers survive Reset, so a reused kernel resumes
+	// thread processes on warm goroutines instead of paying go + channel
+	// allocation per elaboration; Shutdown terminates them.
+	workerPool []*threadWorker
 }
 
 // NewKernel creates an empty simulator.
@@ -112,7 +179,7 @@ func (k *Kernel) Stopped() bool { return k.stopped }
 // number for stale-entry detection.
 func (k *Kernel) scheduleTimed(e *Event, at Time) uint64 {
 	k.seq++
-	heap.Push(&k.timed, timedEntry{at: at, seq: k.seq, ev: e})
+	k.timed.push(timedEntry{at: at, seq: k.seq, ev: e})
 	return k.seq
 }
 
@@ -207,7 +274,7 @@ func (k *Kernel) RunUntil(until Time) error {
 			if fired && next.at != k.now {
 				break // fire only one time point per outer iteration
 			}
-			heap.Pop(&k.timed)
+			k.timed.pop()
 			e := next.ev
 			if e.pending != notifyTimed || e.pendingSeq != next.seq {
 				continue // stale entry displaced by a stronger notification
@@ -233,6 +300,23 @@ func (k *Kernel) RunUntil(until Time) error {
 	}
 }
 
+// sortRunnable orders a runnable batch by ascending process id.
+// Insertion sort: batches are small (typically a handful of processes)
+// and nearly sorted (processes usually become runnable in id order),
+// and unlike sort.Slice it does not allocate a closure — the evaluate
+// phase must stay allocation-free in steady state.
+func sortRunnable(ps []*Proc) {
+	for i := 1; i < len(ps); i++ {
+		p := ps[i]
+		j := i - 1
+		for j >= 0 && ps[j].id > p.id {
+			ps[j+1] = ps[j]
+			j--
+		}
+		ps[j+1] = p
+	}
+}
+
 // deltaCycle runs one evaluate phase, one update phase and one delta
 // notification phase.
 func (k *Kernel) deltaCycle() error {
@@ -243,12 +327,13 @@ func (k *Kernel) deltaCycle() error {
 
 	// Evaluate: run every runnable process in creation order. Processes
 	// made runnable during the phase (immediate notification) run within
-	// the same phase.
+	// the same phase. The batch buffer and the live queue ping-pong via
+	// the spare so no delta cycle allocates.
 	k.inEvaluate = true
 	for len(k.runnable) > 0 {
 		batch := k.runnable
-		k.runnable = nil
-		sort.Slice(batch, func(i, j int) bool { return batch[i].id < batch[j].id })
+		k.runnable = k.runnableSpare[:0]
+		sortRunnable(batch)
 		for _, p := range batch {
 			if p.state != procRunnable {
 				continue
@@ -256,9 +341,11 @@ func (k *Kernel) deltaCycle() error {
 			p.run()
 			if k.threadPanic != nil {
 				k.inEvaluate = false
+				k.runnableSpare = batch[:0]
 				return nil // surfaced by caller
 			}
 		}
+		k.runnableSpare = batch[:0]
 	}
 	k.inEvaluate = false
 
@@ -269,9 +356,10 @@ func (k *Kernel) deltaCycle() error {
 		u.update()
 	}
 
-	// Delta notification: fire events notified with zero delay.
+	// Delta notification: fire events notified with zero delay. Same
+	// spare-buffer swap as the evaluate phase.
 	dq := k.deltaQueue
-	k.deltaQueue = nil
+	k.deltaQueue = k.deltaSpare[:0]
 	for _, e := range dq {
 		if e.pending != notifyDelta {
 			continue
@@ -279,6 +367,7 @@ func (k *Kernel) deltaCycle() error {
 		e.pending = notifyNone
 		e.fire()
 	}
+	k.deltaSpare = dq[:0]
 
 	for _, tr := range k.tracers {
 		tr.sampleDelta(k.now)
@@ -293,24 +382,113 @@ func (k *Kernel) Pending() bool {
 }
 
 // NextEventTime returns the absolute time of the earliest pending timed
-// notification, or TimeMax when none is pending. Stale heap entries make
-// this an upper-bound-accurate but cheap query.
+// notification, or TimeMax when none is pending.
+//
+// Contract: while the kernel is running (in particular from model code
+// during the evaluate phase) the query is strictly read-only — it scans
+// past stale entries without popping them, because RunUntil's pop loop
+// and Notify's displacement bookkeeping own the heap's structure at
+// that point. Only when the kernel is idle between Run calls does it
+// compact stale entries away so repeated idle queries stay cheap.
 func (k *Kernel) NextEventTime() Time {
+	if k.running || k.inEvaluate {
+		best := TimeMax
+		for _, te := range k.timed {
+			if te.ev.pending == notifyTimed && te.ev.pendingSeq == te.seq && te.at < best {
+				best = te.at
+			}
+		}
+		return best
+	}
 	for k.timed.Len() > 0 {
 		next := k.timed[0]
 		if next.ev.pending == notifyTimed && next.ev.pendingSeq == next.seq {
 			return next.at
 		}
-		heap.Pop(&k.timed)
+		k.timed.pop()
 	}
 	return TimeMax
 }
 
 // Shutdown kills every live thread-process goroutine. Call it when the
 // simulation is finished to avoid leaking goroutines; the kernel must
-// not be used afterwards.
+// not be used afterwards. To reuse the kernel instead, call Reset.
 func (k *Kernel) Shutdown() {
 	for _, p := range k.procs {
 		p.kill()
+	}
+	k.shutdownWorkers()
+}
+
+// Reset returns the kernel to its pristine pre-elaboration state so the
+// same instance can host another elaboration + run, as if freshly
+// created by NewKernel. Live thread bodies are unwound cleanly, but —
+// unlike Shutdown — their worker goroutines are parked in the kernel's
+// pool for the next elaboration, and all queues keep their capacity: a
+// reset kernel is pre-sized to the previous run's high-water mark, and
+// the retired Event and Proc objects are recycled through free lists,
+// so a campaign that re-elaborates the same prototype per scenario
+// settles into a zero-allocation steady state with no goroutine churn.
+//
+// What survives Reset: the max-delta limit, the attached Instrument
+// (its per-run publication state restarts from zero so registry deltas
+// stay correct), the free lists and the worker pool. What does not:
+// tracers are detached (their probes reference the dead elaboration),
+// and all events, processes, pending notifications, stats and the
+// clock are discarded. Reset must not be called while Run is in
+// progress.
+func (k *Kernel) Reset() {
+	if k.running {
+		panic("sim: Reset called while the kernel is running")
+	}
+	for _, p := range k.procs {
+		p.kill()
+	}
+	// Push retired objects in reverse creation order: the pools are
+	// LIFO, so the next elaboration of the same prototype pops each
+	// event and process back into its previous role — waiter-list
+	// capacities and cached derived names line up exactly, which is
+	// what makes re-elaboration allocation-free in steady state.
+	for i := len(k.events) - 1; i >= 0; i-- {
+		e := k.events[i]
+		e.recycle()
+		k.eventPool = append(k.eventPool, e)
+		k.events[i] = nil
+	}
+	k.events = k.events[:0]
+	for i := len(k.procs) - 1; i >= 0; i-- {
+		p := k.procs[i]
+		p.recycle()
+		k.procPool = append(k.procPool, p)
+		k.procs[i] = nil
+	}
+	k.procs = k.procs[:0]
+
+	for i := range k.runnable {
+		k.runnable[i] = nil
+	}
+	k.runnable = k.runnable[:0]
+	for i := range k.deltaQueue {
+		k.deltaQueue[i] = nil
+	}
+	k.deltaQueue = k.deltaQueue[:0]
+	for i := range k.updateQueue {
+		k.updateQueue[i] = nil
+	}
+	k.updateQueue = k.updateQueue[:0]
+	for i := range k.timed {
+		k.timed[i] = timedEntry{}
+	}
+	k.timed = k.timed[:0]
+
+	k.now = 0
+	k.seq = 0
+	k.stats = Stats{}
+	k.inEvaluate = false
+	k.stopped = false
+	k.threadPanic = nil
+	k.tracers = k.tracers[:0]
+	if in := k.instr; in != nil {
+		in.resetKernelState()
 	}
 }

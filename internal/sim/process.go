@@ -57,13 +57,156 @@ type Proc struct {
 	pubActivations uint64
 	pubRunNanos    int64
 
-	// thread machinery
-	started bool
+	// thread machinery: w is the worker goroutine currently hosting the
+	// thread body, acquired from the kernel's pool on first activation
+	// and returned when the body finishes or is killed.
 	killed  bool
-	resume  chan struct{}
-	yield   chan struct{}
+	w       *threadWorker
 	ctx     *ThreadCtx
-	timerEv *Event // lazily created private event for timed waits
+	timerEv *Event   // lazily created private event for timed waits
+	waitSet []*Event // scratch buffer for WaitTimeout's event set
+
+	// timerName caches the derived timer-event name for the process
+	// name it was built from. Both survive recycle: a reset kernel
+	// re-elaborating the same prototype hands each Proc the same role
+	// (and name) again, so the concat happens once per pool slot, not
+	// once per run.
+	timerName    string
+	timerNameFor string
+}
+
+// timerEvent lazily creates the process's private timed-wait event.
+func (p *Proc) timerEvent() *Event {
+	if p.timerEv == nil {
+		if p.timerNameFor != p.name {
+			p.timerNameFor = p.name
+			p.timerName = p.name + ".timer"
+		}
+		p.timerEv = p.k.NewEvent(p.timerName)
+	}
+	return p.timerEv
+}
+
+// threadWorker is a pooled goroutine that hosts thread-process bodies
+// one after another. The goroutine and its handshake channel pair are
+// the expensive part of a thread process; decoupling them from Proc
+// lets Kernel.Reset keep them warm in the kernel's pool, so a reused
+// kernel re-elaborates threads without spawning goroutines — a cost the
+// rebuild-per-run path necessarily pays on every fresh kernel.
+type threadWorker struct {
+	resume chan struct{}
+	yield  chan struct{}
+	p      *Proc // current assignment; set by the kernel before resume
+	die    bool  // set by Shutdown before the final resume
+}
+
+// main is the worker goroutine: park, run one thread body to
+// completion (or kill-unwind), hand control back, repeat.
+func (w *threadWorker) main() {
+	for {
+		<-w.resume
+		if w.die {
+			return
+		}
+		w.runBody()
+		w.yield <- struct{}{}
+	}
+}
+
+// runBody executes the assigned thread body, converting panics into
+// either a clean kill-unwind or a recorded thread panic.
+func (w *threadWorker) runBody() {
+	p := w.p
+	defer func() {
+		if r := recover(); r != nil {
+			p.state = procDone
+			if _, ok := r.(killedError); ok {
+				return
+			}
+			// Re-panicking on the kernel's goroutine would lose the
+			// stack; record and surface through the kernel instead.
+			p.k.threadPanic = fmt.Errorf("sim: thread %q panicked: %v", p.name, r)
+		}
+	}()
+	p.tfn(p.ctx)
+	p.state = procDone
+}
+
+// acquireWorker pops a parked worker or spawns a fresh one.
+func (k *Kernel) acquireWorker() *threadWorker {
+	if n := len(k.workerPool); n > 0 {
+		w := k.workerPool[n-1]
+		k.workerPool[n-1] = nil
+		k.workerPool = k.workerPool[:n-1]
+		return w
+	}
+	w := &threadWorker{resume: make(chan struct{}), yield: make(chan struct{})}
+	go w.main()
+	return w
+}
+
+// releaseWorker parks a worker whose body has fully unwound.
+func (k *Kernel) releaseWorker(w *threadWorker) {
+	w.p = nil
+	k.workerPool = append(k.workerPool, w)
+}
+
+// shutdownWorkers terminates every parked worker goroutine. Live
+// (assigned) workers must have been released via kill first.
+func (k *Kernel) shutdownWorkers() {
+	for i, w := range k.workerPool {
+		w.die = true
+		w.resume <- struct{}{}
+		k.workerPool[i] = nil
+	}
+	k.workerPool = k.workerPool[:0]
+}
+
+// allocProc returns a blank process bound to k with the next creation
+// id, drawing from the free list populated by Reset when possible.
+func (k *Kernel) allocProc(name string, kind procKind) *Proc {
+	var p *Proc
+	if n := len(k.procPool); n > 0 {
+		p = k.procPool[n-1]
+		k.procPool[n-1] = nil
+		k.procPool = k.procPool[:n-1]
+	} else {
+		p = &Proc{}
+	}
+	p.k = k
+	p.name = name
+	p.id = len(k.procs)
+	p.kind = kind
+	return p
+}
+
+// recycle strips the process back to a reusable blank for the kernel
+// free list. The ThreadCtx survives (it only references the Proc), and
+// the worker goroutine has already been returned to the kernel's pool
+// by kill or by the final activation, so p.w is nil here. Called by
+// Kernel.Reset after the body (if any) has unwound.
+func (p *Proc) recycle() {
+	p.name = ""
+	p.state = procWaiting
+	p.fn = nil
+	p.tfn = nil
+	p.static = nil
+	for i := range p.dynamicWait {
+		p.dynamicWait[i] = nil
+	}
+	p.dynamicWait = p.dynamicWait[:0]
+	for i := range p.waitSet {
+		p.waitSet[i] = nil
+	}
+	p.waitSet = p.waitSet[:0]
+	p.waitCause = nil
+	p.noInit = false
+	p.activations = 0
+	p.runNanos = 0
+	p.pubActivations = 0
+	p.pubRunNanos = 0
+	p.killed = false
+	p.timerEv = nil
 }
 
 // Name reports the process name.
@@ -77,7 +220,8 @@ func (p *Proc) Done() bool { return p.state == procDone }
 // start (unless NoInit was applied) and again whenever any event in its
 // static sensitivity list fires. Method bodies must not block.
 func (k *Kernel) Method(name string, fn func(), sensitivity ...*Event) *Proc {
-	p := &Proc{k: k, name: name, id: len(k.procs), kind: methodProc, fn: fn}
+	p := k.allocProc(name, methodProc)
+	p.fn = fn
 	p.attachStatic(sensitivity)
 	k.procs = append(k.procs, p)
 	k.enqueueInitial(p)
@@ -87,7 +231,9 @@ func (k *Kernel) Method(name string, fn func(), sensitivity ...*Event) *Proc {
 // MethodNoInit registers a method process that is not activated at
 // simulation start; it runs only when its sensitivity list fires.
 func (k *Kernel) MethodNoInit(name string, fn func(), sensitivity ...*Event) *Proc {
-	p := &Proc{k: k, name: name, id: len(k.procs), kind: methodProc, fn: fn, noInit: true}
+	p := k.allocProc(name, methodProc)
+	p.fn = fn
+	p.noInit = true
 	p.attachStatic(sensitivity)
 	k.procs = append(k.procs, p)
 	return p
@@ -98,12 +244,12 @@ func (k *Kernel) MethodNoInit(name string, fn func(), sensitivity ...*Event) *Pr
 // no locking against other processes. The body suspends itself with the
 // ThreadCtx wait primitives; when it returns the process is done.
 func (k *Kernel) Thread(name string, fn func(*ThreadCtx), sensitivity ...*Event) *Proc {
-	p := &Proc{
-		k: k, name: name, id: len(k.procs), kind: threadProc, tfn: fn,
-		resume: make(chan struct{}), yield: make(chan struct{}),
-	}
+	p := k.allocProc(name, threadProc)
+	p.tfn = fn
 	p.attachStatic(sensitivity)
-	p.ctx = &ThreadCtx{p: p}
+	if p.ctx == nil {
+		p.ctx = &ThreadCtx{p: p}
+	}
 	k.procs = append(k.procs, p)
 	k.enqueueInitial(p)
 	return p
@@ -124,7 +270,10 @@ func (p *Proc) dynamicFired(e *Event) {
 			other.removeDynamic(p)
 		}
 	}
-	p.dynamicWait = nil
+	// Truncate rather than nil so the wait-set buffer's capacity is
+	// reused by the next Wait (zero allocations in steady state);
+	// "dynamically waiting" is len(dynamicWait) > 0 everywhere.
+	p.dynamicWait = p.dynamicWait[:0]
 	p.waitCause = e
 	p.k.makeRunnable(p)
 }
@@ -146,58 +295,43 @@ func (p *Proc) run() {
 			p.state = procWaiting
 		}
 	case threadProc:
-		if !p.started {
-			p.started = true
-			go p.threadMain()
-		} else {
-			p.resume <- struct{}{}
+		if p.w == nil {
+			p.w = p.k.acquireWorker()
+			p.w.p = p
 		}
-		<-p.yield
+		p.w.resume <- struct{}{}
+		<-p.w.yield
+		if p.state == procDone {
+			p.k.releaseWorker(p.w)
+			p.w = nil
+		}
 	}
 	if instrumented {
 		p.runNanos += int64(time.Since(t0))
 	}
 }
 
-func (p *Proc) threadMain() {
-	defer func() {
-		if r := recover(); r != nil {
-			if _, ok := r.(killedError); ok {
-				p.state = procDone
-				p.yield <- struct{}{}
-				return
-			}
-			// Re-panic on the kernel's goroutine would lose the stack;
-			// record and surface through the kernel instead.
-			p.state = procDone
-			p.k.threadPanic = fmt.Errorf("sim: thread %q panicked: %v", p.name, r)
-			p.yield <- struct{}{}
-			return
-		}
-	}()
-	p.tfn(p.ctx)
-	p.state = procDone
-	p.yield <- struct{}{}
-}
-
-// suspend parks the thread goroutine until the kernel resumes it.
+// suspend parks the thread body until the kernel resumes it.
 func (p *Proc) suspend() {
 	p.state = procWaiting
-	p.yield <- struct{}{}
-	<-p.resume
+	p.w.yield <- struct{}{}
+	<-p.w.resume
 	if p.killed {
 		panic(killedError{p.name})
 	}
 }
 
-// kill unwinds a started, parked thread goroutine.
+// kill unwinds a started, parked thread body and parks its worker back
+// in the kernel's pool.
 func (p *Proc) kill() {
-	if p.kind != threadProc || !p.started || p.state == procDone {
+	if p.kind != threadProc || p.w == nil || p.state == procDone {
 		return
 	}
 	p.killed = true
-	p.resume <- struct{}{}
-	<-p.yield
+	p.w.resume <- struct{}{}
+	<-p.w.yield
+	p.k.releaseWorker(p.w)
+	p.w = nil
 }
 
 // ThreadCtx is the API a thread process body uses to interact with the
@@ -238,10 +372,7 @@ func (c *ThreadCtx) Wait(events ...*Event) *Event {
 // WaitTime suspends for d of simulated time.
 func (c *ThreadCtx) WaitTime(d Time) {
 	p := c.p
-	if p.timerEv == nil {
-		p.timerEv = p.k.NewEvent(p.name + ".timer")
-	}
-	p.timerEv.Notify(d)
+	p.timerEvent().Notify(d)
 	c.Wait(p.timerEv)
 }
 
@@ -249,13 +380,10 @@ func (c *ThreadCtx) WaitTime(d Time) {
 // returns the fired event, or nil if the timeout won.
 func (c *ThreadCtx) WaitTimeout(d Time, events ...*Event) *Event {
 	p := c.p
-	if p.timerEv == nil {
-		p.timerEv = p.k.NewEvent(p.name + ".timer")
-	}
-	p.timerEv.Notify(d)
-	set := make([]*Event, 0, len(events)+1)
-	set = append(set, events...)
+	p.timerEvent().Notify(d)
+	set := append(p.waitSet[:0], events...)
 	set = append(set, p.timerEv)
+	p.waitSet = set
 	got := c.Wait(set...)
 	if got == p.timerEv {
 		return nil
@@ -267,9 +395,6 @@ func (c *ThreadCtx) WaitTimeout(d Time, events ...*Event) *Event {
 // WaitDelta suspends for exactly one delta cycle.
 func (c *ThreadCtx) WaitDelta() {
 	p := c.p
-	if p.timerEv == nil {
-		p.timerEv = p.k.NewEvent(p.name + ".timer")
-	}
-	p.timerEv.Notify(0)
+	p.timerEvent().Notify(0)
 	c.Wait(p.timerEv)
 }

@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// pingModel elaborates a small two-event model with a method and a
+// thread and returns the recorded activation log. The same function is
+// used to verify that a Reset kernel reproduces the run of a fresh one.
+func pingModel(k *Kernel, log *[]string) {
+	ping := k.NewEvent("ping")
+	pong := k.NewEvent("pong")
+	k.MethodNoInit("echo", func() {
+		*log = append(*log, "echo@"+k.Now().String())
+		pong.Notify(NS(3))
+	}, ping)
+	k.Thread("driver", func(ctx *ThreadCtx) {
+		for i := 0; i < 3; i++ {
+			ping.Notify(NS(5))
+			ctx.Wait(pong)
+			*log = append(*log, "pong@"+ctx.Now().String())
+		}
+	})
+}
+
+func runPing(t *testing.T, k *Kernel) []string {
+	t.Helper()
+	var log []string
+	pingModel(k, &log)
+	if err := k.Run(TimeMax); err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 6 {
+		t.Fatalf("model did not complete: %v", log)
+	}
+	return log
+}
+
+// TestResetReproducesFreshKernel: the core reuse guarantee — run,
+// Reset, re-elaborate, run again must match a fresh kernel exactly,
+// including the stats counters.
+func TestResetReproducesFreshKernel(t *testing.T) {
+	k := NewKernel()
+	first := runPing(t, k)
+	firstStats := k.Stats()
+	for i := 0; i < 3; i++ {
+		k.Reset()
+		if k.Now() != 0 || k.Pending() || (k.Stats() != Stats{}) {
+			t.Fatalf("Reset left state: now=%v pending=%v stats=%+v", k.Now(), k.Pending(), k.Stats())
+		}
+		again := runPing(t, k)
+		if strings.Join(first, ",") != strings.Join(again, ",") {
+			t.Fatalf("reset run %d diverged:\nfirst %v\nagain %v", i, first, again)
+		}
+		if k.Stats() != firstStats {
+			t.Fatalf("reset run %d stats diverged: %+v vs %+v", i, k.Stats(), firstStats)
+		}
+	}
+	k.Shutdown()
+}
+
+// TestResetAfterStop: a kernel stopped mid-run resets cleanly and the
+// stopped flag does not leak into the next elaboration.
+func TestResetAfterStop(t *testing.T) {
+	k := NewKernel()
+	tick := k.NewEvent("tick")
+	n := 0
+	k.MethodNoInit("ticker", func() {
+		n++
+		if n == 2 {
+			k.Stop()
+		}
+		tick.Notify(NS(1))
+	}, tick)
+	tick.Notify(NS(1))
+	if err := k.Run(TimeMax); err != nil {
+		t.Fatal(err)
+	}
+	if !k.Stopped() || n != 2 {
+		t.Fatalf("Stop did not take: stopped=%v n=%d", k.Stopped(), n)
+	}
+	k.Reset()
+	runPing(t, k)
+	k.Shutdown()
+}
+
+// TestResetAfterDeltaOverflow: a kernel that died in a zero-delay loop
+// (ErrDeltaOverflow) must come back clean.
+func TestResetAfterDeltaOverflow(t *testing.T) {
+	k := NewKernel()
+	k.SetMaxDeltas(100)
+	loop := k.NewEvent("loop")
+	k.MethodNoInit("spin", func() { loop.Notify(0) }, loop)
+	loop.Notify(0)
+	if err := k.Run(NS(10)); !errors.Is(err, ErrDeltaOverflow) {
+		t.Fatalf("want ErrDeltaOverflow, got %v", err)
+	}
+	k.Reset()
+	runPing(t, k)
+	k.Shutdown()
+}
+
+// TestResetWithLiveThreads: threads parked mid-wait (their goroutines
+// alive, their waits never satisfied) are shut down by Reset and do
+// not disturb the next run.
+func TestResetWithLiveThreads(t *testing.T) {
+	k := NewKernel()
+	never := k.NewEvent("never")
+	entered := false
+	resumed := false
+	k.Thread("parked", func(ctx *ThreadCtx) {
+		entered = true
+		ctx.Wait(never)
+		resumed = true
+	})
+	if err := k.Run(US(1)); err != nil {
+		t.Fatal(err)
+	}
+	if !entered || resumed {
+		t.Fatalf("thread state unexpected: entered=%v resumed=%v", entered, resumed)
+	}
+	k.Reset()
+	if resumed {
+		t.Fatal("Reset resumed a parked thread instead of killing it")
+	}
+	runPing(t, k)
+	k.Shutdown()
+}
+
+// TestResetDetachesTracers: tracers reference the dead elaboration's
+// probes, so Reset must drop them — the next run must not sample old
+// probes or grow the VCD.
+func TestResetDetachesTracers(t *testing.T) {
+	k := NewKernel()
+	sig := NewSignal(k, "sig", 0)
+	var vcd strings.Builder
+	tr := NewTracer(&vcd)
+	tr.AddProbe("sig", 1, func() string {
+		if sig.Read() != 0 {
+			return "1"
+		}
+		return "0"
+	})
+	k.AttachTracer(tr)
+	k.Thread("wiggle", func(ctx *ThreadCtx) {
+		sig.Write(1)
+		ctx.WaitTime(NS(5))
+	})
+	if err := k.Run(TimeMax); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Err() != nil {
+		t.Fatal(tr.Err())
+	}
+	before := vcd.Len()
+	if before == 0 {
+		t.Fatal("tracer recorded nothing")
+	}
+	k.Reset()
+	runPing(t, k)
+	if vcd.Len() != before {
+		t.Fatalf("detached tracer still sampled after Reset: %d -> %d bytes", before, vcd.Len())
+	}
+	k.Shutdown()
+}
+
+// TestResetWithInstrument: the attached Instrument survives Reset and
+// its published registry deltas restart from zero — the counters after
+// two reset-separated identical runs are exactly twice one run's.
+func TestResetWithInstrument(t *testing.T) {
+	counterValue := func(reg *obs.Registry, name string) float64 {
+		for _, m := range reg.Snapshot() {
+			if m.Name == name {
+				return m.Value
+			}
+		}
+		return -1
+	}
+
+	one := obs.NewRegistry()
+	k1 := NewKernel()
+	k1.SetInstrument(&Instrument{Metrics: one, TID: 1})
+	runPing(t, k1)
+	k1.Shutdown()
+	single := counterValue(one, "sim.delta_cycles")
+	if single <= 0 {
+		t.Fatalf("no delta cycle count in single-run registry: %v", single)
+	}
+
+	reg := obs.NewRegistry()
+	k := NewKernel()
+	k.SetInstrument(&Instrument{Metrics: reg, TID: 1})
+	runPing(t, k)
+	k.Reset()
+	runPing(t, k)
+	k.Shutdown()
+	if double := counterValue(reg, "sim.delta_cycles"); double != 2*single {
+		// A reset instrument that fails to rewind its publication
+		// watermark would underflow and publish garbage here.
+		t.Fatalf("instrument deltas wrong across Reset: single=%v double=%v", single, double)
+	}
+}
+
+// TestResetNoStaleTimedEntries: pending timed notifications scheduled
+// before Reset must never fire after it.
+func TestResetNoStaleTimedEntries(t *testing.T) {
+	k := NewKernel()
+	late := k.NewEvent("late")
+	fired := false
+	k.MethodNoInit("boom", func() { fired = true }, late)
+	late.Notify(NS(100))
+	if err := k.Run(NS(10)); err != nil {
+		t.Fatal(err)
+	}
+	k.Reset()
+	if k.Pending() {
+		t.Fatal("timed entries survived Reset")
+	}
+	// Recycled Event objects must not resurrect the old notification.
+	runPing(t, k)
+	if err := k.Run(US(1)); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("stale timed notification fired after Reset")
+	}
+	k.Shutdown()
+}
+
+// TestResetWhileRunningPanics documents the Reset contract.
+func TestResetWhileRunningPanics(t *testing.T) {
+	k := NewKernel()
+	ev := k.NewEvent("ev")
+	panicked := make(chan any, 1)
+	k.MethodNoInit("resetter", func() {
+		defer func() { panicked <- recover() }()
+		k.Reset()
+	}, ev)
+	ev.Notify(NS(1))
+	if err := k.Run(US(1)); err != nil {
+		t.Fatal(err)
+	}
+	if r := <-panicked; r == nil {
+		t.Fatal("Reset during Run did not panic")
+	}
+}
+
+// TestNextEventTimeDuringEvaluate: querying the next event time from
+// model code (inEvaluate) must be read-only — it skips a stale heap
+// entry without popping it, and the later idle-time query compacts.
+func TestNextEventTimeDuringEvaluate(t *testing.T) {
+	k := NewKernel()
+	victim := k.NewEvent("victim")
+	probe := k.NewEvent("probe")
+	var seen Time
+	var heapLenDuring int
+	k.MethodNoInit("observer", func() {
+		// victim's 50ns entry is stale by now (displaced by the 10ns
+		// notification below); the live minimum is 10ns.
+		seen = k.NextEventTime()
+		heapLenDuring = k.timed.Len()
+	}, probe)
+	k.MethodNoInit("sink", func() {}, victim)
+
+	victim.Notify(NS(50)) // becomes stale
+	victim.Notify(NS(10)) // displaces it
+	probe.NotifyImmediate()
+	lenBefore := k.timed.Len() // 2 entries: stale@50, live@10
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if seen != NS(10) {
+		t.Fatalf("NextEventTime during evaluate = %v, want 10ns", seen)
+	}
+	if heapLenDuring != lenBefore {
+		t.Fatalf("in-run NextEventTime mutated the heap: %d -> %d entries", lenBefore, heapLenDuring)
+	}
+	// Drain the live notification, leaving only the stale 50ns entry,
+	// then verify the idle-time query compacts it away.
+	if err := k.Run(NS(20)); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.NextEventTime(); got != TimeMax {
+		t.Fatalf("idle NextEventTime = %v, want TimeMax", got)
+	}
+	if k.timed.Len() != 0 {
+		t.Fatalf("idle NextEventTime left %d stale entries", k.timed.Len())
+	}
+}
+
+// TestSteadyStateTimedSchedulingAllocs pins the allocation-lean event
+// queue: once a kernel has warmed up, a self-retriggering timed event
+// loop runs with zero allocations per Run.
+func TestSteadyStateTimedSchedulingAllocs(t *testing.T) {
+	k := NewKernel()
+	tick := k.NewEvent("tick")
+	count := 0
+	k.MethodNoInit("ticker", func() {
+		count++
+		tick.Notify(NS(10))
+	}, tick)
+	tick.Notify(NS(10))
+	// Warm up: first runs grow the queues to their high-water mark.
+	if err := k.Run(US(1)); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := k.Run(NS(100)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state timed scheduling allocates %.1f allocs/run, want 0", avg)
+	}
+	if count == 0 {
+		t.Fatal("ticker never ran")
+	}
+}

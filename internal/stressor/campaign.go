@@ -43,6 +43,15 @@ type Campaign struct {
 	// GOMAXPROCS. Scenario runs are independent (each builds a fresh
 	// prototype), so the Result is identical for every setting.
 	Workers int
+	// Dedup collapses scenarios whose fault content is identical —
+	// same target site, model, class, timing and parameters, ignoring
+	// only the scenario/descriptor names — into one simulation run
+	// whose outcome is fanned back to every duplicate index.
+	// Result.DedupSavedRuns reports the saving. Requires the RunFunc
+	// to be deterministic in the fault content (true for the CAPS and
+	// ECU runners); an outcome that embeds the scenario ID in an error
+	// detail would leak the representative's ID to its duplicates.
+	Dedup bool
 
 	// Metrics, when non-nil, receives campaign telemetry: a
 	// campaign.scenario_duration_ns histogram, campaign.outcomes
@@ -77,6 +86,10 @@ type Result struct {
 	// crash is not a genuine detection — a non-zero count flags the
 	// campaign setup, not the DUT.
 	PanicRecoveries int
+	// DedupSavedRuns counts scenarios that were not simulated because
+	// Dedup folded them into an earlier identical run (0 when Dedup is
+	// off or every scenario was unique).
+	DedupSavedRuns int
 }
 
 // campaignObs carries the per-Execute instrumentation state. A nil
@@ -150,18 +163,97 @@ func (c *Campaign) Execute(scenarios []fault.Scenario) (*Result, error) {
 		}
 	}
 	workers := par.Resolve(c.Workers)
-	o := c.newObs(len(scenarios), workers)
+
+	// Dedup plan: run only the first occurrence of each distinct fault
+	// content, then fan outcomes back out to the duplicate indices.
+	run := scenarios
+	var uniq, rep []int
+	if c.Dedup {
+		uniq, rep = dedupPlan(scenarios)
+		if len(uniq) < len(scenarios) {
+			run = make([]fault.Scenario, len(uniq))
+			for u, idx := range uniq {
+				run[u] = scenarios[idx]
+			}
+		} else {
+			uniq, rep = nil, nil
+		}
+	}
+
+	o := c.newObs(len(run), workers)
 	start := time.Now()
 	var outs []fault.Outcome
 	var ran, panicked []bool
 	if workers == 0 {
-		outs, ran, panicked = c.runSequential(scenarios, o)
+		outs, ran, panicked = c.runSequential(run, o)
 	} else {
-		outs, ran, panicked = c.runParallel(scenarios, workers, o)
+		outs, ran, panicked = c.runParallel(run, workers, o)
+	}
+	if uniq != nil {
+		outs, ran, panicked = fanOut(scenarios, uniq, rep, outs, ran, panicked)
 	}
 	res := c.assemble(scenarios, outs, ran, panicked)
+	if uniq != nil {
+		res.DedupSavedRuns = len(scenarios) - len(uniq)
+	}
 	c.publish(o, res, time.Since(start))
 	return res, nil
+}
+
+// descKey serializes every descriptor field except the name — the
+// fault content that determines a deterministic run's outcome.
+func descKey(d fault.Descriptor) string {
+	return fmt.Sprintf("%v|%v|%v|%s|%d|%d|%g|%d|%d|%d|%g",
+		d.Model, d.Class, d.Domain, d.Target, d.Bit, d.Address, d.Param,
+		d.Start, d.Duration, d.Period, d.Rate)
+}
+
+// dedupPlan partitions scenarios by fault content: uniq lists the
+// first-occurrence indices in original order, rep maps every index to
+// its representative (itself for uniques).
+func dedupPlan(scenarios []fault.Scenario) (uniq, rep []int) {
+	rep = make([]int, len(scenarios))
+	seen := make(map[string]int, len(scenarios))
+	for i, sc := range scenarios {
+		key := ""
+		for _, d := range sc.Faults {
+			key += descKey(d) + ";"
+		}
+		if first, ok := seen[key]; ok {
+			rep[i] = first
+			continue
+		}
+		seen[key] = i
+		rep[i] = i
+		uniq = append(uniq, i)
+	}
+	return uniq, rep
+}
+
+// fanOut expands per-unique run results back to the full scenario
+// list. Each duplicate inherits its representative's outcome with its
+// own Scenario stamped in; representatives ordered after a StopOnFirst
+// cutoff never ran, so their duplicates stay un-ran too.
+func fanOut(scenarios []fault.Scenario, uniq, rep []int, outs []fault.Outcome, ran, panicked []bool) ([]fault.Outcome, []bool, []bool) {
+	pos := make(map[int]int, len(uniq)) // original index of a rep -> slot in outs
+	for u, idx := range uniq {
+		pos[idx] = u
+	}
+	fullOuts := make([]fault.Outcome, len(scenarios))
+	fullRan := make([]bool, len(scenarios))
+	fullPanicked := make([]bool, len(scenarios))
+	for i := range scenarios {
+		u := pos[rep[i]]
+		if !ran[u] {
+			continue
+		}
+		out := outs[u]
+		out.Scenario = scenarios[i]
+		fullOuts[i] = out
+		fullRan[i] = true
+		fullPanicked[i] = panicked[u]
+	}
+	return fullOuts, fullRan, fullPanicked
 }
 
 // publish folds the finished result into the registry. Counters are
@@ -183,6 +275,9 @@ func (c *Campaign) publish(o *campaignObs, res *Result, elapsed time.Duration) {
 	reg.Counter("campaign.elapsed_ns", name).Add(uint64(elapsed.Nanoseconds()))
 	if res.PanicRecoveries > 0 {
 		reg.Counter("campaign.panic_recoveries", name).Add(uint64(res.PanicRecoveries))
+	}
+	if res.DedupSavedRuns > 0 {
+		reg.Counter("campaign.dedup_saved_runs", name).Add(uint64(res.DedupSavedRuns))
 	}
 	var total time.Duration
 	for w, b := range o.busy {

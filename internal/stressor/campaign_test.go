@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -192,5 +193,115 @@ func TestCampaignStopOnFirstParallelDiscards(t *testing.T) {
 	// keep it far below the full list.
 	if executed > 50 {
 		t.Errorf("parallel campaign executed %d of %d scenarios after the stop point", executed, n)
+	}
+}
+
+// dedupScenarios builds n uniquely named scenarios whose fault content
+// cycles through k distinct bit values, so dedup must collapse n runs
+// into k.
+func dedupScenarios(n, k int) []fault.Scenario {
+	out := make([]fault.Scenario, n)
+	for i := range out {
+		out[i] = fault.Single(fault.Descriptor{
+			Name: fmt.Sprintf("d%d", i), Model: fault.BitFlip, Target: "m",
+			Bit: uint(i % k),
+		})
+	}
+	return out
+}
+
+// contentRunFunc keys class and detail on the fault content (not the
+// scenario ID), matching the determinism assumption Dedup documents.
+func contentRunFunc(byBit map[uint]fault.Classification, calls *int32) RunFunc {
+	return func(sc fault.Scenario) fault.Outcome {
+		atomic.AddInt32(calls, 1)
+		bit := sc.Faults[0].Bit
+		class, ok := byBit[bit]
+		if !ok {
+			class = fault.Masked
+		}
+		return fault.Outcome{Scenario: sc, Class: class, Detail: fmt.Sprintf("bit %d", bit)}
+	}
+}
+
+// TestCampaignDedup checks the collapse: 12 scenarios with 3 distinct
+// fault contents run 3 simulations, and the fanned-out Result matches
+// the non-dedup Result for every worker mode.
+func TestCampaignDedup(t *testing.T) {
+	const n, k = 12, 3
+	scs := dedupScenarios(n, k)
+	byBit := map[uint]fault.Classification{2: fault.DetectedSafe}
+
+	var refCalls int32
+	ref, err := (&Campaign{Name: "ref", Run: contentRunFunc(byBit, &refCalls)}).Execute(scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refCalls != n {
+		t.Fatalf("reference ran %d scenarios, want %d", refCalls, n)
+	}
+
+	for _, workers := range []int{0, 3, WorkersAuto} {
+		var calls int32
+		c := &Campaign{Name: "ref", Run: contentRunFunc(byBit, &calls), Dedup: true, Workers: workers}
+		res, err := c.Execute(scs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if calls != k {
+			t.Fatalf("workers=%d: dedup ran %d simulations, want %d", workers, calls, k)
+		}
+		if res.DedupSavedRuns != n-k {
+			t.Fatalf("workers=%d: DedupSavedRuns = %d, want %d", workers, res.DedupSavedRuns, n-k)
+		}
+		if !reflect.DeepEqual(ref.Outcomes, res.Outcomes) || !reflect.DeepEqual(ref.Tally, res.Tally) {
+			t.Fatalf("workers=%d: dedup result differs from reference", workers)
+		}
+		for i, o := range res.Outcomes {
+			if o.Scenario.ID != scs[i].ID {
+				t.Fatalf("outcome %d carries scenario %q, want %q", i, o.Scenario.ID, scs[i].ID)
+			}
+		}
+	}
+}
+
+// TestCampaignDedupStopOnFirst: the early-stop prefix must be
+// identical with and without dedup (a duplicate can never fail before
+// its representative).
+func TestCampaignDedupStopOnFirst(t *testing.T) {
+	scs := dedupScenarios(12, 3)
+	byBit := map[uint]fault.Classification{1: fault.SDC}
+	var refCalls int32
+	ref, err := (&Campaign{Name: "s", Run: contentRunFunc(byBit, &refCalls), StopOnFirst: true}).Execute(scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 4} {
+		var calls int32
+		c := &Campaign{Name: "s", Run: contentRunFunc(byBit, &calls), StopOnFirst: true, Dedup: true, Workers: workers}
+		res, err := c.Execute(scs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref.Outcomes, res.Outcomes) ||
+			res.RunsToFirstFailure != ref.RunsToFirstFailure {
+			t.Fatalf("workers=%d: dedup+StopOnFirst diverges: ref %d outcomes, got %d",
+				workers, len(ref.Outcomes), len(res.Outcomes))
+		}
+	}
+}
+
+// TestCampaignDedupAllUnique: with no duplicates the plan is dropped
+// and the result reports zero savings.
+func TestCampaignDedupAllUnique(t *testing.T) {
+	scs := dedupScenarios(5, 5)
+	var calls int32
+	c := &Campaign{Name: "u", Run: contentRunFunc(nil, &calls), Dedup: true}
+	res, err := c.Execute(scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 5 || res.DedupSavedRuns != 0 || len(res.Outcomes) != 5 {
+		t.Fatalf("all-unique dedup: calls=%d saved=%d outcomes=%d", calls, res.DedupSavedRuns, len(res.Outcomes))
 	}
 }

@@ -10,7 +10,6 @@ package stressor
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/fault"
 	"repro/internal/sim"
@@ -36,6 +35,12 @@ type Stressor struct {
 	Horizon sim.Time
 
 	records []Record
+
+	// reuse machinery: the bound Run method value and the timeline
+	// scratch buffer survive Respawn, so a pooled prototype slot drives
+	// scenario after scenario without reallocating either.
+	runFn func(*sim.ThreadCtx)
+	tl    []timelineEntry
 }
 
 // New creates a stressor component.
@@ -49,9 +54,24 @@ func New(parent uvm.Component, name string, reg *fault.Registry) *Stressor {
 // a UVM environment — for virtual prototypes wired directly on the
 // kernel (the CAPS campaigns use this form).
 func SpawnThread(k *sim.Kernel, reg *fault.Registry, sc fault.Scenario, horizon sim.Time) *Stressor {
-	s := &Stressor{registry: reg, scenario: sc, Horizon: horizon}
-	k.Thread("stressor."+sc.ID, s.Run)
+	s := &Stressor{}
+	s.Respawn(k, reg, sc, horizon)
 	return s
+}
+
+// Respawn re-arms the stressor for another scenario on a freshly
+// elaborated (or reset) kernel, reusing its internal buffers. Campaign
+// runners that pool prototype slots keep one stressor per slot and
+// Respawn it each scenario instead of allocating a new one.
+func (s *Stressor) Respawn(k *sim.Kernel, reg *fault.Registry, sc fault.Scenario, horizon sim.Time) {
+	s.registry = reg
+	s.scenario = sc
+	s.Horizon = horizon
+	s.records = s.records[:0]
+	if s.runFn == nil {
+		s.runFn = s.Run
+	}
+	k.Thread("stressor."+sc.ID, s.runFn)
 }
 
 // SetScenario installs the fault set for the next run.
@@ -82,9 +102,10 @@ type timelineEntry struct {
 	desc   fault.Descriptor
 }
 
-// timeline expands the scenario into a sorted action list.
+// timeline expands the scenario into a sorted action list (backed by
+// the stressor's scratch buffer, valid until the next call).
 func (s *Stressor) timeline() []timelineEntry {
-	var tl []timelineEntry
+	tl := s.tl[:0]
 	for _, d := range s.scenario.Faults {
 		switch d.Class {
 		case fault.Permanent:
@@ -99,7 +120,19 @@ func (s *Stressor) timeline() []timelineEntry {
 			}
 		}
 	}
-	sort.SliceStable(tl, func(i, j int) bool { return tl[i].at < tl[j].at })
+	// Stable insertion sort: timelines hold a handful of entries and
+	// this runs once per campaign scenario — sort.SliceStable's closure
+	// and reflection swapper would allocate every call.
+	for i := 1; i < len(tl); i++ {
+		e := tl[i]
+		j := i - 1
+		for j >= 0 && tl[j].at > e.at {
+			tl[j+1] = tl[j]
+			j--
+		}
+		tl[j+1] = e
+	}
+	s.tl = tl
 	return tl
 }
 
