@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race tier1 bench bench-smoke bench-campaign bench-json bench-reuse
+.PHONY: all build vet test race tier1 bench bench-smoke bench-campaign bench-json bench-reuse bench-sharded fuzz-smoke
 
 all: tier1
 
@@ -41,9 +41,25 @@ bench-campaign:
 bench-reuse:
 	$(GO) test -run xxx -bench BenchmarkCampaignReuse -benchtime 10x .
 
+# Shard/journal/merge overhead on the E8 universe (the PR 4
+# tentpole): shards=1 is the journaled baseline, shards=2/4 add the
+# partition + merge machinery.
+bench-sharded:
+	$(GO) test -run xxx -bench BenchmarkCampaignSharded -benchtime 20x .
+
+# Native fuzzing smoke: run each fuzz target for FUZZTIME (~30s total
+# at the default). The seed corpora alone run under `go test`; this
+# target actually mutates, catching parser/interpreter/journal
+# regressions the fixed seeds would miss.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzInterp -fuzztime=$(FUZZTIME) ./internal/mdl
+	$(GO) test -run=NONE -fuzz=FuzzDescriptor -fuzztime=$(FUZZTIME) ./internal/fault
+	$(GO) test -run=NONE -fuzz=FuzzJournalReplay -fuzztime=$(FUZZTIME) ./internal/journal
+
 # Machine-readable benchmark snapshot: the perf trajectory artifact
 # committed per perf PR (BENCH_PR<n>.json). Override OUT to target a
 # different file, e.g. `make bench-json OUT=BENCH_PR4.json`.
-OUT ?= BENCH_PR3.json
+OUT ?= BENCH_PR4.json
 bench-json:
 	$(GO) run ./cmd/benchjson -benchtime 1x -o $(OUT) ./...

@@ -8,12 +8,14 @@ package govp
 
 import (
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"testing"
 
 	"repro/internal/caps"
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stressor"
@@ -292,5 +294,75 @@ func BenchmarkKernelTimedScheduling(b *testing.B) {
 		if err := k.Run(sim.US(1)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCampaignSharded measures the shard/journal/merge overhead
+// on the E8 single-fault universe in the campaign-overhead regime
+// (h=10ms): each iteration executes every shard with a fresh run
+// journal, reads the journals back and (for shards>1) merges them
+// into the final Result, exactly as a distributed campaign would.
+// shards=1 is the journaled-but-unsharded baseline; the deltas to
+// shards=2 and shards=4 price the partition + merge machinery.
+func BenchmarkCampaignSharded(b *testing.B) {
+	horizon, inject := sim.MS(10), sim.MS(2)
+	ref, err := caps.NewRunner(caps.Protected(), caps.NormalDriving(), horizon)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scenarios := fault.Singles(ref.Universe(inject))
+	want, err := (&stressor.Campaign{Name: "ref", Run: ref.RunFunc()}).Execute(scenarios)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref.Close()
+	hash := stressor.UniverseHash(scenarios)
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			runner, err := caps.NewRunner(caps.Protected(), caps.NormalDriving(), horizon)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer runner.Close()
+			dir := b.TempDir()
+			b.ReportAllocs()
+			b.ReportMetric(float64(len(scenarios)), "scenarios/op")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				js := make([]*journal.Journal, shards)
+				for s := 0; s < shards; s++ {
+					path := filepath.Join(dir, fmt.Sprintf("i%d-s%d.jsonl", i, s))
+					h := journal.Header{
+						Campaign: "bench", Shard: s, Shards: shards,
+						Total: len(scenarios), Universe: hash,
+					}
+					w, err := journal.Create(path, h)
+					if err != nil {
+						b.Fatal(err)
+					}
+					var sh stressor.Shard
+					if shards > 1 {
+						sh = stressor.Shard{Index: s, Count: shards}
+					}
+					c := &stressor.Campaign{Name: "bench", Run: runner.RunFunc(), Shard: sh, Journal: w}
+					if _, err := c.Execute(scenarios); err != nil {
+						b.Fatal(err)
+					}
+					if err := w.Close(); err != nil {
+						b.Fatal(err)
+					}
+					if js[s], err = journal.Read(path); err != nil {
+						b.Fatal(err)
+					}
+				}
+				res, err := stressor.Merge(stressor.MergeSpec{}, scenarios, js)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Tally.String() != want.Tally.String() {
+					b.Fatalf("tally %s != reference %s", res.Tally, want.Tally)
+				}
+			}
+		})
 	}
 }

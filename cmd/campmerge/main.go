@@ -1,0 +1,105 @@
+// Command campmerge merges completed shard journals of a capsim
+// campaign back into one result, byte-identical to the unsharded run.
+//
+// Usage:
+//
+//	campmerge shard0.jsonl shard1.jsonl shard2.jsonl shard3.jsonl
+//	campmerge -world crash -unprotected -stop-on-first j0.jsonl j1.jsonl
+//
+// The world/config/horizon flags must match the capsim invocations
+// that produced the journals: campmerge rebuilds the same scenario
+// universe and refuses journals whose universe hash disagrees, so a
+// merge against the wrong prototype configuration fails loudly
+// instead of mislabeling outcomes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/caps"
+	"repro/internal/fault"
+	"repro/internal/journal"
+	"repro/internal/sim"
+	"repro/internal/stressor"
+)
+
+func main() {
+	world := flag.String("world", "normal", "environment: normal or crash")
+	unprotected := flag.Bool("unprotected", false, "disable the safety mechanisms")
+	horizonFlag := flag.String("horizon", "80ms", "simulated duration")
+	injectFlag := flag.String("inject", "10ms", "fault activation time of the campaign universe")
+	dedup := flag.Bool("dedup", false, "the shards ran with -dedup")
+	stopOnFirst := flag.Bool("stop-on-first", false, "the shards ran with stop-on-first semantics")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: campmerge [flags] shard0.jsonl [shard1.jsonl ...]")
+		os.Exit(2)
+	}
+
+	cfg := caps.Protected()
+	if *unprotected {
+		cfg = caps.Unprotected()
+	}
+	var w *caps.World
+	switch *world {
+	case "normal":
+		w = caps.NormalDriving()
+	case "crash":
+		w = caps.CrashAt(sim.MS(20))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown world %q\n", *world)
+		os.Exit(2)
+	}
+	horizon, err := fault.ParseDuration(*horizonFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	inject, err := fault.ParseDuration(*injectFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	runner, err := caps.NewRunner(cfg, w, horizon)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer runner.Close()
+	var scenarios []fault.Scenario
+	for _, d := range runner.Universe(inject) {
+		scenarios = append(scenarios, fault.Single(d))
+	}
+
+	js := make([]*journal.Journal, flag.NArg())
+	for i, path := range flag.Args() {
+		if js[i], err = journal.Read(path); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	res, err := stressor.Merge(stressor.MergeSpec{
+		StopOnFirst: *stopOnFirst, Dedup: *dedup,
+	}, scenarios, js)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("world:     %s\n", *world)
+	fmt.Printf("config:    protected=%v\n", !*unprotected)
+	fmt.Printf("campaign:  %d single-fault scenarios, %d shards merged\n", len(scenarios), flag.NArg())
+	fmt.Printf("tally:     %s\n", res.Tally)
+	if res.DedupSavedRuns > 0 {
+		fmt.Printf("dedup:     %d duplicate runs skipped\n", res.DedupSavedRuns)
+	}
+	if o, ok := res.FirstFailure(); ok {
+		fmt.Printf("first failure at run %d: %s\n", res.RunsToFirstFailure, o.Scenario.ID)
+	}
+	if res.Tally[fault.SafetyCritical] > 0 {
+		os.Exit(1)
+	}
+}

@@ -10,22 +10,34 @@
 //	capsim -sites                  # list injection sites
 //	capsim -campaign -workers -1   # exhaustive single-fault campaign, one worker per CPU
 //	capsim -campaign e8 -progress -metrics m.json -trace-events t.json
+//	capsim -campaign e8 -shard 0/4 -journal shard0.jsonl   # one shard of four
+//	capsim -campaign e8 -shard 0/4 -journal shard0.jsonl -resume
 //
 // An optional positional argument after -campaign names the campaign
 // (it labels the metrics and trace spans). -metrics writes the final
 // metrics snapshot as JSON, -trace-events a Chrome trace-event file
 // loadable in chrome://tracing or Perfetto, and -progress streams a
 // live progress line to stderr.
+//
+// -shard i/N runs only the i-th of N deterministic partitions of the
+// scenario universe; -journal appends each outcome to a JSONL run
+// journal as it completes, and -resume picks an interrupted journal
+// back up, skipping scenarios already recorded. Ctrl-C stops the
+// campaign cleanly after the in-flight scenarios finish, leaving the
+// journal resumable. Completed shard journals merge with campmerge.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/caps"
 	"repro/internal/fault"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stressor"
@@ -44,6 +56,11 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write the metrics snapshot (JSON) to this file")
 	tracePath := flag.String("trace-events", "", "write Chrome trace-event JSON to this file")
 	progress := flag.Bool("progress", false, "stream live campaign progress to stderr")
+	shardFlag := flag.String("shard", "", "run one shard i/N of the campaign universe (e.g. 0/4)")
+	journalPath := flag.String("journal", "", "append per-scenario outcomes to this JSONL run journal")
+	resume := flag.Bool("resume", false, "resume an interrupted -journal, skipping recorded scenarios")
+	scenarioTimeout := flag.Duration("scenario-timeout", 0, "wall-clock budget per scenario (0 = none)")
+	interruptAfter := flag.Int("interrupt-after", 0, "stop cleanly after N completed runs (testing aid; journal stays resumable)")
 	flag.Parse()
 
 	// "-campaign e8" names the campaign. The boolean flag consumes no
@@ -114,14 +131,83 @@ func main() {
 		for _, d := range runner.Universe(sim.MS(10)) {
 			scenarios = append(scenarios, fault.Single(d))
 		}
+		var shard stressor.Shard
+		if *shardFlag != "" {
+			if shard, err = stressor.ParseShard(*shardFlag); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
 		c := &stressor.Campaign{
 			Name: campaignName, Run: runner.RunFunc(), Workers: *workers,
 			Dedup: *dedup, Metrics: reg, Trace: tr,
+			Shard: shard, ScenarioTimeout: *scenarioTimeout,
 		}
 		if *progress {
 			c.Progress = obs.ProgressLine(os.Stderr)
 		}
+		var jw *journal.Writer
+		if *journalPath != "" {
+			shards := shard.Count
+			if shards < 1 {
+				shards = 1
+			}
+			h := journal.Header{
+				Campaign: campaignName, Shard: shard.Index, Shards: shards,
+				Total: len(scenarios), Universe: stressor.UniverseHash(scenarios),
+			}
+			if *resume {
+				if _, statErr := os.Stat(*journalPath); statErr == nil {
+					j, w, err := journal.AppendTo(*journalPath, h)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					c.Resume, jw = j, w
+				} else {
+					// Nothing to resume yet: start a fresh journal so the
+					// same command line works for first run and re-runs.
+					if jw, err = journal.Create(*journalPath, h); err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+				}
+			} else if jw, err = journal.Create(*journalPath, h); err != nil {
+				fmt.Fprintf(os.Stderr, "%v (use -resume to continue an interrupted journal)\n", err)
+				os.Exit(1)
+			}
+			c.Journal = jw
+		} else if *resume {
+			fmt.Fprintln(os.Stderr, "-resume requires -journal")
+			os.Exit(2)
+		}
+		// Ctrl-C (and the -interrupt-after testing aid) stop the
+		// campaign cleanly between scenarios; with -journal the run is
+		// resumable afterwards.
+		var interrupted, halted atomic.Bool
+		if *journalPath != "" || *interruptAfter > 0 {
+			ch := make(chan os.Signal, 1)
+			signal.Notify(ch, os.Interrupt)
+			defer signal.Stop(ch)
+			go func() {
+				<-ch
+				interrupted.Store(true)
+			}()
+			limit := *interruptAfter
+			c.Halt = func(completed int) bool {
+				stop := interrupted.Load() || (limit > 0 && completed >= limit)
+				if stop {
+					halted.Store(true)
+				}
+				return stop
+			}
+		}
 		res, err := c.Execute(scenarios)
+		if jw != nil {
+			if cerr := jw.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
 		writeObs()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -130,13 +216,18 @@ func main() {
 		fmt.Printf("world:     %s\n", *world)
 		fmt.Printf("config:    protected=%v\n", !*unprotected)
 		fmt.Printf("campaign:  %d single-fault scenarios, workers=%d\n", len(scenarios), *workers)
+		if shard.Enabled() {
+			fmt.Printf("shard:     %s\n", shard)
+		}
+		if halted.Load() {
+			fmt.Printf("halted:    %d outcomes recorded; rerun with -resume to continue\n", len(res.Outcomes))
+		}
 		fmt.Printf("tally:     %s\n", res.Tally)
 		if res.DedupSavedRuns > 0 {
 			fmt.Printf("dedup:     %d duplicate runs skipped\n", res.DedupSavedRuns)
 		}
-		if res.RunsToFirstFailure > 0 {
-			fmt.Printf("first failure at run %d: %s\n",
-				res.RunsToFirstFailure, res.Outcomes[res.RunsToFirstFailure-1].Scenario.ID)
+		if o, ok := res.FirstFailure(); ok {
+			fmt.Printf("first failure at run %d: %s\n", res.RunsToFirstFailure, o.Scenario.ID)
 		}
 		if res.Tally[fault.SafetyCritical] > 0 {
 			os.Exit(1)

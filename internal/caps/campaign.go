@@ -316,3 +316,14 @@ func (r *Runner) RunScenarioTraced(sc fault.Scenario) (fault.Outcome, *analysis.
 func (r *Runner) RunFunc() stressor.RunFunc {
 	return func(sc fault.Scenario) fault.Outcome { return r.RunScenario(sc) }
 }
+
+// NewCampaign builds a campaign over this runner for one shard of the
+// scenario universe (pass the zero Shard for an unsharded campaign).
+// The caller layers on workers, journaling, StopOnFirst and
+// observability; the runner's own instrumentation rides along.
+func (r *Runner) NewCampaign(name string, shard stressor.Shard) *stressor.Campaign {
+	return &stressor.Campaign{
+		Name: name, Run: r.RunFunc(), Shard: shard,
+		Metrics: r.metrics, Trace: r.trace,
+	}
+}

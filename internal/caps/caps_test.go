@@ -2,13 +2,13 @@ package caps
 
 import (
 	"math"
-	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/stressor"
+	"repro/internal/stressor/stressortest"
 )
 
 var horizon = sim.MS(100)
@@ -311,66 +311,70 @@ func TestPropagationTrace(t *testing.T) {
 	}
 }
 
-// TestParallelCampaignMatchesSequential runs the real E8 single-fault
-// campaign through the worker-pool engine against the sequential
-// loop. Beyond determinism, under `go test -race` this is the
-// concurrency audit of the whole prototype stack: several sim kernels,
-// CAPS systems and fault registries live at once, and any package-
-// level mutable state shared between them would trip the detector.
-func TestParallelCampaignMatchesSequential(t *testing.T) {
-	runner, err := NewRunner(Protected(), NormalDriving(), sim.MS(80))
+// TestCampaignDeterminismMatrix runs the real E8 single-fault campaign
+// through the shared cross-mode matrix: {sequential, parallel} ×
+// {rebuild, reuse} × {unsharded, 2-shard merged, 4-shard merged} ×
+// {fresh, resumed-after-interrupt} must all be byte-identical to the
+// rebuild/sequential baseline. Beyond determinism, under `go test
+// -race` this is the concurrency audit of the whole prototype stack:
+// several sim kernels, CAPS systems and fault registries live at once,
+// and any package-level mutable state shared between them would trip
+// the detector.
+func TestCampaignDeterminismMatrix(t *testing.T) {
+	runner, err := NewRunner(Protected(), NormalDriving(), sim.MS(30))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var scenarios []fault.Scenario
-	for _, d := range runner.Universe(sim.MS(10)) {
-		scenarios = append(scenarios, fault.Single(d))
-	}
-	seq, err := (&stressor.Campaign{Name: "caps", Run: runner.RunFunc()}).Execute(scenarios)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, workers := range []int{4, stressor.WorkersAuto} {
-		par, err := (&stressor.Campaign{Name: "caps", Run: runner.RunFunc(), Workers: workers}).Execute(scenarios)
-		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
-		}
-		if !reflect.DeepEqual(par, seq) {
-			t.Errorf("workers=%d: parallel campaign diverged from sequential\ngot tally %s, want %s",
-				workers, par.Tally, seq.Tally)
-		}
-	}
+	scenarios := fault.Singles(runner.Universe(sim.MS(5)))
+	runner.Close()
+	stressortest.Run(t, stressortest.Config{
+		Name:      "caps-e8",
+		Scenarios: scenarios,
+		NewRun: func(t *testing.T, reuseOff bool) (stressor.RunFunc, func()) {
+			r, err := NewRunner(Protected(), NormalDriving(), sim.MS(30))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.ReuseOff = reuseOff
+			return r.RunFunc(), r.Close
+		},
+		Dedup: true,
+	})
 }
 
-// TestCampaignReuseDeterminism is the tentpole contract: the pooled
-// reuse path (Kernel.Reset + System.Rearm per scenario) must produce a
-// Campaign.Result byte-identical to rebuild-per-run, for sequential
-// and parallel execution alike.
-func TestCampaignReuseDeterminism(t *testing.T) {
-	run := func(reuseOff bool, workers int) *stressor.Result {
-		runner, err := NewRunner(Protected(), NormalDriving(), sim.MS(80))
+// TestRunnerNewCampaignShard: the runner's campaign constructor wires
+// the shard through — two half campaigns partition exactly the
+// unsharded outcome list.
+func TestRunnerNewCampaignShard(t *testing.T) {
+	runner, err := NewRunner(Protected(), NormalDriving(), sim.MS(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+	scs := fault.Singles(runner.Universe(sim.MS(5)))
+	full, err := runner.NewCampaign("nc", stressor.Shard{}).Execute(scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]fault.Outcome{}
+	total := 0
+	for s := 0; s < 2; s++ {
+		res, err := runner.NewCampaign("nc", stressor.Shard{Index: s, Count: 2}).Execute(scs)
 		if err != nil {
 			t.Fatal(err)
 		}
-		defer runner.Close()
-		runner.ReuseOff = reuseOff
-		scenarios := fault.Singles(runner.Universe(sim.MS(10)))
-		res, err := (&stressor.Campaign{Name: "caps-reuse", Run: runner.RunFunc(), Workers: workers}).Execute(scenarios)
-		if err != nil {
-			t.Fatal(err)
+		for _, o := range res.Outcomes {
+			byID[o.Scenario.ID] = o
 		}
-		return res
+		total += len(res.Outcomes)
 	}
-	ref := run(true, 0) // rebuild-per-run, sequential: the historical baseline
-	if len(ref.Outcomes) == 0 {
-		t.Fatal("empty universe")
+	if total != len(full.Outcomes) {
+		t.Fatalf("shards produced %d outcomes, full campaign %d", total, len(full.Outcomes))
 	}
-	for _, reuseOff := range []bool{true, false} {
-		for _, workers := range []int{0, 2, stressor.WorkersAuto} {
-			if got := run(reuseOff, workers); !reflect.DeepEqual(ref, got) {
-				t.Errorf("reuseOff=%v workers=%d diverged from baseline\ngot tally %s, want %s",
-					reuseOff, workers, got.Tally, ref.Tally)
-			}
+	for _, want := range full.Outcomes {
+		got, ok := byID[want.Scenario.ID]
+		if !ok || got.Class != want.Class || got.Detail != want.Detail {
+			t.Fatalf("scenario %s: shard outcome %+v, full %+v", want.Scenario.ID, got, want)
 		}
 	}
 }

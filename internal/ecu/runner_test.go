@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/stressor"
+	"repro/internal/stressor/stressortest"
 )
 
 func TestRunnerGolden(t *testing.T) {
@@ -88,39 +89,45 @@ func TestRunnerECCCorrectsTableUpset(t *testing.T) {
 	}
 }
 
-// TestRunnerDeterminism asserts byte-identical campaign results across
-// {rebuild, reuse} x {sequential, parallel} — the tentpole's core
-// guarantee, on the second prototype family.
-func TestRunnerDeterminism(t *testing.T) {
-	run := func(reuseOff bool, workers int) *stressor.Result {
-		r, err := NewRunner(DefaultRunnerConfig())
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer r.Close()
-		r.ReuseOff = reuseOff
-		scs := fault.Singles(r.Universe(0))
-		c := &stressor.Campaign{Name: "ecu-seu", Run: r.RunFunc(), Workers: workers}
-		res, err := c.Execute(scs)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return res
+// TestRunnerDeterminismMatrix asserts byte-identical campaign results
+// across {rebuild, reuse} × {sequential, parallel} × {unsharded,
+// 2-shard merged} × {fresh, resumed} — the shared cross-mode matrix on
+// the second prototype family.
+func TestRunnerDeterminismMatrix(t *testing.T) {
+	r, err := NewRunner(DefaultRunnerConfig())
+	if err != nil {
+		t.Fatal(err)
 	}
-	ref := run(true, 0)
-	if len(ref.Outcomes) == 0 {
-		t.Fatal("empty universe")
-	}
-	if ref.Tally[fault.DetectedSafe] == 0 {
-		t.Fatalf("no detections in SEU universe: %v", ref.Tally)
-	}
-	for _, reuseOff := range []bool{true, false} {
-		for _, workers := range []int{0, 2, stressor.WorkersAuto} {
-			got := run(reuseOff, workers)
-			if !reflect.DeepEqual(ref.Outcomes, got.Outcomes) || !reflect.DeepEqual(ref.Tally, got.Tally) {
-				t.Fatalf("reuseOff=%v workers=%d diverges from rebuild/sequential:\nref=%v\ngot=%v",
-					reuseOff, workers, ref.Tally, got.Tally)
+	scs := fault.Singles(r.Universe(0))
+	r.Close()
+	stressortest.Run(t, stressortest.Config{
+		Name:      "ecu-seu",
+		Scenarios: scs,
+		NewRun: func(t *testing.T, reuseOff bool) (stressor.RunFunc, func()) {
+			r, err := NewRunner(DefaultRunnerConfig())
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
+			r.ReuseOff = reuseOff
+			return r.RunFunc(), r.Close
+		},
+		Shards: []int{1, 2},
+	})
+}
+
+// TestRunnerSEUDetections guards the matrix against vacuity on the
+// mechanism side: the SEU universe must actually trip detections.
+func TestRunnerSEUDetections(t *testing.T) {
+	r, err := NewRunner(DefaultRunnerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	res, err := r.NewCampaign("ecu-seu", stressor.Shard{}).Execute(fault.Singles(r.Universe(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tally[fault.DetectedSafe] == 0 {
+		t.Fatalf("no detections in SEU universe: %v", res.Tally)
 	}
 }

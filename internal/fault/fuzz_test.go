@@ -1,0 +1,45 @@
+package fault
+
+import "testing"
+
+// FuzzDescriptor is the parser/printer round-trip contract: any
+// descriptor ParseDescriptor accepts must survive Syntax→ParseDescriptor
+// unchanged (struct equality), and must pass Validate. A violation
+// means journals, dedup keys or command-line replays could silently
+// drift from the campaign that produced them.
+func FuzzDescriptor(f *testing.F) {
+	seeds := []string{
+		"stuck-at-1 @caps.accel0.harness from 10ms",
+		"bit-flip @ecu.mem addr 0x1004 bit 3 from 2ms",
+		"open @caps.accel1.harness from 5ms for 200us every 2ms",
+		"value-offset @caps.accel0.out param 0.5 from 1ms",
+		"delay @ecu.bus param 1500 from 7us for 3us",
+		"short-to-ground @x param +Inf",
+		"stuck-at-0 @a bit 63 addr 0xffffffffffffffff from 4611686018427387ps",
+		"babbling @net.can0 for 1ps every 2ps",
+		"value-noise @s param -0",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 4096 {
+			return
+		}
+		d, err := ParseDescriptor(s)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("parse accepted invalid descriptor %+v from %q: %v", d, s, err)
+		}
+		syn := d.Syntax()
+		d2, err := ParseDescriptor(syn)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", syn, s, err)
+		}
+		if d != d2 {
+			t.Fatalf("round-trip changed descriptor:\n in: %q\nsyn: %q\n d1: %+v\n d2: %+v", s, syn, d, d2)
+		}
+	})
+}

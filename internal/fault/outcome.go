@@ -30,6 +30,12 @@ const (
 	// SafetyCritical: a stated safety goal was violated (e.g.
 	// inadvertent airbag deployment).
 	SafetyCritical
+	// Timeout: the simulation run itself exceeded its wall-clock
+	// budget and was abandoned — an infrastructure outcome, not a DUT
+	// classification. A campaign records it and continues
+	// (StopOnFirst ignores it), but Severity ranks it worst: a run
+	// that could not be classified must be treated conservatively.
+	Timeout
 )
 
 var classificationNames = [...]string{
@@ -40,6 +46,18 @@ var classificationNames = [...]string{
 	SDC:             "sdc",
 	TimingViolation: "timing-violation",
 	SafetyCritical:  "safety-critical",
+	Timeout:         "timeout",
+}
+
+// ParseClassification resolves a classification name as printed by
+// String — the journal's on-disk outcome encoding.
+func ParseClassification(name string) (Classification, bool) {
+	for c, s := range classificationNames {
+		if s == name {
+			return Classification(c), true
+		}
+	}
+	return 0, false
 }
 
 // String names the classification.
@@ -69,6 +87,8 @@ func (c Classification) Severity() int {
 		return 5
 	case SafetyCritical:
 		return 6
+	case Timeout:
+		return 7
 	default:
 		return -1
 	}
@@ -121,7 +141,7 @@ func (t Tally) Failures() int {
 // String renders the tally in severity order.
 func (t Tally) String() string {
 	out := ""
-	for c := NoEffect; c <= SafetyCritical; c++ {
+	for c := NoEffect; c <= Timeout; c++ {
 		if n, ok := t[c]; ok && n > 0 {
 			if out != "" {
 				out += " "

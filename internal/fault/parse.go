@@ -2,6 +2,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -62,8 +63,12 @@ func ParseDescriptor(s string) (Descriptor, error) {
 			}
 			d.Address = n
 		case "param":
+			// NaN is rejected: a NaN parameter poisons descriptor
+			// equality (dedup keys, journal replay cross-checks).
+			// Infinities are fine — they round-trip and model open
+			// lines.
 			f, err := strconv.ParseFloat(val, 64)
-			if err != nil {
+			if err != nil || math.IsNaN(f) {
 				return Descriptor{}, fmt.Errorf("fault: parse %q: bad param %q", s, val)
 			}
 			d.Param = f
@@ -107,6 +112,34 @@ func ParseDescriptor(s string) (Descriptor, error) {
 	return d, nil
 }
 
+// Syntax renders the descriptor in the ParseDescriptor syntax, the
+// inverse direction of the parser: for any descriptor ParseDescriptor
+// produced, ParseDescriptor(d.Syntax()) reproduces it exactly. The
+// FuzzDescriptor target pins this round-trip down.
+func (d Descriptor) Syntax() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s @%s", d.Model, d.Target)
+	if d.Bit != 0 {
+		fmt.Fprintf(&b, " bit %d", d.Bit)
+	}
+	if d.Address != 0 {
+		fmt.Fprintf(&b, " addr %#x", d.Address)
+	}
+	if d.Param != 0 {
+		fmt.Fprintf(&b, " param %s", strconv.FormatFloat(d.Param, 'g', -1, 64))
+	}
+	if d.Start != 0 {
+		fmt.Fprintf(&b, " from %dps", uint64(d.Start))
+	}
+	switch d.Class {
+	case Transient:
+		fmt.Fprintf(&b, " for %dps", uint64(d.Duration))
+	case Intermittent:
+		fmt.Fprintf(&b, " for %dps every %dps", uint64(d.Duration), uint64(d.Period))
+	}
+	return b.String()
+}
+
 // ParseScenario parses a semicolon-separated list of fault
 // descriptions into one scenario.
 func ParseScenario(id, s string) (Scenario, error) {
@@ -148,8 +181,12 @@ func ParseDuration(s string) (sim.Time, error) {
 			// Two-letter suffixes are tried before "s", so "10ms"
 			// never reaches the "s" arm with num "10m"; a malformed
 			// numeral simply fails ParseFloat below.
+			// Reject NaN and anything whose picosecond value would
+			// overflow the float→uint64 conversion (implementation-
+			// specific past 2^63); 2^62 ps is ~53 days of simulated
+			// time, far beyond any horizon.
 			n, err := strconv.ParseFloat(num, 64)
-			if err != nil || n < 0 {
+			if err != nil || math.IsNaN(n) || n < 0 || n > float64(uint64(1)<<62)/float64(u.unit) {
 				return 0, fmt.Errorf("fault: bad duration %q", s)
 			}
 			return sim.Time(n * float64(u.unit)), nil

@@ -1,0 +1,277 @@
+// Package journal implements the append-only JSONL run journal that
+// makes fault-injection campaigns interruptible and shardable: every
+// completed scenario run is recorded as one line, so a campaign killed
+// mid-flight (SIGINT, timeout, crash) resumes by replaying the journal
+// and skipping what is already recorded, and the journals of a
+// completed shard set merge into the unsharded result.
+//
+// The format is one JSON object per line. The first line is the
+// Header (self-identifying via the "journal" format marker); every
+// later line is an Entry. Appends are line-atomic in practice — a
+// crash can only lose the line being written — and the decoder
+// distinguishes a partial trailing line (Truncated, safe to resume
+// from after trimming) from corruption anywhere else (a hard error,
+// never silently merged).
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Format is the header marker identifying journal files. Bump the
+// suffix on incompatible layout changes.
+const Format = "govp-campaign-journal/1"
+
+// Header is the first line of a journal: which campaign and shard the
+// file belongs to, and a fingerprint of the scenario universe so a
+// journal can never be resumed or merged against the wrong campaign.
+type Header struct {
+	// FormatMarker must equal Format.
+	FormatMarker string `json:"journal"`
+	// Campaign is the campaign name.
+	Campaign string `json:"campaign"`
+	// Shard and Shards identify the partition this journal covers
+	// (0/1 for an unsharded campaign).
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Total is the number of scenarios in the full (unsharded,
+	// pre-dedup) universe.
+	Total int `json:"total"`
+	// Universe fingerprints the scenario universe (stressor.UniverseHash).
+	Universe string `json:"universe"`
+}
+
+// Validate reports structural problems with the header.
+func (h Header) Validate() error {
+	switch {
+	case h.FormatMarker != Format:
+		return fmt.Errorf("journal: bad format marker %q (want %q)", h.FormatMarker, Format)
+	case h.Shards < 1:
+		return fmt.Errorf("journal: shards = %d, want >= 1", h.Shards)
+	case h.Shard < 0 || h.Shard >= h.Shards:
+		return fmt.Errorf("journal: shard %d out of range 0..%d", h.Shard, h.Shards-1)
+	case h.Total < 0:
+		return fmt.Errorf("journal: negative scenario total %d", h.Total)
+	case h.Universe == "":
+		return fmt.Errorf("journal: empty universe hash")
+	}
+	return nil
+}
+
+// Entry records one completed scenario run.
+type Entry struct {
+	// Index is the scenario's index in the full (pre-dedup) universe.
+	// Under dedup only representative runs are journaled; duplicates
+	// are reconstructed at merge/resume time.
+	Index int `json:"i"`
+	// ID is the scenario ID, cross-checked against the universe on
+	// replay so a stale journal cannot silently poison a campaign.
+	ID string `json:"id"`
+	// Class is the outcome classification name (fault.Classification.String).
+	Class string `json:"class"`
+	// Detail is the outcome's human-readable detail.
+	Detail string `json:"detail,omitempty"`
+	// Panicked marks runs whose RunFunc panicked and was recovered.
+	Panicked bool `json:"panicked,omitempty"`
+}
+
+// validate checks an entry against its journal's header.
+func (e Entry) validate(h Header) error {
+	switch {
+	case e.Index < 0 || e.Index >= h.Total:
+		return fmt.Errorf("journal: entry index %d out of range 0..%d", e.Index, h.Total-1)
+	case e.ID == "":
+		return fmt.Errorf("journal: entry %d without scenario ID", e.Index)
+	case e.Class == "":
+		return fmt.Errorf("journal: entry %d (%s) without class", e.Index, e.ID)
+	}
+	return nil
+}
+
+// Journal is a decoded journal file.
+type Journal struct {
+	Header  Header
+	Entries []Entry
+	// Truncated reports that a partial trailing line (an append cut
+	// short by a crash) was dropped. A truncated journal is valid to
+	// resume from — AppendTo trims the tail first — but refuses to
+	// merge.
+	Truncated bool
+	// ValidBytes is the length of the complete-line prefix; AppendTo
+	// truncates the file to this length before appending.
+	ValidBytes int64
+}
+
+// ByIndex maps entries by scenario index. Duplicate indices (possible
+// only in hand-edited journals) keep the first occurrence.
+func (j *Journal) ByIndex() map[int]Entry {
+	m := make(map[int]Entry, len(j.Entries))
+	for _, e := range j.Entries {
+		if _, ok := m[e.Index]; !ok {
+			m[e.Index] = e
+		}
+	}
+	return m
+}
+
+// DecodeBytes parses journal bytes. Every complete line ends in '\n';
+// an unterminated final line — the footprint of an append cut short by
+// a crash — sets Truncated and is dropped, even if it happens to parse
+// (a later append must never concatenate onto it). A malformed
+// terminated line, a missing or invalid header, or a structurally
+// invalid entry is an error: corruption is detected, never merged.
+func DecodeBytes(data []byte) (*Journal, error) {
+	j := &Journal{}
+	headerDone := false
+	off := int64(0)
+	for len(data) > 0 {
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			// Partial trailing append: resumable after trimming, but
+			// unusable without its newline.
+			if !headerDone {
+				return nil, fmt.Errorf("journal: truncated before a complete header")
+			}
+			j.Truncated = true
+			break
+		}
+		line := data[:i]
+		data = data[i+1:]
+		lineLen := int64(len(line)) + 1
+		if !headerDone {
+			var h Header
+			if err := json.Unmarshal(line, &h); err != nil {
+				return nil, fmt.Errorf("journal: bad header line: %w", err)
+			}
+			if err := h.Validate(); err != nil {
+				return nil, err
+			}
+			j.Header = h
+			headerDone = true
+			off += lineLen
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("journal: corrupt entry line after %d bytes: %w", off, err)
+		}
+		if err := e.validate(j.Header); err != nil {
+			return nil, err
+		}
+		j.Entries = append(j.Entries, e)
+		off += lineLen
+	}
+	if !headerDone {
+		return nil, fmt.Errorf("journal: empty or missing header")
+	}
+	j.ValidBytes = off
+	return j, nil
+}
+
+// Read decodes the journal file at path.
+func Read(path string) (*Journal, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	j, err := DecodeBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return j, nil
+}
+
+// Writer appends entries to a journal file. It is safe for concurrent
+// use by the workers of a parallel campaign.
+type Writer struct {
+	mu      sync.Mutex
+	f       *os.File
+	appends int
+}
+
+// Create starts a new journal at path, writing the header. It refuses
+// to overwrite an existing file: journals are resumable state, so a
+// stale one must be resumed (AppendTo) or deleted explicitly.
+func Create(path string, h Header) (*Writer, error) {
+	h.FormatMarker = Format
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w (resume an existing journal with AppendTo, or delete it)", err)
+	}
+	line, err := json.Marshal(h)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Writer{f: f}, nil
+}
+
+// AppendTo reopens an existing journal for appending. The on-disk
+// header must match h exactly (same campaign, shard layout and
+// universe); a partial trailing line left by a crash is trimmed first.
+// It returns the decoded journal alongside the writer so the caller
+// can replay the recorded entries.
+func AppendTo(path string, h Header) (*Journal, *Writer, error) {
+	h.FormatMarker = Format
+	if err := h.Validate(); err != nil {
+		return nil, nil, err
+	}
+	j, err := Read(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if j.Header != h {
+		return nil, nil, fmt.Errorf("journal: %s header %+v does not match campaign %+v", path, j.Header, h)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if j.Truncated {
+		if err := f.Truncate(j.ValidBytes); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: trimming partial tail of %s: %w", path, err)
+		}
+	}
+	return j, &Writer{f: f}, nil
+}
+
+// Append writes one entry as a single line.
+func (w *Writer) Append(e Entry) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	w.appends++
+	return nil
+}
+
+// Appends reports how many entries this writer has appended.
+func (w *Writer) Appends() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appends
+}
+
+// Close closes the underlying file.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}

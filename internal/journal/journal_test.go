@@ -1,0 +1,195 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testHeader() Header {
+	return Header{
+		FormatMarker: Format, Campaign: "t", Shard: 0, Shards: 2,
+		Total: 10, Universe: "deadbeefdeadbeef",
+	}
+}
+
+func testEntries() []Entry {
+	return []Entry{
+		{Index: 0, ID: "s0", Class: "masked", Detail: "ran s0"},
+		{Index: 2, ID: "s2", Class: "sdc", Detail: `quoted "detail" with
+newline`},
+		{Index: 4, ID: "s4", Class: "detected-safe", Panicked: true},
+	}
+}
+
+// writeJournal creates a journal with the test header and entries and
+// returns its path and raw bytes.
+func writeJournal(t *testing.T, entries []Entry) (string, []byte) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Appends() != len(entries) {
+		t.Fatalf("Appends() = %d, want %d", w.Appends(), len(entries))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, raw
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	entries := testEntries()
+	path, _ := writeJournal(t, entries)
+	j, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Header != testHeader() {
+		t.Errorf("header = %+v", j.Header)
+	}
+	if !reflect.DeepEqual(j.Entries, entries) {
+		t.Errorf("entries = %+v, want %+v", j.Entries, entries)
+	}
+	if j.Truncated {
+		t.Error("clean journal reported truncated")
+	}
+	fi, _ := os.Stat(path)
+	if j.ValidBytes != fi.Size() {
+		t.Errorf("ValidBytes = %d, file size %d", j.ValidBytes, fi.Size())
+	}
+	m := j.ByIndex()
+	if len(m) != len(entries) || m[2].Class != "sdc" {
+		t.Errorf("ByIndex = %v", m)
+	}
+}
+
+func TestJournalCreateRefusesExisting(t *testing.T) {
+	path, _ := writeJournal(t, nil)
+	if _, err := Create(path, testHeader()); err == nil {
+		t.Fatal("Create overwrote an existing journal")
+	}
+}
+
+// TestJournalTruncationAtEveryByte is the crash-recovery property: for
+// every prefix of a valid journal, decoding either fails (cut inside
+// the header) or yields exactly the complete-line prefix of the
+// entries, with Truncated set iff a partial line was dropped. No
+// prefix may ever decode to entries that were not in the original.
+func TestJournalTruncationAtEveryByte(t *testing.T) {
+	entries := testEntries()
+	_, raw := writeJournal(t, entries)
+	full, err := DecodeBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n <= len(raw); n++ {
+		j, err := DecodeBytes(raw[:n])
+		if err != nil {
+			continue // cut inside the header: unusable, and says so
+		}
+		if len(j.Entries) > len(entries) {
+			t.Fatalf("prefix %d: %d entries from a %d-entry journal", n, len(j.Entries), len(entries))
+		}
+		for i, e := range j.Entries {
+			if e != entries[i] {
+				t.Fatalf("prefix %d: entry %d = %+v, want %+v", n, i, e, entries[i])
+			}
+		}
+		// Truncated must be set exactly when bytes beyond the valid
+		// prefix were present.
+		if j.Truncated != (int64(n) > j.ValidBytes) {
+			t.Fatalf("prefix %d: Truncated=%v with ValidBytes=%d", n, j.Truncated, j.ValidBytes)
+		}
+		if j.ValidBytes > int64(n) {
+			t.Fatalf("prefix %d: ValidBytes=%d beyond input", n, j.ValidBytes)
+		}
+	}
+	if full.Truncated || len(full.Entries) != len(entries) {
+		t.Fatalf("full decode: truncated=%v entries=%d", full.Truncated, len(full.Entries))
+	}
+}
+
+// TestJournalAppendToTrimsPartialTail: resuming a journal whose last
+// append was cut mid-line trims the tail and continues cleanly.
+func TestJournalAppendToTrimsPartialTail(t *testing.T) {
+	entries := testEntries()
+	path, raw := writeJournal(t, entries)
+	// Chop the file mid-way through the final line.
+	if err := os.WriteFile(path, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, w, err := AppendTo(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Truncated || len(j.Entries) != len(entries)-1 {
+		t.Fatalf("resumed journal: truncated=%v entries=%d", j.Truncated, len(j.Entries))
+	}
+	// Re-append the lost entry plus a new one.
+	for _, e := range []Entry{entries[len(entries)-1], {Index: 6, ID: "s6", Class: "masked"}} {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Truncated || len(j2.Entries) != len(entries)+1 {
+		t.Fatalf("after resume: truncated=%v entries=%d, want %d", j2.Truncated, len(j2.Entries), len(entries)+1)
+	}
+}
+
+func TestJournalAppendToRejectsHeaderMismatch(t *testing.T) {
+	path, _ := writeJournal(t, testEntries())
+	h := testHeader()
+	h.Universe = "0000000000000000"
+	if _, _, err := AppendTo(path, h); err == nil {
+		t.Fatal("AppendTo accepted a journal from a different universe")
+	}
+	h = testHeader()
+	h.Shard = 1
+	if _, _, err := AppendTo(path, h); err == nil {
+		t.Fatal("AppendTo accepted a journal from a different shard")
+	}
+}
+
+func TestJournalDecodeRejectsCorruption(t *testing.T) {
+	_, raw := writeJournal(t, testEntries())
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"no header", []byte("{\"i\":0,\"id\":\"s0\",\"class\":\"masked\"}\n")},
+		{"wrong marker", []byte("{\"journal\":\"other/9\",\"campaign\":\"t\",\"shard\":0,\"shards\":1,\"total\":1,\"universe\":\"x\"}\n")},
+		{"garbage interior line", []byte(strings.Replace(string(raw), "\"id\":\"s2\"", "\x00\x01", 1))},
+		{"entry out of range", []byte(strings.Replace(string(raw), "{\"i\":2,", "{\"i\":99,", 1))},
+		{"entry without class", []byte(strings.Replace(string(raw), "\"class\":\"sdc\",", "", 1))},
+		{"shard out of range", []byte(strings.Replace(string(raw), "\"shard\":0", "\"shard\":7", 1))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeBytes(tc.data); err == nil {
+				t.Errorf("corruption accepted: %q", tc.data)
+			}
+		})
+	}
+}

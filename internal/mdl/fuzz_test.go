@@ -1,0 +1,50 @@
+package mdl
+
+import (
+	"testing"
+)
+
+// FuzzInterp drives arbitrary source through the whole MDL stack:
+// lexer, parser, printer and interpreter. Invariants:
+//
+//   - Parse never panics or loops on arbitrary input.
+//   - A program that parses prints back to source that reparses, and
+//     the reprint is a fixed point (Print∘Parse∘Print = Print).
+//   - Interpreting any parsed function with zeroed arguments never
+//     panics and never runs past the step budget — runaway loops must
+//     surface as ErrStepBudget, not hangs.
+func FuzzInterp(f *testing.F) {
+	f.Add(airbagSrc)
+	f.Add("func f(a) { return a <= 10 && !a }")
+	f.Add("func loop(n) { let i = 0\n while i < n { i = i + 1 }\n return i }")
+	f.Add("func r(n) { if n <= 0 { return 0 }\n return r(n - 1) + 1 }")
+	f.Add("func d(a, b) { return a / b + a % b }")
+	f.Add("func neg(x) { return -x * (0 - 1) }")
+	f.Add("func b() { return true || false }")
+	f.Add("func forever() { while true { let x = 1 } }")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := p.Print()
+		p2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed program does not reparse: %v\n%s", err, printed)
+		}
+		if got := p2.Print(); got != printed {
+			t.Fatalf("print is not a fixed point\nfirst:  %s\nsecond: %s", printed, got)
+		}
+		in := NewInterp(p)
+		in.MaxSteps = 2000
+		for _, name := range p.Order {
+			args := make([]int64, len(p.Funcs[name].Params))
+			// Errors (undefined vars, division by zero, step budget)
+			// are legitimate outcomes; panics and hangs are not.
+			in.Call(name, args...)
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/par"
 )
@@ -52,6 +53,41 @@ type Campaign struct {
 	// ECU runners); an outcome that embeds the scenario ID in an error
 	// detail would leak the representative's ID to its duplicates.
 	Dedup bool
+	// Shard restricts execution to one partition of the (post-Dedup)
+	// unique-run positions: position u runs iff u mod Count == Index.
+	// The zero value runs everything. A sharded Execute returns a
+	// partial Result holding only this shard's outcomes (in scenario
+	// order); Merge folds a complete shard set back into the result
+	// the unsharded run would have produced, byte for byte.
+	Shard Shard
+	// Journal, when non-nil, records every completed run as one
+	// append-only line so the campaign survives interruption. Under
+	// Dedup only representative runs are journaled. A journal append
+	// failure aborts the campaign with an error — better to stop than
+	// to run scenarios that can never be resumed or merged.
+	Journal *journal.Writer
+	// Resume, when non-nil, is a previously recorded journal for this
+	// exact campaign (same name, shard, universe — validated before
+	// any run starts). Journaled scenarios are not re-executed; their
+	// recorded outcomes are replayed into the Result, which is
+	// byte-identical to an uninterrupted run. The replay stamps each
+	// outcome's Scenario from the universe, so RunFuncs must do the
+	// same (the CAPS/ECU runners do) — the constraint Dedup already
+	// imposes.
+	Resume *journal.Journal
+	// ScenarioTimeout, when positive, bounds each run's wall-clock
+	// time. A run exceeding it is recorded as fault.Timeout and the
+	// campaign moves on; the runaway RunFunc keeps its goroutine (and
+	// any kernel slot it holds) so the worker continues on a fresh
+	// slot, and its eventual outcome is discarded. Timeout is not a
+	// failure: StopOnFirst does not trigger on it.
+	ScenarioTimeout time.Duration
+	// Halt, when non-nil, is polled with the number of runs completed
+	// so far before each dispatch; returning true stops the campaign
+	// gracefully (in-flight runs finish and are journaled, the rest
+	// stay unexecuted). This is the SIGINT/deadline hook: a halted,
+	// journaled campaign resumes exactly where it stopped.
+	Halt func(completed int) bool
 
 	// Metrics, when non-nil, receives campaign telemetry: a
 	// campaign.scenario_duration_ns histogram, campaign.outcomes
@@ -126,9 +162,9 @@ func (c *Campaign) newObs(total, workers int) *campaignObs {
 
 // runOne executes one scenario through the instrumentation shell:
 // span, duration histogram, per-worker busy time, progress step.
-func (c *Campaign) runOne(o *campaignObs, sc fault.Scenario, worker int) (fault.Outcome, bool) {
+func (c *Campaign) runOne(o *campaignObs, sc fault.Scenario, worker int) (fault.Outcome, bool, bool) {
 	if o == nil {
-		return c.safeRun(sc)
+		return c.execRun(sc)
 	}
 	sp := o.trace.Begin("campaign", sc.ID, worker)
 	var t0 time.Time
@@ -136,7 +172,7 @@ func (c *Campaign) runOne(o *campaignObs, sc fault.Scenario, worker int) (fault.
 	if timed {
 		t0 = time.Now()
 	}
-	out, panicked := c.safeRun(sc)
+	out, panicked, timedOut := c.execRun(sc)
 	if timed {
 		d := time.Since(t0)
 		if o.dur != nil {
@@ -148,24 +184,68 @@ func (c *Campaign) runOne(o *campaignObs, sc fault.Scenario, worker int) (fault.
 	}
 	sp.Arg("class", out.Class.String()).End()
 	o.meter.Step(out.Class.IsFailure())
-	return out, panicked
+	return out, panicked, timedOut
+}
+
+// execRun applies the wall-clock budget around safeRun. Without a
+// budget it is a plain call; with one, the run proceeds on its own
+// goroutine and an overrun is classified fault.Timeout while the
+// campaign moves on. The abandoned goroutine finishes (or hangs) in
+// the background; its late outcome is discarded, and any pooled slot
+// it holds stays with it — the pool builds a fresh slot for the next
+// run, so a hung simulation can never wedge a worker.
+func (c *Campaign) execRun(sc fault.Scenario) (fault.Outcome, bool, bool) {
+	if c.ScenarioTimeout <= 0 {
+		out, panicked := c.safeRun(sc)
+		return out, panicked, false
+	}
+	type runResult struct {
+		out      fault.Outcome
+		panicked bool
+	}
+	ch := make(chan runResult, 1)
+	go func() {
+		out, panicked := c.safeRun(sc)
+		ch <- runResult{out, panicked}
+	}()
+	t := time.NewTimer(c.ScenarioTimeout)
+	defer t.Stop()
+	select {
+	case r := <-ch:
+		return r.out, r.panicked, false
+	case <-t.C:
+		return fault.Outcome{
+			Scenario: sc,
+			Class:    fault.Timeout,
+			Detail:   fmt.Sprintf("scenario exceeded wall-clock budget %v", c.ScenarioTimeout),
+		}, false, true
+	}
 }
 
 // Execute runs every scenario and tallies classifications. The whole
 // list is validated up front, before any (expensive) run starts, so a
 // malformed scenario can never discard completed work. Outcomes keep
 // scenario order regardless of Workers, and attaching Metrics, Trace
-// or Progress never changes the Result.
+// or Progress never changes the Result. Sharding, journaling, resume
+// and Halt compose with all of it: a complete shard set Merges — and
+// an interrupted campaign resumes — into the exact bytes one
+// uninterrupted unsharded Execute would have produced.
 func (c *Campaign) Execute(scenarios []fault.Scenario) (*Result, error) {
 	for _, sc := range scenarios {
 		if err := sc.Validate(); err != nil {
 			return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
 		}
 	}
+	if err := c.Shard.validate(); err != nil {
+		return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
+	}
 	workers := par.Resolve(c.Workers)
 
 	// Dedup plan: run only the first occurrence of each distinct fault
 	// content, then fan outcomes back out to the duplicate indices.
+	// This happens BEFORE shard partition and resume replay, so every
+	// shard computes the identical unique-run list and journals refer
+	// to stable representative indices.
 	run := scenarios
 	var uniq, rep []int
 	if c.Dedup {
@@ -179,16 +259,60 @@ func (c *Campaign) Execute(scenarios []fault.Scenario) (*Result, error) {
 			uniq, rep = nil, nil
 		}
 	}
-
-	o := c.newObs(len(run), workers)
-	start := time.Now()
-	var outs []fault.Outcome
-	var ran, panicked []bool
-	if workers == 0 {
-		outs, ran, panicked = c.runSequential(run, o)
-	} else {
-		outs, ran, panicked = c.runParallel(run, workers, o)
+	// origIdx maps a unique-run position back to its scenario index in
+	// the full universe — the index space journals are keyed by.
+	origIdx := func(u int) int {
+		if uniq != nil {
+			return uniq[u]
+		}
+		return u
 	}
+
+	resumed, err := c.resumeEntries(scenarios, rep)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &campaignExec{
+		c: c, run: run, origIdx: origIdx,
+		outs:      make([]fault.Outcome, len(run)),
+		ran:       make([]bool, len(run)),
+		panicked:  make([]bool, len(run)),
+		firstFail: len(run),
+	}
+	// Partition and replay: walk the unique-run positions once,
+	// keeping only this shard's share and skipping what the journal
+	// already recorded. What remains is the todo list.
+	var todo []int
+	for u := range run {
+		if !c.Shard.owns(u) {
+			continue
+		}
+		if ent, ok := resumed[origIdx(u)]; ok {
+			cls, _ := fault.ParseClassification(ent.Class)
+			e.outs[u] = fault.Outcome{Scenario: run[u], Class: cls, Detail: ent.Detail}
+			e.ran[u] = true
+			e.panicked[u] = ent.Panicked
+			e.resumedSkips++
+			if c.StopOnFirst && cls.IsFailure() && u < e.firstFail {
+				e.firstFail = u
+			}
+			continue
+		}
+		todo = append(todo, u)
+	}
+
+	e.obs = c.newObs(len(todo), workers)
+	start := time.Now()
+	if workers == 0 {
+		e.seq(todo)
+	} else {
+		e.par(todo, workers)
+	}
+	if e.journalErr != nil {
+		return nil, fmt.Errorf("campaign %s: %w", c.Name, e.journalErr)
+	}
+	outs, ran, panicked := e.outs, e.ran, e.panicked
 	if uniq != nil {
 		outs, ran, panicked = fanOut(scenarios, uniq, rep, outs, ran, panicked)
 	}
@@ -196,8 +320,176 @@ func (c *Campaign) Execute(scenarios []fault.Scenario) (*Result, error) {
 	if uniq != nil {
 		res.DedupSavedRuns = len(scenarios) - len(uniq)
 	}
-	c.publish(o, res, time.Since(start))
+	c.publish(e, res, time.Since(start))
 	return res, nil
+}
+
+// resumeEntries validates c.Resume against this exact campaign —
+// name, shard layout, universe fingerprint, per-entry scenario IDs —
+// and indexes its entries by scenario index. Any mismatch is a hard
+// error before the first run: a stale or foreign journal must never
+// silently poison a campaign.
+func (c *Campaign) resumeEntries(scenarios []fault.Scenario, rep []int) (map[int]journal.Entry, error) {
+	if c.Resume == nil {
+		return nil, nil
+	}
+	h := c.Resume.Header
+	shards := c.Shard.Count
+	if shards < 1 {
+		shards = 1
+	}
+	switch {
+	case h.Campaign != c.Name:
+		return nil, fmt.Errorf("campaign %s: resume journal belongs to campaign %q", c.Name, h.Campaign)
+	case h.Shards != shards || h.Shard != c.Shard.Index:
+		return nil, fmt.Errorf("campaign %s: resume journal is shard %d/%d, campaign is %s", c.Name, h.Shard, h.Shards, c.Shard)
+	case h.Total != len(scenarios):
+		return nil, fmt.Errorf("campaign %s: resume journal covers %d scenarios, universe has %d", c.Name, h.Total, len(scenarios))
+	case h.Universe != UniverseHash(scenarios):
+		return nil, fmt.Errorf("campaign %s: resume journal universe %s does not match %s", c.Name, h.Universe, UniverseHash(scenarios))
+	}
+	m := make(map[int]journal.Entry, len(c.Resume.Entries))
+	for _, ent := range c.Resume.Entries {
+		if scenarios[ent.Index].ID != ent.ID {
+			return nil, fmt.Errorf("campaign %s: journal entry %d is scenario %q, universe has %q", c.Name, ent.Index, ent.ID, scenarios[ent.Index].ID)
+		}
+		if _, ok := fault.ParseClassification(ent.Class); !ok {
+			return nil, fmt.Errorf("campaign %s: journal entry %d has unknown class %q", c.Name, ent.Index, ent.Class)
+		}
+		if rep != nil && rep[ent.Index] != ent.Index {
+			return nil, fmt.Errorf("campaign %s: journal entry %d is not a dedup representative (journal written without -dedup?)", c.Name, ent.Index)
+		}
+		if prev, ok := m[ent.Index]; ok && prev != ent {
+			return nil, fmt.Errorf("campaign %s: journal records scenario %d twice with different outcomes", c.Name, ent.Index)
+		}
+		m[ent.Index] = ent
+	}
+	return m, nil
+}
+
+// campaignExec is the mutable state of one Execute: the shared
+// outcome slots, the StopOnFirst cutoff, and the journaling/halt/
+// timeout bookkeeping. Workers serialize on mu.
+type campaignExec struct {
+	c       *Campaign
+	run     []fault.Scenario
+	origIdx func(int) int
+	obs     *campaignObs
+
+	outs     []fault.Outcome
+	ran      []bool
+	panicked []bool
+
+	mu           sync.Mutex
+	firstFail    int // lowest failure position seen (len(run) = none)
+	completed    int // runs executed this Execute (excludes resumed)
+	timeouts     int
+	resumedSkips int
+	appends      int
+	halted       bool
+	journalErr   error
+}
+
+// record stores one finished run and journals it. The returned flag
+// asks the parallel dispatcher to cancel (new StopOnFirst cutoff or a
+// journal failure).
+func (e *campaignExec) record(u int, out fault.Outcome, panicked, timedOut bool) (stop bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.outs[u], e.ran[u], e.panicked[u] = out, true, panicked
+	e.completed++
+	if timedOut {
+		e.timeouts++
+	}
+	if e.c.Journal != nil && e.journalErr == nil {
+		err := e.c.Journal.Append(journal.Entry{
+			Index: e.origIdx(u), ID: e.run[u].ID,
+			Class: out.Class.String(), Detail: out.Detail, Panicked: panicked,
+		})
+		if err != nil {
+			e.journalErr = err
+			stop = true
+		} else {
+			e.appends++
+		}
+	}
+	if e.c.StopOnFirst && out.Class.IsFailure() && u < e.firstFail {
+		e.firstFail = u
+		stop = true
+	}
+	return stop
+}
+
+// seq is the classic single-goroutine loop over the todo positions
+// (ascending), honoring Halt, the StopOnFirst cutoff (possibly seeded
+// by a resumed failure) and journal failures.
+func (e *campaignExec) seq(todo []int) {
+	for _, u := range todo {
+		e.mu.Lock()
+		stop := e.journalErr != nil || (e.c.StopOnFirst && u > e.firstFail)
+		done := e.completed
+		e.mu.Unlock()
+		if stop {
+			break
+		}
+		if e.c.Halt != nil && e.c.Halt(done) {
+			e.halted = true
+			break
+		}
+		out, p, to := e.c.runOne(e.obs, e.run[u], 0)
+		e.record(u, out, p, to)
+	}
+}
+
+// par fans the todo positions out to a worker pool. Dispatch is in
+// order; under StopOnFirst the first failure cancels dispatch and
+// workers discard queued positions past the earliest failure seen, so
+// every run the sequential loop would have executed still executes
+// and nothing beyond the cutoff survives into the result.
+func (e *campaignExec) par(todo []int, workers int) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for u := range indices {
+				if e.c.StopOnFirst {
+					e.mu.Lock()
+					skip := u > e.firstFail
+					e.mu.Unlock()
+					if skip {
+						continue
+					}
+				}
+				out, p, to := e.c.runOne(e.obs, e.run[u], w)
+				if e.record(u, out, p, to) {
+					cancel()
+				}
+			}
+		}(w)
+	}
+dispatch:
+	for _, u := range todo {
+		if e.c.Halt != nil {
+			e.mu.Lock()
+			done := e.completed
+			e.mu.Unlock()
+			if e.c.Halt(done) {
+				e.halted = true
+				break dispatch
+			}
+		}
+		select {
+		case <-ctx.Done():
+			break dispatch
+		case indices <- u:
+		}
+	}
+	close(indices)
+	wg.Wait()
 }
 
 // descKey serializes every descriptor field except the name — the
@@ -258,8 +550,10 @@ func fanOut(scenarios []fault.Scenario, uniq, rep []int, outs []fault.Outcome, r
 
 // publish folds the finished result into the registry. Counters are
 // derived from the assembled Result (not the raw runs), so the
-// recorded outcome counts are deterministic across worker counts.
-func (c *Campaign) publish(o *campaignObs, res *Result, elapsed time.Duration) {
+// recorded outcome counts are deterministic across worker counts; the
+// journal/resume/timeout counters reflect this Execute's actual work.
+func (c *Campaign) publish(e *campaignExec, res *Result, elapsed time.Duration) {
+	o := e.obs
 	if o != nil {
 		o.meter.Finish()
 	}
@@ -268,6 +562,15 @@ func (c *Campaign) publish(o *campaignObs, res *Result, elapsed time.Duration) {
 	}
 	reg := c.Metrics
 	name := obs.L("campaign", c.Name)
+	if c.Journal != nil {
+		reg.Counter("campaign.journal_appends", name).Add(uint64(e.appends))
+	}
+	if c.Resume != nil {
+		reg.Counter("campaign.resumed_skips", name).Add(uint64(e.resumedSkips))
+	}
+	if c.ScenarioTimeout > 0 {
+		reg.Counter("campaign.timeouts", name).Add(uint64(e.timeouts))
+	}
 	for class, n := range res.Tally {
 		reg.Counter("campaign.outcomes", name, obs.L("class", class.String())).Add(uint64(n))
 	}
@@ -288,79 +591,6 @@ func (c *Campaign) publish(o *campaignObs, res *Result, elapsed time.Duration) {
 		util := total.Seconds() / (elapsed.Seconds() * float64(len(o.busy)))
 		reg.Gauge("campaign.worker_utilization", name).Set(util)
 	}
-}
-
-// runSequential is the classic single-goroutine loop; it stops early
-// after the first failure when StopOnFirst is set.
-func (c *Campaign) runSequential(scenarios []fault.Scenario, o *campaignObs) ([]fault.Outcome, []bool, []bool) {
-	outs := make([]fault.Outcome, len(scenarios))
-	ran := make([]bool, len(scenarios))
-	panicked := make([]bool, len(scenarios))
-	for i, sc := range scenarios {
-		outs[i], panicked[i] = c.runOne(o, sc, 0)
-		ran[i] = true
-		if c.StopOnFirst && outs[i].Class.IsFailure() {
-			break
-		}
-	}
-	return outs, ran, panicked
-}
-
-// runParallel fans scenarios out to a worker pool. Indices are
-// dispatched in order; under StopOnFirst, the first failure cancels
-// dispatch and workers discard any queued scenario ordered after the
-// earliest failure seen so far, so every scenario the sequential loop
-// would have run still runs and nothing past the stop point survives
-// into the result.
-func (c *Campaign) runParallel(scenarios []fault.Scenario, workers int, o *campaignObs) ([]fault.Outcome, []bool, []bool) {
-	outs := make([]fault.Outcome, len(scenarios))
-	ran := make([]bool, len(scenarios))
-	panicked := make([]bool, len(scenarios))
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-
-	var mu sync.Mutex
-	firstFail := len(scenarios) // lowest failure index seen so far
-
-	indices := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := range indices {
-				if c.StopOnFirst {
-					mu.Lock()
-					skip := i > firstFail
-					mu.Unlock()
-					if skip {
-						continue
-					}
-				}
-				out, p := c.runOne(o, scenarios[i], w)
-				mu.Lock()
-				outs[i] = out
-				ran[i] = true
-				panicked[i] = p
-				if c.StopOnFirst && out.Class.IsFailure() && i < firstFail {
-					firstFail = i
-					cancel()
-				}
-				mu.Unlock()
-			}
-		}(w)
-	}
-dispatch:
-	for i := range scenarios {
-		select {
-		case <-ctx.Done():
-			break dispatch
-		case indices <- i:
-		}
-	}
-	close(indices)
-	wg.Wait()
-	return outs, ran, panicked
 }
 
 // safeRun invokes the RunFunc, converting a panic into a
@@ -386,12 +616,15 @@ func (c *Campaign) safeRun(sc fault.Scenario) (o fault.Outcome, panicked bool) {
 // outcome list stop at the first failure when StopOnFirst is set,
 // and extra outcomes a parallel run completed past that point are
 // discarded. PanicRecoveries counts only runs included in the result,
-// so it too is identical across worker counts.
+// so it too is identical across worker counts. Positions that never
+// ran — scenarios owned by other shards, or left behind by a Halt —
+// are simply skipped: a sharded or interrupted Result is the ordered
+// subsequence of completed outcomes.
 func (c *Campaign) assemble(scenarios []fault.Scenario, outs []fault.Outcome, ran, panicked []bool) *Result {
 	res := &Result{Name: c.Name, Tally: make(fault.Tally)}
 	for i := range scenarios {
 		if !ran[i] {
-			break
+			continue
 		}
 		o := outs[i]
 		res.Outcomes = append(res.Outcomes, o)
@@ -416,6 +649,20 @@ func (r *Result) FailureRate() float64 {
 		return 0
 	}
 	return float64(r.Tally.Failures()) / float64(len(r.Outcomes))
+}
+
+// FirstFailure returns the earliest unhandled failure in the result,
+// if any. Unlike indexing Outcomes with RunsToFirstFailure (which is
+// a position in the full scenario order), this is also correct for
+// sharded or interrupted results, whose outcome list is a
+// subsequence of the universe.
+func (r *Result) FirstFailure() (fault.Outcome, bool) {
+	for _, o := range r.Outcomes {
+		if o.Class.IsFailure() {
+			return o, true
+		}
+	}
+	return fault.Outcome{}, false
 }
 
 // ByClass returns the outcomes with the given classification.

@@ -1,0 +1,148 @@
+package stressor
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/journal"
+)
+
+// MergeSpec carries the campaign settings that shape a merged result.
+// They must match what the shards ran with: StopOnFirst selects the
+// truncate-at-first-failure semantics, Dedup must mirror the shards'
+// setting so representative indices line up.
+type MergeSpec struct {
+	StopOnFirst bool
+	Dedup       bool
+}
+
+// Merge folds the journals of a completed shard set into the Result
+// the unsharded run would have produced, byte for byte. It validates
+// everything first — format, matching headers, the exact shard set
+// {0..N-1}, the universe fingerprint, per-entry scenario IDs — and
+// refuses truncated journals (resume them to completion first) and
+// incomplete coverage, so a partial or mismatched set can never be
+// silently merged.
+//
+// StopOnFirst composes across shards: each shard stops at its own
+// first failure, which sits at or after the global first failure f,
+// and every position up to f is covered by its owning shard — so the
+// merged assemble truncates at f exactly as the unsharded run would,
+// and surplus runs past f are discarded.
+func Merge(spec MergeSpec, scenarios []fault.Scenario, js []*journal.Journal) (*Result, error) {
+	if len(js) == 0 {
+		return nil, fmt.Errorf("stressor: merge of zero journals")
+	}
+	h0 := js[0].Header
+	if h0.Total != len(scenarios) {
+		return nil, fmt.Errorf("stressor: journals cover %d scenarios, universe has %d", h0.Total, len(scenarios))
+	}
+	if uh := UniverseHash(scenarios); h0.Universe != uh {
+		return nil, fmt.Errorf("stressor: journal universe %s does not match scenario universe %s", h0.Universe, uh)
+	}
+	seen := make([]bool, h0.Shards)
+	for _, j := range js {
+		h := j.Header
+		if j.Truncated {
+			return nil, fmt.Errorf("stressor: journal for shard %d/%d is truncated — resume it to completion before merging", h.Shard, h.Shards)
+		}
+		if h.Campaign != h0.Campaign || h.Shards != h0.Shards || h.Total != h0.Total || h.Universe != h0.Universe {
+			return nil, fmt.Errorf("stressor: journal for shard %d belongs to a different campaign (%+v vs %+v)", h.Shard, h, h0)
+		}
+		if seen[h.Shard] {
+			return nil, fmt.Errorf("stressor: shard %d appears twice", h.Shard)
+		}
+		seen[h.Shard] = true
+	}
+	for s, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("stressor: shard %d/%d is missing", s, h0.Shards)
+		}
+	}
+
+	// Rebuild the exact dedup plan the shards computed, then place
+	// every journaled outcome at its unique-run position.
+	run := scenarios
+	var uniq, rep []int
+	if spec.Dedup {
+		uniq, rep = dedupPlan(scenarios)
+		if len(uniq) < len(scenarios) {
+			run = make([]fault.Scenario, len(uniq))
+			for u, idx := range uniq {
+				run[u] = scenarios[idx]
+			}
+		} else {
+			uniq, rep = nil, nil
+		}
+	}
+	pos := make(map[int]int, len(run)) // scenario index of a representative -> run position
+	if uniq != nil {
+		for u, idx := range uniq {
+			pos[idx] = u
+		}
+	} else {
+		for u := range run {
+			pos[u] = u
+		}
+	}
+
+	outs := make([]fault.Outcome, len(run))
+	ran := make([]bool, len(run))
+	panicked := make([]bool, len(run))
+	for _, j := range js {
+		for _, ent := range j.Entries {
+			if scenarios[ent.Index].ID != ent.ID {
+				return nil, fmt.Errorf("stressor: shard %d journal entry %d is scenario %q, universe has %q", j.Header.Shard, ent.Index, ent.ID, scenarios[ent.Index].ID)
+			}
+			u, ok := pos[ent.Index]
+			if !ok {
+				return nil, fmt.Errorf("stressor: shard %d journal entry %d is not a dedup representative (journals written without dedup?)", j.Header.Shard, ent.Index)
+			}
+			cls, ok := fault.ParseClassification(ent.Class)
+			if !ok {
+				return nil, fmt.Errorf("stressor: shard %d journal entry %d has unknown class %q", j.Header.Shard, ent.Index, ent.Class)
+			}
+			if ran[u] && (outs[u].Class != cls || outs[u].Detail != ent.Detail || panicked[u] != ent.Panicked) {
+				return nil, fmt.Errorf("stressor: scenario %s (index %d) recorded twice with different outcomes", ent.ID, ent.Index)
+			}
+			outs[u] = fault.Outcome{Scenario: run[u], Class: cls, Detail: ent.Detail}
+			ran[u], panicked[u] = true, ent.Panicked
+		}
+	}
+
+	// Completeness: without StopOnFirst every unique position must be
+	// covered; with it, every position up to the global first failure
+	// must be — a gap below the cutoff means some shard is incomplete.
+	stop := len(run)
+	if spec.StopOnFirst {
+		for u := range run {
+			if ran[u] && outs[u].Class.IsFailure() {
+				stop = u
+				break
+			}
+		}
+	}
+	for u := 0; u < len(run) && u <= stop; u++ {
+		if !ran[u] {
+			return nil, fmt.Errorf("stressor: scenario %s (index %d) missing from the journals — shard %d is incomplete (interrupted? resume it first)", run[u].ID, origOf(uniq, u), u%h0.Shards)
+		}
+	}
+
+	if uniq != nil {
+		outs, ran, panicked = fanOut(scenarios, uniq, rep, outs, ran, panicked)
+	}
+	c := &Campaign{Name: h0.Campaign, StopOnFirst: spec.StopOnFirst}
+	res := c.assemble(scenarios, outs, ran, panicked)
+	if uniq != nil {
+		res.DedupSavedRuns = len(scenarios) - len(uniq)
+	}
+	return res, nil
+}
+
+// origOf maps a unique-run position to its scenario index.
+func origOf(uniq []int, u int) int {
+	if uniq != nil {
+		return uniq[u]
+	}
+	return u
+}

@@ -1,0 +1,99 @@
+package stressor
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/fault"
+)
+
+// Shard selects one partition of a campaign's scenario universe so
+// that Count independent invocations — separate processes, separate
+// machines — together cover exactly the runs one unsharded invocation
+// would execute. The partition is applied AFTER dedup: shards split
+// the unique-run positions round-robin (position u belongs to shard
+// u mod Count), so duplicate folding is identical on every shard and
+// the merged result is byte-identical to the unsharded run.
+//
+// The zero value (and any Count <= 1) means unsharded.
+type Shard struct {
+	// Index is this invocation's shard number, 0-based.
+	Index int
+	// Count is the total number of shards.
+	Count int
+}
+
+// Enabled reports whether the shard actually partitions (Count > 1).
+func (s Shard) Enabled() bool { return s.Count > 1 }
+
+// validate reports structural problems; the zero value is valid.
+func (s Shard) validate() error {
+	switch {
+	case s.Count == 0 && s.Index == 0:
+		return nil
+	case s.Count < 1:
+		return fmt.Errorf("shard count %d, want >= 1", s.Count)
+	case s.Index < 0 || s.Index >= s.Count:
+		return fmt.Errorf("shard index %d out of range 0..%d", s.Index, s.Count-1)
+	}
+	return nil
+}
+
+// owns reports whether unique-run position u belongs to this shard.
+func (s Shard) owns(u int) bool {
+	return s.Count <= 1 || u%s.Count == s.Index
+}
+
+// String renders the shard in the "i/N" command-line syntax.
+func (s Shard) String() string {
+	if s.Count <= 1 {
+		return "0/1"
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
+// ParseShard parses the "i/N" command-line syntax (e.g. "0/4").
+func ParseShard(s string) (Shard, error) {
+	i, n, ok := strings.Cut(s, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("stressor: bad shard %q, want i/N (e.g. 0/4)", s)
+	}
+	idx, err1 := strconv.Atoi(i)
+	cnt, err2 := strconv.Atoi(n)
+	if err1 != nil || err2 != nil {
+		return Shard{}, fmt.Errorf("stressor: bad shard %q, want i/N (e.g. 0/4)", s)
+	}
+	sh := Shard{Index: idx, Count: cnt}
+	// The struct zero value means "unsharded", but the textual form
+	// must always be explicit: "0/0" is a typo, not a campaign.
+	if cnt < 1 {
+		return Shard{}, fmt.Errorf("stressor: shard count %d, want >= 1", cnt)
+	}
+	if err := sh.validate(); err != nil {
+		return Shard{}, fmt.Errorf("stressor: %w", err)
+	}
+	return sh, nil
+}
+
+// UniverseHash fingerprints a scenario universe: IDs, fault names and
+// the full fault content of every scenario, in order. Journals carry
+// it so a journal can never be resumed or merged against a different
+// universe (changed fault list, reordered scenarios, different world).
+func UniverseHash(scenarios []fault.Scenario) string {
+	h := fnv.New64a()
+	for _, sc := range scenarios {
+		io.WriteString(h, sc.ID)
+		h.Write([]byte{0x00})
+		for _, d := range sc.Faults {
+			io.WriteString(h, d.Name)
+			h.Write([]byte{0x01})
+			io.WriteString(h, descKey(d))
+			h.Write([]byte{0x02})
+		}
+		h.Write([]byte{'\n'})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,171 @@
+// Package stressortest provides the cross-mode determinism matrix
+// shared by the campaign-engine integrations: one table-driven suite
+// asserting that a campaign's Result is byte-identical across
+// {sequential, parallel} × {rebuild, reuse} × {unsharded, N-shard
+// merged} × {fresh, resumed-after-simulated-interrupt}. The CAPS and
+// ECU runners both run it against their real prototypes, replacing
+// per-package ad-hoc pairwise checks.
+package stressortest
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/journal"
+	"repro/internal/stressor"
+)
+
+// Config describes one determinism matrix.
+type Config struct {
+	// Name labels the campaign.
+	Name string
+	// Scenarios is the universe every cell executes.
+	Scenarios []fault.Scenario
+	// NewRun builds a RunFunc for one cell (reuseOff selects the
+	// rebuild-per-run path where the engine supports it) plus a
+	// cleanup. It is called once per cell, so pooled engines get a
+	// fresh pool each time.
+	NewRun func(t *testing.T, reuseOff bool) (stressor.RunFunc, func())
+	// Workers are the worker counts to cross (default {0, 2}).
+	Workers []int
+	// Shards are the shard counts to cross; 1 means unsharded
+	// (default {1, 2, 4}).
+	Shards []int
+	// Dedup and StopOnFirst apply to every cell.
+	Dedup       bool
+	StopOnFirst bool
+	// InterruptAfter is the completed-run count at which resumed
+	// cells simulate an interrupt (default 3).
+	InterruptAfter int
+}
+
+// Run executes the matrix: the reference cell is rebuild/sequential/
+// unsharded/fresh, and every other cell must reproduce its Result
+// exactly.
+func Run(t *testing.T, cfg Config) {
+	if cfg.Workers == nil {
+		cfg.Workers = []int{0, 2}
+	}
+	if cfg.Shards == nil {
+		cfg.Shards = []int{1, 2, 4}
+	}
+	if cfg.InterruptAfter == 0 {
+		cfg.InterruptAfter = 3
+	}
+	refRun, cleanup := cfg.NewRun(t, true)
+	ref, err := (&stressor.Campaign{
+		Name: cfg.Name, Run: refRun, Dedup: cfg.Dedup, StopOnFirst: cfg.StopOnFirst,
+	}).Execute(cfg.Scenarios)
+	cleanup()
+	if err != nil {
+		t.Fatalf("reference campaign: %v", err)
+	}
+	if len(ref.Outcomes) == 0 {
+		t.Fatal("reference campaign produced no outcomes — matrix would pass vacuously")
+	}
+	for _, reuseOff := range []bool{true, false} {
+		for _, workers := range cfg.Workers {
+			for _, shards := range cfg.Shards {
+				for _, resumed := range []bool{false, true} {
+					name := fmt.Sprintf("reuse=%v/workers=%d/shards=%d/resumed=%v",
+						!reuseOff, workers, shards, resumed)
+					if reuseOff && workers == 0 && shards == 1 && !resumed {
+						continue // the reference cell itself
+					}
+					reuseOff, workers, shards, resumed := reuseOff, workers, shards, resumed
+					t.Run(name, func(t *testing.T) {
+						run, cleanup := cfg.NewRun(t, reuseOff)
+						defer cleanup()
+						got := executeCell(t, cfg, run, workers, shards, resumed)
+						if !reflect.DeepEqual(got, ref) {
+							t.Errorf("result diverged from reference\ngot:  %+v\nwant: %+v", got, ref)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// executeCell runs one matrix cell: all shards of the campaign (with
+// shard 0 interrupted and resumed when resumed is set), merged back
+// into one Result when sharded.
+func executeCell(t *testing.T, cfg Config, run stressor.RunFunc, workers, shards int, resumed bool) *stressor.Result {
+	t.Helper()
+	dir := t.TempDir()
+	campaign := func(sh stressor.Shard, w *journal.Writer, j *journal.Journal, halt func(int) bool) *stressor.Campaign {
+		return &stressor.Campaign{
+			Name: cfg.Name, Run: run, Workers: workers,
+			Dedup: cfg.Dedup, StopOnFirst: cfg.StopOnFirst,
+			Shard: sh, Journal: w, Resume: j, Halt: halt,
+		}
+	}
+	header := func(sh stressor.Shard) journal.Header {
+		n := sh.Count
+		if n < 1 {
+			n = 1
+		}
+		return journal.Header{
+			Campaign: cfg.Name, Shard: sh.Index, Shards: n,
+			Total: len(cfg.Scenarios), Universe: stressor.UniverseHash(cfg.Scenarios),
+		}
+	}
+	// runShard executes one shard (journaled, so every cell also
+	// proves journaling never perturbs the result), optionally
+	// interrupting after cfg.InterruptAfter runs and resuming from the
+	// journal. It returns the final Execute's Result and the journal.
+	runShard := func(sh stressor.Shard, interrupt bool) (*stressor.Result, *journal.Journal) {
+		path := filepath.Join(dir, fmt.Sprintf("shard%d.jsonl", sh.Index))
+		h := header(sh)
+		w, err := journal.Create(path, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var halt func(int) bool
+		if interrupt {
+			halt = func(completed int) bool { return completed >= cfg.InterruptAfter }
+		}
+		res, err := campaign(sh, w, nil, halt).Execute(cfg.Scenarios)
+		if err != nil {
+			t.Fatalf("shard %s: %v", sh, err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if interrupt {
+			j, w2, err := journal.AppendTo(path, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res, err = campaign(sh, w2, j, nil).Execute(cfg.Scenarios); err != nil {
+				t.Fatalf("shard %s resume: %v", sh, err)
+			}
+			if err := w2.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		j, err := journal.Read(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, j
+	}
+	if shards <= 1 {
+		res, _ := runShard(stressor.Shard{}, resumed)
+		return res
+	}
+	js := make([]*journal.Journal, shards)
+	for s := 0; s < shards; s++ {
+		_, js[s] = runShard(stressor.Shard{Index: s, Count: shards}, resumed && s == 0)
+	}
+	merged, err := stressor.Merge(stressor.MergeSpec{
+		StopOnFirst: cfg.StopOnFirst, Dedup: cfg.Dedup,
+	}, cfg.Scenarios, js)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	return merged
+}
