@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race tier1 bench bench-smoke bench-campaign bench-json bench-reuse bench-sharded fuzz-smoke
+.PHONY: all build vet test race tier1 bench bench-smoke bench-campaign bench-json bench-reuse bench-sharded bench-checkpoint fuzz-smoke
 
 all: tier1
 
@@ -46,6 +46,12 @@ bench-reuse:
 # partition + merge machinery.
 bench-sharded:
 	$(GO) test -run xxx -bench BenchmarkCampaignSharded -benchtime 20x .
+
+# Golden-run checkpointing vs the reuse path at a late injection time
+# (the PR 5 tentpole); compare reuse/* with checkpointed/* using
+# benchstat, or regenerate the committed BENCH_PR5.json snapshot.
+bench-checkpoint:
+	$(GO) run ./cmd/benchjson -bench BenchmarkCampaignCheckpointed -benchtime 10x -o BENCH_PR5.json .
 
 # Native fuzzing smoke: run each fuzz target for FUZZTIME (~30s total
 # at the default). The seed corpora alone run under `go test`; this

@@ -276,6 +276,64 @@ func BenchmarkCampaignReuse(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignCheckpointed is the PR 5 tentpole measurement:
+// the E8 single-fault universe at a late injection time (h=80ms,
+// inject=60ms — the golden prefix is 3/4 of the run window) on the
+// PR 3 reuse path against the golden-run checkpoint path, which
+// simulates that prefix once per worker session and restores a
+// snapshot instead of re-simulating it for every scenario. Both paths
+// produce identical tallies (cross-checked each iteration); the
+// acceptance bar is ≥1.5× on the sequential pair. The speedup scales
+// with the golden-prefix share of the horizon: at early injection
+// times the checkpoint path degrades gracefully toward reuse.
+func BenchmarkCampaignCheckpointed(b *testing.B) {
+	horizon, inject := sim.MS(80), sim.MS(60)
+	ref, err := caps.NewRunner(caps.Protected(), caps.NormalDriving(), horizon)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scenarios := fault.Singles(ref.Universe(inject))
+	want, err := (&stressor.Campaign{Name: "ref", Run: ref.RunFunc()}).Execute(scenarios)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref.Close()
+	for _, mode := range []struct {
+		name        string
+		checkpoints bool
+	}{{"reuse", false}, {"checkpointed", true}} {
+		for _, wc := range []struct {
+			name    string
+			workers int
+		}{{"sequential", 0}, {fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0)), stressor.WorkersAuto}} {
+			b.Run(mode.name+"/"+wc.name, func(b *testing.B) {
+				runner, err := caps.NewRunner(caps.Protected(), caps.NormalDriving(), horizon)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer runner.Close()
+				c := &stressor.Campaign{Name: "bench", Run: runner.RunFunc(), Workers: wc.workers}
+				if mode.checkpoints {
+					c.Checkpoints = true
+					c.Checkpointer = runner
+				}
+				b.ReportAllocs()
+				b.ReportMetric(float64(len(scenarios)), "scenarios/op")
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := c.Execute(scenarios)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Tally.String() != want.Tally.String() {
+						b.Fatalf("tally %s != reference %s", res.Tally, want.Tally)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkKernelTimedScheduling isolates the allocation-lean event
 // queue: a reused kernel running a self-retriggering timed event in
 // steady state. allocs/op must report 0 (also pinned by

@@ -9,6 +9,7 @@
 //	       -faults "omission @caps.can.bus from 15ms; open @caps.accel0.harness from 5ms"
 //	capsim -sites                  # list injection sites
 //	capsim -campaign -workers -1   # exhaustive single-fault campaign, one worker per CPU
+//	capsim -campaign e8 -workers -1 -checkpoints   # restore the golden prefix instead of re-simulating it
 //	capsim -campaign e8 -progress -metrics m.json -trace-events t.json
 //	capsim -campaign e8 -shard 0/4 -journal shard0.jsonl   # one shard of four
 //	capsim -campaign e8 -shard 0/4 -journal shard0.jsonl -resume
@@ -52,6 +53,7 @@ func main() {
 	campaign := flag.Bool("campaign", false, "run the exhaustive single-fault campaign instead of one scenario")
 	workers := flag.Int("workers", 0, "campaign worker-pool size: 0 = sequential, -1 = one per CPU")
 	reuseOff := flag.Bool("reuse-off", false, "rebuild the prototype for every scenario instead of reusing pooled kernels")
+	checkpoints := flag.Bool("checkpoints", false, "snapshot the golden prefix per worker and restore it instead of re-simulating (implies kernel reuse)")
 	dedup := flag.Bool("dedup", false, "collapse campaign scenarios with identical fault content into one run")
 	metricsPath := flag.String("metrics", "", "write the metrics snapshot (JSON) to this file")
 	tracePath := flag.String("trace-events", "", "write Chrome trace-event JSON to this file")
@@ -143,6 +145,14 @@ func main() {
 			Dedup: *dedup, Metrics: reg, Trace: tr,
 			Shard: shard, ScenarioTimeout: *scenarioTimeout,
 		}
+		if *checkpoints {
+			if *reuseOff {
+				fmt.Fprintln(os.Stderr, "-checkpoints requires kernel reuse; drop -reuse-off")
+				os.Exit(2)
+			}
+			c.Checkpoints = true
+			c.Checkpointer = runner
+		}
 		if *progress {
 			c.Progress = obs.ProgressLine(os.Stderr)
 		}
@@ -183,16 +193,30 @@ func main() {
 		}
 		// Ctrl-C (and the -interrupt-after testing aid) stop the
 		// campaign cleanly between scenarios; with -journal the run is
-		// resumable afterwards.
+		// resumable afterwards. The handler is deregistered as soon as
+		// Execute returns — not at process exit — so a second interrupt
+		// while reports are being written kills the process instead of
+		// being swallowed by a stale handler. The Halt hook runs before
+		// any dispatch, including the first one after journal replay: an
+		// interrupt that lands during replay stops the campaign with
+		// zero new runs and the journal stays valid and re-resumable.
 		var interrupted, halted atomic.Bool
+		stopSignals := func() {}
 		if *journalPath != "" || *interruptAfter > 0 {
 			ch := make(chan os.Signal, 1)
 			signal.Notify(ch, os.Interrupt)
-			defer signal.Stop(ch)
+			done := make(chan struct{})
 			go func() {
-				<-ch
-				interrupted.Store(true)
+				defer close(done)
+				for range ch {
+					interrupted.Store(true)
+				}
 			}()
+			stopSignals = func() {
+				signal.Stop(ch)
+				close(ch)
+				<-done
+			}
 			limit := *interruptAfter
 			c.Halt = func(completed int) bool {
 				stop := interrupted.Load() || (limit > 0 && completed >= limit)
@@ -203,6 +227,7 @@ func main() {
 			}
 		}
 		res, err := c.Execute(scenarios)
+		stopSignals()
 		if jw != nil {
 			if cerr := jw.Close(); cerr != nil && err == nil {
 				err = cerr

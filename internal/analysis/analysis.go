@@ -121,6 +121,13 @@ func (t *Trace) Hops() []Hop { return t.hops }
 // across campaign runs.
 func (t *Trace) Reset() { t.hops = t.hops[:0] }
 
+// CopyFrom overwrites the trace with the hops of src, reusing the hop
+// buffer's capacity. Checkpoint-restoring runners use it to rewind a
+// prototype's live trace to its golden-prefix contents.
+func (t *Trace) CopyFrom(src *Trace) {
+	t.hops = append(t.hops[:0], src.hops...)
+}
+
 // Clone returns an independent copy of the trace. Runners that reuse a
 // prototype across runs hand out clones so a returned trace is not
 // overwritten by the next run.

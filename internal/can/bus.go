@@ -384,3 +384,91 @@ func (b *Bus) complete(sender *Node, frame Frame) {
 	}
 	b.kick()
 }
+
+// nodeState is one node's mutable state inside a BusState.
+type nodeState struct {
+	tec, rec int
+	state    NodeState
+	queue    []Frame
+	sent     uint64
+	received uint64
+	errors   uint64
+	babbling bool
+}
+
+// BusState is an opaque deep copy of the bus's mutable state — traffic
+// queues, error counters, the in-flight transmission, the transaction
+// log and the channel-fault budgets — captured by SnapshotState for
+// golden-run checkpointing. Queued frames are copied by value; their
+// payload slices are never mutated after Send clones them, so sharing
+// the byte arrays between the capture and the live bus is safe.
+type BusState struct {
+	busy        bool
+	txWinner    int // index into nodes, -1 when no frame is in flight
+	txFrame     Frame
+	log         []TxRecord
+	corruptNext int
+	dropNext    int
+	retriesLeft map[int]int // by node index
+	arbs        uint64
+	nodes       []nodeState
+}
+
+// SnapshotState implements sim.Snapshottable. Pair it with the
+// kernel's own Snapshot: the pending txdone/wake notifications live in
+// the kernel checkpoint, this captures everything else.
+func (b *Bus) SnapshotState() any {
+	st := &BusState{
+		busy:        b.busy,
+		txWinner:    -1,
+		txFrame:     b.txFrame,
+		log:         append([]TxRecord(nil), b.log...),
+		corruptNext: b.corruptNext,
+		dropNext:    b.dropNext,
+		retriesLeft: make(map[int]int, len(b.retriesLeft)),
+		arbs:        b.arbitrations,
+		nodes:       make([]nodeState, len(b.nodes)),
+	}
+	for i, n := range b.nodes {
+		if n == b.txWinner {
+			st.txWinner = i
+		}
+		if left, ok := b.retriesLeft[n]; ok {
+			st.retriesLeft[i] = left
+		}
+		st.nodes[i] = nodeState{
+			tec: n.tec, rec: n.rec, state: n.state,
+			queue: append([]Frame(nil), n.queue...),
+			sent:  n.sent, received: n.received, errors: n.errorsSeen,
+			babbling: n.Babbling,
+		}
+	}
+	return st
+}
+
+// RestoreState implements sim.Snapshottable, writing a SnapshotState
+// capture back into the live bus and nodes without aliasing it.
+func (b *Bus) RestoreState(state any) {
+	st := state.(*BusState)
+	b.busy = st.busy
+	b.txWinner = nil
+	if st.txWinner >= 0 {
+		b.txWinner = b.nodes[st.txWinner]
+	}
+	b.txFrame = st.txFrame
+	b.log = append(b.log[:0], st.log...)
+	b.corruptNext = st.corruptNext
+	b.dropNext = st.dropNext
+	clear(b.retriesLeft)
+	for i, left := range st.retriesLeft {
+		b.retriesLeft[b.nodes[i]] = left
+	}
+	b.arbitrations = st.arbs
+	for i, n := range b.nodes {
+		ns := st.nodes[i]
+		n.tec, n.rec, n.state = ns.tec, ns.rec, ns.state
+		n.queue = append(n.queue[:0], ns.queue...)
+		n.sent, n.received, n.errorsSeen = ns.sent, ns.received, ns.errors
+		n.Babbling = ns.babbling
+	}
+}

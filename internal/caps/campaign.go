@@ -324,6 +324,7 @@ func (r *Runner) RunFunc() stressor.RunFunc {
 func (r *Runner) NewCampaign(name string, shard stressor.Shard) *stressor.Campaign {
 	return &stressor.Campaign{
 		Name: name, Run: r.RunFunc(), Shard: shard,
-		Metrics: r.metrics, Trace: r.trace,
+		Checkpointer: r,
+		Metrics:      r.metrics, Trace: r.trace,
 	}
 }

@@ -330,13 +330,13 @@ func TestCampaignDeterminismMatrix(t *testing.T) {
 	stressortest.Run(t, stressortest.Config{
 		Name:      "caps-e8",
 		Scenarios: scenarios,
-		NewRun: func(t *testing.T, reuseOff bool) (stressor.RunFunc, func()) {
+		NewRun: func(t *testing.T, reuseOff bool) (stressor.RunFunc, stressor.Checkpointer, func()) {
 			r, err := NewRunner(Protected(), NormalDriving(), sim.MS(30))
 			if err != nil {
 				t.Fatal(err)
 			}
 			r.ReuseOff = reuseOff
-			return r.RunFunc(), r.Close
+			return r.RunFunc(), r, r.Close
 		},
 		Dedup: true,
 	})

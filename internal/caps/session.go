@@ -1,0 +1,156 @@
+package caps
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/stressor"
+)
+
+// Golden-run checkpointing for the CAPS prototype: the Runner
+// implements stressor.Checkpointer, so a Campaign with Checkpoints set
+// simulates the fault-free prefix once per worker session, snapshots
+// kernel + model state just before the injection instant, and restores
+// instead of re-simulating for every scenario forked at that instant.
+
+// ForkTime implements stressor.Checkpointer. A scenario forks at its
+// earliest injection instant; scenarios with no faults (nothing to
+// fork), an instant of zero (no prefix to amortize) or an instant past
+// the horizon (never injects) fall back to the plain path, as does the
+// whole runner when ReuseOff disables the reuse machinery.
+func (r *Runner) ForkTime(sc fault.Scenario) (sim.Time, bool) {
+	if r.ReuseOff || len(sc.Faults) == 0 {
+		return 0, false
+	}
+	fork := stressor.ForkTime(sc)
+	if fork == 0 || fork > r.horizon {
+		return 0, false
+	}
+	return fork, true
+}
+
+// NewSession implements stressor.Checkpointer. Sessions own a private
+// kernel+prototype (not taken from the slot pool: an abandoned session
+// must be safe to drop without Close, and a session's golden state
+// must never leak back into the pool).
+func (r *Runner) NewSession() stressor.CheckpointSession {
+	return &capsSession{r: r}
+}
+
+// capsSession is one worker's golden-run session. The checkpoint is
+// taken at fork-1: restoring there and elaborating the stressor gives
+// the stressor's initial activation one instant before the injection,
+// which reproduces a full run's scheduling at the injection instant
+// exactly (the stressor process id is the highest in both cases, so it
+// evaluates last within a shared instant).
+type capsSession struct {
+	r   *Runner
+	k   *sim.Kernel
+	sys *System
+	reg *fault.Registry
+	st  stressor.Stressor
+
+	cp     sim.Checkpoint
+	cpOK   bool
+	cpFork sim.Time
+	mst    any
+	dirty  bool
+}
+
+// Run implements stressor.CheckpointSession, producing the exact
+// outcome Runner.RunScenario yields for the same scenario.
+func (s *capsSession) Run(sc fault.Scenario, fork sim.Time) fault.Outcome {
+	ob, err := s.execute(sc, fork)
+	if err != nil {
+		return fault.Outcome{Scenario: sc, Class: fault.DetectedSafe, Detail: "campaign error: " + err.Error()}
+	}
+	ob.Activated = len(sc.Faults) > 0
+	class := analysis.Classify(s.r.golden, ob)
+	return fault.Outcome{Scenario: sc, Class: class, Detail: analysis.Describe(ob)}
+}
+
+// Close implements stressor.CheckpointSession. Method-only kernels
+// hold no goroutines, so Shutdown is bookkeeping, not cleanup — which
+// is what lets the campaign abandon a session without closing it.
+func (s *capsSession) Close() {
+	if s.k != nil {
+		s.k.Shutdown()
+	}
+}
+
+func (s *capsSession) execute(sc fault.Scenario, fork sim.Time) (analysis.Observation, error) {
+	if err := s.establish(fork); err != nil {
+		return analysis.Observation{}, err
+	}
+	s.dirty = true
+	s.st.Respawn(s.k, s.reg, sc, s.r.horizon)
+	if err := s.k.RunUntil(s.r.horizon); err != nil {
+		return analysis.Observation{}, err
+	}
+	if errs := s.st.InjectionErrors(); len(errs) > 0 {
+		return analysis.Observation{}, fmt.Errorf("caps: scenario %s: %v", sc.ID, errs[0])
+	}
+	return s.r.observe(s.sys), nil
+}
+
+// establish leaves the session's kernel at simulated time fork-1 in
+// the golden (fault-free) state, with a matching checkpoint held for
+// the next scenario at the same instant. Three cases, cheapest first:
+// the held checkpoint matches (restore, or nothing if the kernel is
+// still pristine there), the requested fork is later (restore, extend
+// the golden run forward, re-snapshot), or earlier (rebuild the prefix
+// from time zero — only possible when the campaign dispatches forks
+// out of order, e.g. under StopOnFirst).
+func (s *capsSession) establish(fork sim.Time) error {
+	if s.k == nil {
+		s.k = sim.NewKernel()
+		if s.r.metrics != nil || s.r.trace != nil {
+			s.k.SetInstrument(&sim.Instrument{Metrics: s.r.metrics, Trace: s.r.trace})
+		}
+		s.sys, s.reg = Build(s.k, s.r.cfg, s.r.world)
+	}
+	if s.cpOK && fork == s.cpFork {
+		if !s.dirty {
+			return nil
+		}
+		return s.restore()
+	}
+	if s.cpOK && fork > s.cpFork {
+		if s.dirty {
+			if err := s.restore(); err != nil {
+				return err
+			}
+		}
+	} else {
+		// No checkpoint yet, or the fork precedes it: rebuild the golden
+		// prefix from scratch. A fresh kernel is already pristine at
+		// time zero; a used one re-arms through the PR 3 reuse path.
+		if s.cpOK || s.dirty {
+			s.k.Reset()
+			s.sys.Rearm(s.k)
+		}
+	}
+	if err := s.k.RunUntil(fork - 1); err != nil {
+		return err
+	}
+	if err := s.k.SnapshotInto(&s.cp); err != nil {
+		return err
+	}
+	s.mst = s.sys.SnapshotState()
+	s.cpOK = true
+	s.cpFork = fork
+	s.dirty = false
+	return nil
+}
+
+// restore rewinds kernel and model to the held checkpoint.
+func (s *capsSession) restore() error {
+	if err := s.k.Restore(&s.cp); err != nil {
+		return err
+	}
+	s.sys.RestoreState(s.mst)
+	s.dirty = false
+	return nil
+}

@@ -86,13 +86,17 @@ type System struct {
 	// bound process bodies, created once in Build: Rearm re-registers
 	// them without paying method-value allocation per run.
 	fusionFn  func()
-	framewdFn func(*sim.ThreadCtx)
+	framewdFn func()
 	// cycleEv drives the fusion method process: it re-notifies itself
 	// every SamplePeriod. Modelled as an SC_METHOD rather than an
 	// SC_THREAD because the fusion cycle is the prototype's hottest
 	// process — a method activation is a plain call, a thread wake costs
-	// two goroutine switches.
+	// two goroutine switches. wdEv drives the frame watchdog the same
+	// way; both processes being methods (no goroutine stack) is what
+	// keeps the elaborated kernel snapshottable for checkpointed
+	// campaigns.
 	cycleEv *sim.Event
+	wdEv    *sim.Event
 
 	sensors  []*Sensor
 	calib    *tlm.Memory
@@ -231,7 +235,9 @@ func (s *System) elaborate(k *sim.Kernel) {
 	k.MethodNoInit("caps.fusion", s.fusionFn, s.cycleEv)
 	s.cycleEv.Notify(s.cfg.SamplePeriod)
 	if s.cfg.FrameWatchdog {
-		k.Thread("caps.framewd", s.framewdFn)
+		s.wdEv = k.NewEvent("caps.framewd.timer")
+		k.MethodNoInit("caps.framewd", s.framewdFn, s.wdEv)
+		s.wdEv.Notify(s.cfg.FrameTimeout)
 	}
 }
 
@@ -338,19 +344,98 @@ func (s *System) onFrame(f can.Frame, at sim.Time) {
 }
 
 // frameWatchdog inhibits deployment when the severity stream stalls.
-func (s *System) frameWatchdog(ctx *sim.ThreadCtx) {
-	for {
-		ctx.WaitTime(s.cfg.FrameTimeout)
-		now := ctx.Now()
-		if now < s.cfg.FrameTimeout {
-			continue
-		}
+// It is a self-renotifying method process waking every FrameTimeout —
+// the same instants the old thread form woke at, with the same
+// process-id ordering against the bus delivery at a shared instant.
+func (s *System) frameWatchdog() {
+	now := s.k.Now()
+	if now >= s.cfg.FrameTimeout {
 		if !s.gotFrame || now-s.lastFrameAt > s.cfg.FrameTimeout {
 			s.detect("frame-timeout")
 			s.inhibited = true
 		}
 	}
+	s.wdEv.Notify(s.cfg.FrameTimeout)
 }
 
 // Inhibited reports whether a mechanism latched the safe state.
 func (s *System) Inhibited() bool { return s.inhibited }
+
+// sensorState is one sensor's installed disturbance.
+type sensorState struct{ offset, override float64 }
+
+// systemState is the opaque deep copy of the prototype's mutable state
+// returned by SnapshotState: airbag-side latches, observable outputs,
+// the propagation trace, the calibration memory, the CAN bus and the
+// sensor disturbances. The kernel checkpoint carries the scheduler
+// side (fusion/watchdog timers, in-flight bus notifications).
+type systemState struct {
+	threshold     byte
+	thresholdInv  byte
+	debounceCount int
+	inhibited     bool
+	lastFrameAt   sim.Time
+	gotFrame      bool
+	fired         bool
+	firedAt       sim.Time
+	detections    []string
+	severities    []byte
+	trace         analysis.Trace
+	calib         any
+	bus           any
+	sensors       []sensorState
+}
+
+// SnapshotState implements sim.Snapshottable.
+func (s *System) SnapshotState() any {
+	st := &systemState{
+		threshold:     s.threshold,
+		thresholdInv:  s.thresholdInv,
+		debounceCount: s.debounceCount,
+		inhibited:     s.inhibited,
+		lastFrameAt:   s.lastFrameAt,
+		gotFrame:      s.gotFrame,
+		fired:         s.Fired,
+		firedAt:       s.FiredAt,
+		severities:    append([]byte(nil), s.Severities...),
+		calib:         s.calib.SnapshotState(),
+		bus:           s.bus.SnapshotState(),
+		sensors:       make([]sensorState, len(s.sensors)),
+	}
+	if s.Detections != nil {
+		st.detections = append([]string(nil), s.Detections...)
+	}
+	st.trace.CopyFrom(&s.Trace)
+	for i, sen := range s.sensors {
+		st.sensors[i] = sensorState{offset: sen.offset, override: sen.override}
+	}
+	return st
+}
+
+// RestoreState implements sim.Snapshottable. Detections is rebuilt as
+// a fresh slice on every restore because observations hand it out by
+// reference — a run after one restore must not corrupt the last run's
+// observation (mirroring Rearm).
+func (s *System) RestoreState(state any) {
+	st := state.(*systemState)
+	s.threshold = st.threshold
+	s.thresholdInv = st.thresholdInv
+	s.debounceCount = st.debounceCount
+	s.inhibited = st.inhibited
+	s.lastFrameAt = st.lastFrameAt
+	s.gotFrame = st.gotFrame
+	s.Fired = st.fired
+	s.FiredAt = st.firedAt
+	s.Detections = nil
+	if st.detections != nil {
+		s.Detections = append([]string(nil), st.detections...)
+	}
+	s.Severities = append(s.Severities[:0], st.severities...)
+	s.Trace.CopyFrom(&st.trace)
+	s.calib.RestoreState(st.calib)
+	s.bus.RestoreState(st.bus)
+	for i, sen := range s.sensors {
+		sen.offset = st.sensors[i].offset
+		sen.override = st.sensors[i].override
+	}
+}

@@ -80,6 +80,12 @@ type ecuSlot struct {
 	ls       *Lockstep
 	reg      *fault.Registry
 
+	// run-phase process bodies, created once in buildSlot: the cores
+	// and the stopper run as method-process state machines (see
+	// corerun.go) so an elaborated run kernel stays snapshottable.
+	pRun, sRun *coreRunner
+	stop       *stopRunner
+
 	// per-run scratch state
 	pDone, sDone bool
 	pErr, sErr   error
@@ -173,6 +179,15 @@ func (r *Runner) buildSlot() *ecuSlot {
 	s.shadow.Bus.Bind(sbus)
 
 	s.ls = NewLockstep(s.primary, s.shadow)
+
+	s.pRun = &coreRunner{cpu: s.primary, quantum: r.cfg.Quantum, maxInstrs: r.cfg.MaxInstrs,
+		name: "ecu.run.primary", onDone: func(err error) { s.pErr = err; s.pDone = true }}
+	s.pRun.stepFn = s.pRun.step
+	s.sRun = &coreRunner{cpu: s.shadow, quantum: r.cfg.Quantum, maxInstrs: r.cfg.MaxInstrs,
+		name: "ecu.run.shadow", onDone: func(err error) { s.sErr = err; s.sDone = true }}
+	s.sRun.stepFn = s.sRun.step
+	s.stop = &stopRunner{s: s}
+	s.stop.stepFn = s.stop.step
 
 	reg := fault.NewRegistry()
 	reg.MustRegister(&fault.FuncInjector{
@@ -319,28 +334,21 @@ func (r *Runner) execute(sc fault.Scenario) (analysis.Observation, [2][16]uint32
 	return r.runOn(s, sc)
 }
 
+// beginRun elaborates the run-phase processes (cores, stopper) on the
+// slot's kernel, in the fixed order the process-id-dependent schedule
+// relies on, and arms the watchdog. The stressor — when the scenario
+// has faults — elaborates after it, both here and on the
+// checkpoint-restore path.
+func (s *ecuSlot) beginRun() {
+	s.wd.Start()
+	s.pRun.elaborate(s.k)
+	s.sRun.elaborate(s.k)
+	s.stop.elaborate(s.k)
+}
+
 func (r *Runner) runOn(s *ecuSlot, sc fault.Scenario) (analysis.Observation, [2][16]uint32, []byte, error) {
 	k := s.k
-	s.wd.Start()
-	k.Thread("ecu.run.primary", func(ctx *sim.ThreadCtx) {
-		qk := tlm.NewQuantumKeeper(ctx, r.cfg.Quantum)
-		s.pErr = s.primary.Run(ctx, qk, r.cfg.MaxInstrs)
-		s.pDone = true
-	})
-	k.Thread("ecu.run.shadow", func(ctx *sim.ThreadCtx) {
-		qk := tlm.NewQuantumKeeper(ctx, r.cfg.Quantum)
-		s.sErr = s.shadow.Run(ctx, qk, r.cfg.MaxInstrs)
-		s.sDone = true
-	})
-	// The watchdog re-arms forever; disarm it once both cores are done
-	// so a healthy run drains its event queue before the horizon.
-	k.Thread("ecu.run.stopper", func(ctx *sim.ThreadCtx) {
-		for !s.pDone || !s.sDone {
-			ctx.WaitTime(sim.US(1))
-		}
-		s.haltAt = ctx.Now()
-		s.wd.Stop()
-	})
+	s.beginRun()
 	var st *stressor.Stressor
 	if len(sc.Faults) > 0 {
 		st = stressor.SpawnThread(k, s.reg, sc, r.cfg.Horizon)
@@ -353,7 +361,13 @@ func (r *Runner) runOn(s *ecuSlot, sc fault.Scenario) (analysis.Observation, [2]
 			return analysis.Observation{}, [2][16]uint32{}, nil, fmt.Errorf("ecu: scenario %s: %v", sc.ID, errs[0])
 		}
 	}
+	return r.finishRun(s)
+}
 
+// finishRun reads mechanisms and observable outputs off a slot whose
+// run just completed — shared by the rebuild/reuse path (runOn) and
+// the checkpoint-restore path so both produce byte-identical results.
+func (r *Runner) finishRun(s *ecuSlot) (analysis.Observation, [2][16]uint32, []byte, error) {
 	s.ls.FinalCheck()
 	// A core trap (bus error, illegal opcode) escalates to the safety
 	// path, as real lockstep MCUs do.
@@ -445,5 +459,5 @@ func (r *Runner) RunFunc() stressor.RunFunc {
 // The caller layers on workers, journaling, StopOnFirst and
 // observability.
 func (r *Runner) NewCampaign(name string, shard stressor.Shard) *stressor.Campaign {
-	return &stressor.Campaign{Name: name, Run: r.RunFunc(), Shard: shard}
+	return &stressor.Campaign{Name: name, Run: r.RunFunc(), Shard: shard, Checkpointer: r}
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/fault"
+	"repro/internal/sim"
 	"repro/internal/stressor"
 	"repro/internal/stressor/stressortest"
 )
@@ -103,15 +104,45 @@ func TestRunnerDeterminismMatrix(t *testing.T) {
 	stressortest.Run(t, stressortest.Config{
 		Name:      "ecu-seu",
 		Scenarios: scs,
-		NewRun: func(t *testing.T, reuseOff bool) (stressor.RunFunc, func()) {
+		NewRun: func(t *testing.T, reuseOff bool) (stressor.RunFunc, stressor.Checkpointer, func()) {
 			r, err := NewRunner(DefaultRunnerConfig())
 			if err != nil {
 				t.Fatal(err)
 			}
 			r.ReuseOff = reuseOff
-			return r.RunFunc(), r.Close
+			return r.RunFunc(), r, r.Close
 		},
 		Shards: []int{1, 2},
+	})
+}
+
+// TestRunnerCheckpointMatrix reruns the matrix with a non-zero
+// injection time: Universe(0) scenarios all fork at time zero (no
+// prefix to amortize, ForkTime declines them), so the matrix above
+// only proves the transparent fallback. Injecting at 2µs makes every
+// scenario fork-eligible and drives the ECU checkpoint sessions —
+// snapshot of mid-run cores, restore, re-injection — through the full
+// {seq,par} × {sharded} × {resumed} grid.
+func TestRunnerCheckpointMatrix(t *testing.T) {
+	r, err := NewRunner(DefaultRunnerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs := fault.Singles(r.Universe(sim.US(2)))
+	r.Close()
+	stressortest.Run(t, stressortest.Config{
+		Name:      "ecu-seu-cp",
+		Scenarios: scs,
+		NewRun: func(t *testing.T, reuseOff bool) (stressor.RunFunc, stressor.Checkpointer, func()) {
+			r, err := NewRunner(DefaultRunnerConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.ReuseOff = reuseOff
+			return r.RunFunc(), r, r.Close
+		},
+		Workers: []int{0, 2},
+		Shards:  []int{1, 2},
 	})
 }
 

@@ -1,0 +1,129 @@
+package ecu
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/stressor"
+)
+
+// Golden-run checkpointing for the ECU runner, mirroring the CAPS
+// implementation (see caps/session.go for the memory model): the
+// golden prefix here includes the dual cores executing the workload
+// fault-free, parked mid-run on their quantum-sync notifications at
+// the snapshot instant.
+
+// ForkTime implements stressor.Checkpointer.
+func (r *Runner) ForkTime(sc fault.Scenario) (sim.Time, bool) {
+	if r.ReuseOff || len(sc.Faults) == 0 {
+		return 0, false
+	}
+	fork := stressor.ForkTime(sc)
+	if fork == 0 || fork > r.cfg.Horizon {
+		return 0, false
+	}
+	return fork, true
+}
+
+// NewSession implements stressor.Checkpointer. The session owns a
+// private slot, never the pool's: abandoned sessions are dropped
+// without Close, and golden-prefix state must not leak into pooled
+// slots.
+func (r *Runner) NewSession() stressor.CheckpointSession {
+	return &ecuSession{r: r}
+}
+
+type ecuSession struct {
+	r    *Runner
+	slot *ecuSlot
+	st   stressor.Stressor
+
+	cp     sim.Checkpoint
+	cpOK   bool
+	cpFork sim.Time
+	mst    any
+	dirty  bool
+}
+
+// Run implements stressor.CheckpointSession, producing the exact
+// outcome Runner.RunScenario yields for the same scenario.
+func (s *ecuSession) Run(sc fault.Scenario, fork sim.Time) fault.Outcome {
+	ob, err := s.execute(sc, fork)
+	if err != nil {
+		return fault.Outcome{Scenario: sc, Class: fault.DetectedSafe, Detail: "campaign error: " + err.Error()}
+	}
+	ob.Activated = len(sc.Faults) > 0
+	class := analysis.Classify(s.r.golden, ob)
+	return fault.Outcome{Scenario: sc, Class: class, Detail: analysis.Describe(ob)}
+}
+
+// Close implements stressor.CheckpointSession.
+func (s *ecuSession) Close() {
+	if s.slot != nil {
+		s.slot.k.Shutdown()
+	}
+}
+
+func (s *ecuSession) execute(sc fault.Scenario, fork sim.Time) (analysis.Observation, error) {
+	if err := s.establish(fork); err != nil {
+		return analysis.Observation{}, err
+	}
+	s.dirty = true
+	s.st.Respawn(s.slot.k, s.slot.reg, sc, s.r.cfg.Horizon)
+	if err := s.slot.k.RunUntil(s.r.cfg.Horizon); err != nil {
+		return analysis.Observation{}, err
+	}
+	if errs := s.st.InjectionErrors(); len(errs) > 0 {
+		return analysis.Observation{}, fmt.Errorf("ecu: scenario %s: %v", sc.ID, errs[0])
+	}
+	ob, _, _, err := s.r.finishRun(s.slot)
+	return ob, err
+}
+
+// establish leaves the session's slot at simulated time fork-1 in the
+// golden state with a matching checkpoint; see capsSession.establish
+// for the three cases.
+func (s *ecuSession) establish(fork sim.Time) error {
+	if s.slot == nil {
+		s.slot = s.r.buildSlot()
+		s.slot.beginRun()
+	}
+	if s.cpOK && fork == s.cpFork {
+		if !s.dirty {
+			return nil
+		}
+		return s.restore()
+	}
+	if s.cpOK && fork > s.cpFork {
+		if s.dirty {
+			if err := s.restore(); err != nil {
+				return err
+			}
+		}
+	} else if s.cpOK || s.dirty {
+		s.r.rearmSlot(s.slot)
+		s.slot.beginRun()
+	}
+	if err := s.slot.k.RunUntil(fork - 1); err != nil {
+		return err
+	}
+	if err := s.slot.k.SnapshotInto(&s.cp); err != nil {
+		return err
+	}
+	s.mst = s.slot.SnapshotState()
+	s.cpOK = true
+	s.cpFork = fork
+	s.dirty = false
+	return nil
+}
+
+func (s *ecuSession) restore() error {
+	if err := s.slot.k.Restore(&s.cp); err != nil {
+		return err
+	}
+	s.slot.RestoreState(s.mst)
+	s.dirty = false
+	return nil
+}

@@ -1,0 +1,139 @@
+package ecu
+
+import (
+	"repro/internal/sim"
+)
+
+// Snapshot state for the ECU prototype, following the sim.Snapshottable
+// convention: ecuSlot.SnapshotState deep-copies everything a run
+// mutates — core register files, ECC codeword arrays, the watchdog
+// shadow memory, lockstep store logs, watchdog counters and the
+// run-phase process machines — so restoring it plus the paired kernel
+// checkpoint rewinds a slot to the golden-prefix instant exactly.
+
+type cpuState struct {
+	regs    [16]uint32
+	pc      uint32
+	savedPC uint32
+	inIRQ   bool
+	pending bool
+	halted  bool
+	instrs  uint64
+}
+
+func (c *CPU) captureInto(st *cpuState) {
+	st.regs = c.regs
+	st.pc = c.pc
+	st.savedPC = c.savedPC
+	st.inIRQ = c.inIRQ
+	st.pending = c.pending
+	st.halted = c.halted
+	st.instrs = c.instrs
+}
+
+func (c *CPU) restoreFrom(st *cpuState) {
+	c.regs = st.regs
+	c.pc = st.pc
+	c.savedPC = st.savedPC
+	c.inIRQ = st.inIRQ
+	c.pending = st.pending
+	c.halted = st.halted
+	c.instrs = st.instrs
+}
+
+type eccState struct {
+	words         []uint32
+	check         []uint8
+	corrected     uint64
+	uncorrectable uint64
+}
+
+func (m *ECCMemory) captureInto(st *eccState) {
+	st.words = append(st.words[:0], m.words...)
+	st.check = append(st.check[:0], m.check...)
+	st.corrected = m.corrected
+	st.uncorrectable = m.uncorrectable
+}
+
+func (m *ECCMemory) restoreFrom(st *eccState) {
+	copy(m.words, st.words)
+	copy(m.check, st.check)
+	m.corrected = st.corrected
+	m.uncorrectable = st.uncorrectable
+}
+
+type wdState struct {
+	enabled  bool
+	timeouts uint64
+	kicks    uint64
+}
+
+type lsState struct {
+	pLog, sLog []storeRec
+	diverged   bool
+	detail     string
+}
+
+type crState struct {
+	local sim.Time
+	phase uint8
+	err   error
+}
+
+// ecuSlotState is the opaque deep copy returned by SnapshotState.
+type ecuSlotState struct {
+	primary, shadow cpuState
+	pram, sram      eccState
+	wdshadow        any
+	wd              wdState
+	ls              lsState
+	pRun, sRun      crState
+	pDone, sDone    bool
+	pErr, sErr      error
+	haltAt          sim.Time
+}
+
+// SnapshotState implements sim.Snapshottable.
+func (s *ecuSlot) SnapshotState() any {
+	st := &ecuSlotState{
+		wdshadow: s.wdshadow.SnapshotState(),
+		wd:       wdState{enabled: s.wd.enabled, timeouts: s.wd.timeouts, kicks: s.wd.kicks},
+		pRun:     crState{local: s.pRun.local, phase: s.pRun.phase, err: s.pRun.err},
+		sRun:     crState{local: s.sRun.local, phase: s.sRun.phase, err: s.sRun.err},
+		pDone:    s.pDone, sDone: s.sDone,
+		pErr: s.pErr, sErr: s.sErr,
+		haltAt: s.haltAt,
+	}
+	s.primary.captureInto(&st.primary)
+	s.shadow.captureInto(&st.shadow)
+	s.pram.captureInto(&st.pram)
+	s.sram.captureInto(&st.sram)
+	st.ls.pLog = append([]storeRec(nil), s.ls.pLog...)
+	st.ls.sLog = append([]storeRec(nil), s.ls.sLog...)
+	st.ls.diverged = s.ls.diverged
+	st.ls.detail = s.ls.detail
+	return st
+}
+
+// RestoreState implements sim.Snapshottable, reusing the slot's
+// backing buffers (codeword arrays, store logs).
+func (s *ecuSlot) RestoreState(state any) {
+	st := state.(*ecuSlotState)
+	s.primary.restoreFrom(&st.primary)
+	s.shadow.restoreFrom(&st.shadow)
+	s.pram.restoreFrom(&st.pram)
+	s.sram.restoreFrom(&st.sram)
+	s.wdshadow.RestoreState(st.wdshadow)
+	s.wd.enabled = st.wd.enabled
+	s.wd.timeouts = st.wd.timeouts
+	s.wd.kicks = st.wd.kicks
+	s.ls.pLog = append(s.ls.pLog[:0], st.ls.pLog...)
+	s.ls.sLog = append(s.ls.sLog[:0], st.ls.sLog...)
+	s.ls.diverged = st.ls.diverged
+	s.ls.detail = st.ls.detail
+	s.pRun.local, s.pRun.phase, s.pRun.err = st.pRun.local, st.pRun.phase, st.pRun.err
+	s.sRun.local, s.sRun.phase, s.sRun.err = st.sRun.local, st.sRun.phase, st.sRun.err
+	s.pDone, s.sDone = st.pDone, st.sDone
+	s.pErr, s.sErr = st.pErr, st.sErr
+	s.haltAt = st.haltAt
+}

@@ -38,6 +38,10 @@ func runE8() (*Result, error) {
 			scenarios = append(scenarios, fault.Single(d))
 		}
 		c := &stressor.Campaign{Name: name, Run: runner.RunFunc(), Workers: CampaignWorkers}
+		if CampaignCheckpoints {
+			c.Checkpoints = true
+			c.Checkpointer = runner
+		}
 		instrumentCampaign(c)
 		res, err := c.Execute(scenarios)
 		return res, universe, err

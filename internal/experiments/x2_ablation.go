@@ -56,6 +56,10 @@ func runX2() (*Result, error) {
 			scenarios = append(scenarios, fault.Single(d))
 		}
 		c := &stressor.Campaign{Name: v.name, Run: runner.RunFunc(), Workers: CampaignWorkers}
+		if CampaignCheckpoints {
+			c.Checkpoints = true
+			c.Checkpointer = runner
+		}
 		instrumentCampaign(c)
 		res, err := c.Execute(scenarios)
 		done()

@@ -37,6 +37,11 @@ func FuzzJournalReplay(f *testing.F) {
 	f.Add([]byte("{}\n"))
 	f.Add([]byte("null\n{\"i\":0}\n"))
 	f.Add([]byte{})
+	f.Add(valid[:bytes.IndexByte(valid, '\n')+1]) // exactly the header, zero entries
+	f.Add(valid[:bytes.IndexByte(valid, '\n')])   // complete header, newline never flushed
+	// Unterminated tail that is a valid JSON object plus garbage — two
+	// appends interleaved by a crash; must drop as truncated, not parse.
+	f.Add(append(append([]byte{}, valid...), []byte(`{"i":3,"id":"c","class":"masked"}{"i":4,"id`)...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		j, err := DecodeBytes(data)
 		if err != nil {

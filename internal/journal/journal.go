@@ -134,7 +134,17 @@ func DecodeBytes(data []byte) (*Journal, error) {
 			// Partial trailing append: resumable after trimming, but
 			// unusable without its newline.
 			if !headerDone {
-				return nil, fmt.Errorf("journal: truncated before a complete header")
+				// A crash can cut even the very first write short. When
+				// the unterminated bytes are exactly a complete, valid
+				// header the file is identifiable — a resumable
+				// zero-entry journal whose header AppendTo rewrites after
+				// trimming. Anything less is unidentifiable and refused.
+				var h Header
+				if err := json.Unmarshal(data, &h); err != nil || h.Validate() != nil {
+					return nil, fmt.Errorf("journal: truncated before a complete header")
+				}
+				j.Header = h
+				headerDone = true
 			}
 			j.Truncated = true
 			break
@@ -242,6 +252,18 @@ func AppendTo(path string, h Header) (*Journal, *Writer, error) {
 		if err := f.Truncate(j.ValidBytes); err != nil {
 			f.Close()
 			return nil, nil, fmt.Errorf("journal: trimming partial tail of %s: %w", path, err)
+		}
+		if j.ValidBytes == 0 {
+			// The partial line was the header itself: rewrite it so the
+			// trimmed file is a well-formed zero-entry journal again.
+			line, err := json.Marshal(h)
+			if err == nil {
+				_, err = f.Write(append(line, '\n'))
+			}
+			if err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("journal: rewriting header of %s: %w", path, err)
+			}
 		}
 	}
 	return j, &Writer{f: f}, nil

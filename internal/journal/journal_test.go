@@ -157,6 +157,130 @@ func TestJournalAppendToTrimsPartialTail(t *testing.T) {
 	}
 }
 
+// TestJournalZeroEntryRecovery covers the two header-boundary crash
+// footprints: a file ending exactly at the header line (zero entries,
+// clean) and a file whose only line is the header with its newline
+// never flushed. Both must resume from index 0 — the second after
+// AppendTo rewrites the header it trimmed.
+func TestJournalZeroEntryRecovery(t *testing.T) {
+	t.Run("header with newline", func(t *testing.T) {
+		path, raw := writeJournal(t, nil)
+		j, err := DecodeBytes(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(j.Entries) != 0 || j.Truncated || j.ValidBytes != int64(len(raw)) {
+			t.Fatalf("decode = %+v", j)
+		}
+		j2, w, err := AppendTo(path, testHeader())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(j2.Entries) != 0 {
+			t.Fatalf("resume found %d entries", len(j2.Entries))
+		}
+		if err := w.Append(Entry{Index: 0, ID: "s0", Class: "masked"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		j3, err := Read(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(j3.Entries) != 1 || j3.Truncated {
+			t.Fatalf("after resume: %+v", j3)
+		}
+	})
+	t.Run("header without newline", func(t *testing.T) {
+		path, raw := writeJournal(t, nil)
+		if err := os.WriteFile(path, raw[:len(raw)-1], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, err := DecodeBytes(raw[:len(raw)-1])
+		if err != nil {
+			t.Fatalf("complete-but-unterminated header refused: %v", err)
+		}
+		if !j.Truncated || j.ValidBytes != 0 || len(j.Entries) != 0 || j.Header != testHeader() {
+			t.Fatalf("decode = %+v", j)
+		}
+		j2, w, err := AppendTo(path, testHeader())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !j2.Truncated || len(j2.Entries) != 0 {
+			t.Fatalf("resume = %+v", j2)
+		}
+		if err := w.Append(Entry{Index: 0, ID: "s0", Class: "masked"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// The rewritten file must be a well-formed one-entry journal.
+		j3, err := Read(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j3.Truncated || j3.Header != testHeader() || len(j3.Entries) != 1 {
+			t.Fatalf("after resume: %+v", j3)
+		}
+	})
+	// A header cut mid-way is unidentifiable and must stay a hard error.
+	_, raw := writeJournal(t, nil)
+	if _, err := DecodeBytes(raw[:len(raw)/2]); err == nil {
+		t.Fatal("half a header accepted")
+	}
+}
+
+// TestJournalGarbageAfterValidTail: a partially-flushed final line
+// consisting of a valid JSON object followed by garbage (two appends
+// interleaved by a crash) has no terminating newline — it must be
+// dropped as the truncated tail, never parsed as an entry, and the
+// journal resumes from the last complete line.
+func TestJournalGarbageAfterValidTail(t *testing.T) {
+	entries := testEntries()
+	path, raw := writeJournal(t, entries)
+	tail := []byte("{\"i\":6,\"id\":\"s6\",\"class\":\"masked\"}{\"i\":7,\"id")
+	if err := os.WriteFile(path, append(raw, tail...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Truncated || j.ValidBytes != int64(len(raw)) || len(j.Entries) != len(entries) {
+		t.Fatalf("decode = truncated=%v validBytes=%d entries=%d, want %d/%d",
+			j.Truncated, j.ValidBytes, len(j.Entries), len(raw), len(entries))
+	}
+	for _, e := range j.Entries {
+		if e.Index == 6 {
+			t.Fatal("unterminated tail parsed as an entry")
+		}
+	}
+	j2, w, err := AppendTo(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j2.Entries) != len(entries) {
+		t.Fatalf("resume found %d entries, want %d", len(j2.Entries), len(entries))
+	}
+	if err := w.Append(Entry{Index: 6, ID: "s6", Class: "masked"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.Truncated || len(j3.Entries) != len(entries)+1 {
+		t.Fatalf("after resume: truncated=%v entries=%d", j3.Truncated, len(j3.Entries))
+	}
+}
+
 func TestJournalAppendToRejectsHeaderMismatch(t *testing.T) {
 	path, _ := writeJournal(t, testEntries())
 	h := testHeader()

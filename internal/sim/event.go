@@ -20,6 +20,10 @@ const (
 type Event struct {
 	k    *Kernel
 	name string
+	// idx is the event's position in the kernel's creation-ordered
+	// event list, assigned by NewEvent; checkpoints reference events by
+	// this index (see snapshot.go).
+	idx int
 
 	// static are processes statically sensitive to this event.
 	static []*Proc
@@ -52,6 +56,7 @@ func (k *Kernel) NewEvent(name string) *Event {
 	} else {
 		e = &Event{k: k, name: name}
 	}
+	e.idx = len(k.events)
 	k.events = append(k.events, e)
 	return e
 }

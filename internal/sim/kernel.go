@@ -141,6 +141,10 @@ type Kernel struct {
 	tracers []*Tracer
 	instr   *Instrument
 
+	// gen counts elaboration generations: Reset bumps it, invalidating
+	// every Checkpoint taken before (see snapshot.go).
+	gen uint64
+
 	// free lists recycling elaboration objects across Reset: NewEvent,
 	// Method and Thread draw from these, so re-elaborating the same
 	// prototype after Reset allocates nothing in steady state.
@@ -487,6 +491,7 @@ func (k *Kernel) Reset() {
 	k.inEvaluate = false
 	k.stopped = false
 	k.threadPanic = nil
+	k.gen++
 	k.tracers = k.tracers[:0]
 	if in := k.instr; in != nil {
 		in.resetKernelState()

@@ -190,7 +190,10 @@ func (p *Proc) recycle() {
 	p.state = procWaiting
 	p.fn = nil
 	p.tfn = nil
-	p.static = nil
+	for i := range p.static {
+		p.static[i] = nil
+	}
+	p.static = p.static[:0]
 	for i := range p.dynamicWait {
 		p.dynamicWait[i] = nil
 	}
@@ -256,7 +259,11 @@ func (k *Kernel) Thread(name string, fn func(*ThreadCtx), sensitivity ...*Event)
 }
 
 func (p *Proc) attachStatic(sensitivity []*Event) {
-	p.static = sensitivity
+	// Copy rather than alias the variadic slice: a recycled process
+	// keeps its buffer, so re-elaborating pooled procs (Rearm, or a
+	// checkpoint session's respawn loop) is allocation-free in steady
+	// state — and the caller's slice can never mutate the wiring.
+	p.static = append(p.static[:0], sensitivity...)
 	for _, e := range sensitivity {
 		e.static = append(e.static, p)
 	}

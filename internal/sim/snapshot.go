@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Snapshottable is the convention prototypes implement to support
+// golden-run checkpointing, mirroring Rearmable: SnapshotState returns
+// an opaque deep copy of all mutable model state, and RestoreState
+// writes a previously captured copy back into the live objects. The
+// kernel's own Snapshot/Restore pair covers scheduler state (clock,
+// event queue, process states); SnapshotState must cover everything
+// else the model mutates during a run — memories, counters, queues,
+// signal shadows — so that restoring both yields a simulation
+// observationally identical to one that never ran past the snapshot
+// point. RestoreState must not alias the saved state into the model:
+// a checkpoint is restored many times, and a run after one restore
+// must not be able to corrupt the next.
+type Snapshottable interface {
+	SnapshotState() any
+	RestoreState(state any)
+}
+
+// cpTimed is one live timed notification captured by a checkpoint: the
+// firing time, the displacement sequence number, and the index of the
+// target event in the kernel's creation-ordered event list.
+type cpTimed struct {
+	at  Time
+	seq uint64
+	ev  int
+}
+
+// Checkpoint is an opaque kernel snapshot taken by Kernel.Snapshot and
+// consumed by Kernel.Restore. It is bound to the kernel (and the
+// elaboration generation) it was taken from; it captures the clock,
+// the timed event queue, per-event pending notifications, per-process
+// run states and the activity counters. Model-side state is the
+// prototype's job via Snapshottable.
+type Checkpoint struct {
+	k   *Kernel
+	gen uint64
+
+	now   Time
+	seq   uint64
+	stats Stats
+
+	nProcs  int
+	nEvents int
+
+	timed     []cpTimed   // live timed entries, sorted by (at, seq)
+	staticLen []int       // per retained event: len(static) at snapshot
+	states    []procState // per retained proc: run state at snapshot
+}
+
+// Now reports the simulated time the checkpoint was captured at.
+func (cp *Checkpoint) Now() Time { return cp.now }
+
+// Snapshot captures the kernel's scheduler state so a later Restore
+// can rewind the simulation to this exact point. The kernel must be
+// quiescent: not inside Run (snapshotting mid-delta-cycle would tear
+// the evaluate/update/notify phases apart), no runnable processes or
+// pending delta activity (run to a time boundary first), no live
+// thread processes (a goroutine stack cannot be copied — convert
+// campaign-path threads to method processes), and no attached tracers
+// (their probes observe only the forward run). Model state is NOT
+// captured — pair this with the prototype's Snapshottable.
+func (k *Kernel) Snapshot() (*Checkpoint, error) {
+	cp := &Checkpoint{}
+	if err := k.SnapshotInto(cp); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// SnapshotInto is Snapshot writing into a caller-owned Checkpoint,
+// reusing its internal buffers; repeated snapshots through the same
+// Checkpoint are allocation-free in steady state.
+func (k *Kernel) SnapshotInto(cp *Checkpoint) error {
+	if k.running {
+		return errors.New("sim: Snapshot called while the kernel is running (snapshots must be taken between Run calls, not mid-delta-cycle)")
+	}
+	if len(k.runnable) > 0 || len(k.deltaQueue) > 0 || len(k.updateQueue) > 0 {
+		return errors.New("sim: Snapshot of a non-quiescent kernel (runnable processes or pending delta activity; run to a time boundary first)")
+	}
+	if len(k.tracers) > 0 {
+		return errors.New("sim: Snapshot with attached tracers (tracers observe only the forward run; attach after restoring instead)")
+	}
+	if k.threadPanic != nil {
+		return errors.New("sim: Snapshot after an unhandled thread panic")
+	}
+	for _, p := range k.procs {
+		if p.kind == threadProc && p.state != procDone {
+			return fmt.Errorf("sim: Snapshot with live thread process %q (goroutine stacks cannot be checkpointed; use method processes on the checkpoint path)", p.name)
+		}
+	}
+
+	cp.k = k
+	cp.gen = k.gen
+	cp.now = k.now
+	cp.seq = k.seq
+	cp.stats = k.stats
+	cp.nProcs = len(k.procs)
+	cp.nEvents = len(k.events)
+
+	cp.staticLen = cp.staticLen[:0]
+	for _, e := range k.events {
+		cp.staticLen = append(cp.staticLen, len(e.static))
+	}
+	cp.states = cp.states[:0]
+	for _, p := range k.procs {
+		cp.states = append(cp.states, p.state)
+	}
+
+	// Keep only live timed entries (an event's pendingSeq names the one
+	// heap entry that still counts; the rest were displaced). Sorted by
+	// (at, seq) the capture is itself a valid min-heap, so Restore can
+	// install it verbatim.
+	cp.timed = cp.timed[:0]
+	for _, te := range k.timed {
+		if te.ev.pending == notifyTimed && te.ev.pendingSeq == te.seq {
+			cp.timed = append(cp.timed, cpTimed{at: te.at, seq: te.seq, ev: te.ev.idx})
+		}
+	}
+	sortCpTimed(cp.timed)
+	return nil
+}
+
+// sortCpTimed orders captured timed entries by (at, seq). Insertion
+// sort: the heap is already nearly ordered and snapshots must not
+// allocate (sort.Slice's closure would), mirroring sortRunnable.
+func sortCpTimed(ts []cpTimed) {
+	for i := 1; i < len(ts); i++ {
+		e := ts[i]
+		j := i - 1
+		for j >= 0 && (ts[j].at > e.at || (ts[j].at == e.at && ts[j].seq > e.seq)) {
+			ts[j+1] = ts[j]
+			j--
+		}
+		ts[j+1] = e
+	}
+}
+
+// Restore rewinds the kernel to the state captured by cp: the clock,
+// the timed queue and every pending notification return to their
+// snapshot values, and events/processes created after the snapshot
+// (for example a stressor elaborated onto the golden prefix) are
+// retired into the kernel's free lists in reverse creation order —
+// re-elaborating the same objects after the restore pops them straight
+// back out, so a restore-respawn-run campaign loop is allocation-free
+// in steady state. Tracers attached since the snapshot are detached,
+// exactly as Reset does.
+//
+// The checkpoint must come from this kernel and from the current
+// elaboration generation: a Reset invalidates all earlier checkpoints
+// (their event indices name objects of a dead elaboration). Restoring
+// the same checkpoint repeatedly is valid — that is the campaign use.
+func (k *Kernel) Restore(cp *Checkpoint) error {
+	if k.running {
+		return errors.New("sim: Restore called while the kernel is running")
+	}
+	if cp.k != k {
+		return errors.New("sim: Restore of a checkpoint from a different kernel")
+	}
+	if cp.gen != k.gen {
+		return errors.New("sim: Restore of a stale checkpoint (the kernel was Reset after it was taken)")
+	}
+	if len(k.procs) < cp.nProcs || len(k.events) < cp.nEvents {
+		return errors.New("sim: Restore target has fewer processes or events than the checkpoint (wrong kernel state?)")
+	}
+
+	// Retire post-snapshot objects into the free lists, newest first,
+	// mirroring Reset's LIFO discipline.
+	for i := len(k.procs) - 1; i >= cp.nProcs; i-- {
+		p := k.procs[i]
+		p.kill()
+		p.recycle()
+		k.procPool = append(k.procPool, p)
+		k.procs[i] = nil
+	}
+	k.procs = k.procs[:cp.nProcs]
+	for i := len(k.events) - 1; i >= cp.nEvents; i-- {
+		e := k.events[i]
+		e.recycle()
+		k.eventPool = append(k.eventPool, e)
+		k.events[i] = nil
+	}
+	k.events = k.events[:cp.nEvents]
+
+	// Drop all transient scheduler activity.
+	for i := range k.runnable {
+		k.runnable[i] = nil
+	}
+	k.runnable = k.runnable[:0]
+	for i := range k.deltaQueue {
+		k.deltaQueue[i] = nil
+	}
+	k.deltaQueue = k.deltaQueue[:0]
+	for i := range k.updateQueue {
+		k.updateQueue[i] = nil
+	}
+	k.updateQueue = k.updateQueue[:0]
+
+	// Reset retained events to the snapshot: static waiter lists are
+	// append-only, so truncating to the recorded length removes exactly
+	// the post-snapshot attachments; dynamic waiter lists were empty at
+	// snapshot time (only live threads wait dynamically, and Snapshot
+	// rejects those).
+	for i, e := range k.events {
+		n := cp.staticLen[i]
+		for j := n; j < len(e.static); j++ {
+			e.static[j] = nil
+		}
+		e.static = e.static[:n]
+		for j := range e.dynamic {
+			e.dynamic[j] = nil
+		}
+		e.dynamic = e.dynamic[:0]
+		e.pending = notifyNone
+		e.pendingTime = 0
+		e.pendingSeq = 0
+	}
+
+	// Reinstall the timed queue. The capture is (at, seq)-sorted, which
+	// is a valid heap layout, so it drops in without sifting.
+	for i := range k.timed {
+		k.timed[i] = timedEntry{}
+	}
+	k.timed = k.timed[:0]
+	for _, te := range cp.timed {
+		e := k.events[te.ev]
+		e.pending = notifyTimed
+		e.pendingTime = te.at
+		e.pendingSeq = te.seq
+		k.timed = append(k.timed, timedEntry{at: te.at, seq: te.seq, ev: e})
+	}
+
+	for i, p := range k.procs {
+		p.state = cp.states[i]
+		for j := range p.dynamicWait {
+			p.dynamicWait[j] = nil
+		}
+		p.dynamicWait = p.dynamicWait[:0]
+		p.waitCause = nil
+		if p.timerEv != nil && p.timerEv.idx >= cp.nEvents {
+			// The lazily created timer event postdates the snapshot and
+			// was just retired; the next timed wait re-creates it.
+			p.timerEv = nil
+		}
+	}
+
+	k.now = cp.now
+	k.seq = cp.seq
+	k.stats = cp.stats
+	k.inEvaluate = false
+	k.stopped = false
+	k.threadPanic = nil
+	k.tracers = k.tracers[:0]
+	if in := k.instr; in != nil {
+		// The kernel counters just moved backwards; rebase the published
+		// watermark so the next flush publishes only post-restore work
+		// instead of computing garbage uint64 deltas.
+		in.published = k.stats
+	}
+	return nil
+}

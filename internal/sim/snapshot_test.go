@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// snapModel elaborates a small method-only model whose state is a pure
+// function of simulated time: a ticker writing the clock into a signal
+// every 7ns, and a kicker that occasionally displaces the pending tick
+// to exercise timed-queue displacement across snapshot/restore.
+func snapModel(k *Kernel, name string) *Signal[uint64] {
+	sig := NewSignal(k, name+".sig", uint64(0))
+	tick := k.NewEvent(name + ".tick")
+	kick := k.NewEvent(name + ".kick")
+	k.MethodNoInit(name+".ticker", func() {
+		sig.Write(uint64(k.Now()))
+		tick.Notify(NS(7))
+		if k.Now()%NS(3) == 0 {
+			kick.Notify(NS(2))
+		}
+	}, tick)
+	k.MethodNoInit(name+".kicker", func() {
+		tick.Notify(NS(1))
+	}, kick)
+	tick.Notify(NS(5))
+	return sig
+}
+
+// TestSnapshotRejectsMidDelta: Snapshot from inside a process body —
+// mid-delta-cycle — must fail with an error saying the kernel is
+// running, never tear the evaluate/update phases apart.
+func TestSnapshotRejectsMidDelta(t *testing.T) {
+	k := NewKernel()
+	defer k.Shutdown()
+	ev := k.NewEvent("ev")
+	var serr error
+	k.MethodNoInit("snapper", func() { _, serr = k.Snapshot() }, ev)
+	ev.Notify(NS(1))
+	if err := k.Run(US(1)); err != nil {
+		t.Fatal(err)
+	}
+	if serr == nil || !strings.Contains(serr.Error(), "running") {
+		t.Fatalf("mid-delta Snapshot error = %v, want a 'running' rejection", serr)
+	}
+}
+
+// TestSnapshotRejections: the remaining guard rails — pending delta
+// activity, attached tracers, live thread processes — each refuse with
+// a message naming the problem.
+func TestSnapshotRejections(t *testing.T) {
+	t.Run("non-quiescent", func(t *testing.T) {
+		k := NewKernel()
+		defer k.Shutdown()
+		ev := k.NewEvent("ev")
+		// Method (with init activation) leaves the process runnable
+		// until the first Run — the kernel is not at a time boundary.
+		k.Method("init", func() {}, ev)
+		if _, err := k.Snapshot(); err == nil || !strings.Contains(err.Error(), "non-quiescent") {
+			t.Fatalf("Snapshot of non-quiescent kernel: %v", err)
+		}
+	})
+	t.Run("tracer attached", func(t *testing.T) {
+		k := NewKernel()
+		defer k.Shutdown()
+		snapModel(k, "m")
+		if err := k.Run(NS(50)); err != nil {
+			t.Fatal(err)
+		}
+		k.AttachTracer(NewTracer(&strings.Builder{}))
+		if _, err := k.Snapshot(); err == nil || !strings.Contains(err.Error(), "tracer") {
+			t.Fatalf("Snapshot with attached tracer: %v", err)
+		}
+	})
+	t.Run("live thread", func(t *testing.T) {
+		k := NewKernel()
+		defer k.Shutdown()
+		never := k.NewEvent("never")
+		k.Thread("parked", func(ctx *ThreadCtx) { ctx.Wait(never) })
+		if err := k.Run(NS(10)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Snapshot(); err == nil || !strings.Contains(err.Error(), "parked") {
+			t.Fatalf("Snapshot with live thread: %v", err)
+		}
+	})
+}
+
+// TestSnapshotRestoreTrajectory is the core rewind guarantee: run the
+// golden prefix, snapshot, simulate well past it, restore, simulate
+// again — the second continuation must reproduce the first one's
+// trajectory bit for bit, compared via golden VCD dumps of the model
+// signal (fresh tracer per continuation; tracers are forward-only and
+// Restore detaches them).
+func TestSnapshotRestoreTrajectory(t *testing.T) {
+	k := NewKernel()
+	defer k.Shutdown()
+	sig := snapModel(k, "m")
+	if err := k.Run(NS(50)); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := k.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Now() != NS(50) {
+		t.Fatalf("checkpoint time = %v, want 50ns", cp.Now())
+	}
+	continuation := func() (string, Stats) {
+		var vcd strings.Builder
+		tr := NewTracer(&vcd)
+		tr.AddProbe("sig", 64, func() string { return fmt.Sprintf("%b", sig.Read()) })
+		k.AttachTracer(tr)
+		if err := k.RunUntil(NS(200)); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Err() != nil {
+			t.Fatal(tr.Err())
+		}
+		return vcd.String(), k.Stats()
+	}
+	first, firstStats := continuation()
+	if !strings.Contains(first, "#") {
+		t.Fatalf("continuation traced nothing:\n%s", first)
+	}
+	for i := 0; i < 3; i++ {
+		if err := k.Restore(cp); err != nil {
+			t.Fatal(err)
+		}
+		if k.Now() != NS(50) {
+			t.Fatalf("restore %d left clock at %v", i, k.Now())
+		}
+		again, againStats := continuation()
+		if again != first {
+			t.Fatalf("restore %d diverged from original trajectory\nfirst:\n%s\nagain:\n%s", i, first, again)
+		}
+		if againStats != firstStats {
+			t.Fatalf("restore %d stats diverged: %+v vs %+v", i, againStats, firstStats)
+		}
+	}
+}
+
+// TestSnapshotRestoreRetiresPostSnapshotObjects: events and processes
+// elaborated after the snapshot (the campaign stressor pattern) are
+// retired by Restore and re-elaboration pops them back from the pools
+// — the restore-respawn-run loop is allocation-free in steady state,
+// so pooled events cannot leak across checkpoint cycles.
+func TestSnapshotRestoreRetiresPostSnapshotObjects(t *testing.T) {
+	k := NewKernel()
+	defer k.Shutdown()
+	snapModel(k, "m")
+	if err := k.Run(NS(50)); err != nil {
+		t.Fatal(err)
+	}
+	var cp Checkpoint
+	if err := k.SnapshotInto(&cp); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	fn := func() { hits++ }
+	cycle := func() {
+		ev := k.NewEvent("stressor.ev")
+		k.MethodNoInit("stressor", fn, ev)
+		ev.Notify(NS(10))
+		if err := k.RunUntil(NS(200)); err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Restore(&cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		cycle() // warm the pools to their high-water mark
+	}
+	events, procs := len(k.events), len(k.procs)
+	if avg := testing.AllocsPerRun(100, cycle); avg != 0 {
+		t.Fatalf("restore-respawn loop allocates %.1f allocs/run, want 0", avg)
+	}
+	if len(k.events) != events || len(k.procs) != procs {
+		t.Fatalf("restore leaked objects: %d->%d events, %d->%d procs",
+			events, len(k.events), procs, len(k.procs))
+	}
+	if hits == 0 {
+		t.Fatal("respawned stressor never ran")
+	}
+	// Repeated snapshots through the same Checkpoint reuse its buffers.
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := k.SnapshotInto(&cp); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("SnapshotInto allocates %.1f allocs/run in steady state, want 0", avg)
+	}
+}
+
+// TestSnapshotResetInterplay: Reset invalidates earlier checkpoints (a
+// restore must fail loudly, not resurrect a dead elaboration), and the
+// reset kernel re-elaborates, runs and checkpoints cleanly — nothing a
+// snapshot retained can wedge the pools.
+func TestSnapshotResetInterplay(t *testing.T) {
+	k := NewKernel()
+	defer k.Shutdown()
+	snapModel(k, "m")
+	if err := k.Run(NS(50)); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := k.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Reset()
+	if err := k.Restore(cp); err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("Restore of pre-Reset checkpoint: %v", err)
+	}
+	// The reset kernel must come back fully functional: re-elaborate,
+	// run, snapshot, restore — all on recycled objects.
+	sig := snapModel(k, "m")
+	if err := k.Run(NS(50)); err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := k.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(NS(100)); err != nil {
+		t.Fatal(err)
+	}
+	after := sig.Read()
+	if err := k.Restore(cp2); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(NS(100)); err != nil {
+		t.Fatal(err)
+	}
+	if sig.Read() != after {
+		t.Fatalf("post-Reset checkpoint diverged: %d vs %d", sig.Read(), after)
+	}
+
+	// A checkpoint is bound to its kernel.
+	other := NewKernel()
+	defer other.Shutdown()
+	if err := other.Restore(cp2); err == nil || !strings.Contains(err.Error(), "different kernel") {
+		t.Fatalf("Restore on a different kernel: %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package stressor
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/sim"
 )
 
 // RunFunc executes one complete fault-injected simulation for the
@@ -53,6 +55,18 @@ type Campaign struct {
 	// ECU runners); an outcome that embeds the scenario ID in an error
 	// detail would leak the representative's ID to its duplicates.
 	Dedup bool
+	// Checkpoints enables golden-run checkpointing: each worker's
+	// scenario stream is sorted by injection time (unless StopOnFirst
+	// demands index order), the golden prefix is simulated once per
+	// worker session, snapshotted at each distinct injection instant,
+	// and restored instead of rebuilt for every scenario at that
+	// instant. Scenarios the Checkpointer declines (ForkTime ok=false)
+	// transparently fall back to the plain RunFunc. Results are
+	// byte-identical to a non-checkpointed Execute.
+	Checkpoints bool
+	// Checkpointer supplies golden-run sessions; required when
+	// Checkpoints is set. The CAPS and ECU runners implement it.
+	Checkpointer Checkpointer
 	// Shard restricts execution to one partition of the (post-Dedup)
 	// unique-run positions: position u runs iff u mod Count == Index.
 	// The zero value runs everything. A sharded Execute returns a
@@ -161,10 +175,12 @@ func (c *Campaign) newObs(total, workers int) *campaignObs {
 }
 
 // runOne executes one scenario through the instrumentation shell:
-// span, duration histogram, per-worker busy time, progress step.
-func (c *Campaign) runOne(o *campaignObs, sc fault.Scenario, worker int) (fault.Outcome, bool, bool) {
+// span, duration histogram, per-worker busy time, progress step. The
+// do closure performs the actual run (plain safeRun or a checkpoint
+// session's safeSessionRun) and reports (outcome, panicked).
+func (c *Campaign) runOne(o *campaignObs, sc fault.Scenario, worker int, do func() (fault.Outcome, bool)) (fault.Outcome, bool, bool) {
 	if o == nil {
-		return c.execRun(sc)
+		return c.execRun(sc, do)
 	}
 	sp := o.trace.Begin("campaign", sc.ID, worker)
 	var t0 time.Time
@@ -172,7 +188,7 @@ func (c *Campaign) runOne(o *campaignObs, sc fault.Scenario, worker int) (fault.
 	if timed {
 		t0 = time.Now()
 	}
-	out, panicked, timedOut := c.execRun(sc)
+	out, panicked, timedOut := c.execRun(sc, do)
 	if timed {
 		d := time.Since(t0)
 		if o.dur != nil {
@@ -194,9 +210,9 @@ func (c *Campaign) runOne(o *campaignObs, sc fault.Scenario, worker int) (fault.
 // the background; its late outcome is discarded, and any pooled slot
 // it holds stays with it — the pool builds a fresh slot for the next
 // run, so a hung simulation can never wedge a worker.
-func (c *Campaign) execRun(sc fault.Scenario) (fault.Outcome, bool, bool) {
+func (c *Campaign) execRun(sc fault.Scenario, do func() (fault.Outcome, bool)) (fault.Outcome, bool, bool) {
 	if c.ScenarioTimeout <= 0 {
-		out, panicked := c.safeRun(sc)
+		out, panicked := do()
 		return out, panicked, false
 	}
 	type runResult struct {
@@ -205,7 +221,7 @@ func (c *Campaign) execRun(sc fault.Scenario) (fault.Outcome, bool, bool) {
 	}
 	ch := make(chan runResult, 1)
 	go func() {
-		out, panicked := c.safeRun(sc)
+		out, panicked := do()
 		ch <- runResult{out, panicked}
 	}()
 	t := time.NewTimer(c.ScenarioTimeout)
@@ -238,6 +254,9 @@ func (c *Campaign) Execute(scenarios []fault.Scenario) (*Result, error) {
 	}
 	if err := c.Shard.validate(); err != nil {
 		return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
+	}
+	if c.Checkpoints && c.Checkpointer == nil {
+		return nil, fmt.Errorf("campaign %s: Checkpoints set without a Checkpointer", c.Name)
 	}
 	workers := par.Resolve(c.Workers)
 
@@ -300,6 +319,29 @@ func (c *Campaign) Execute(scenarios []fault.Scenario) (*Result, error) {
 			continue
 		}
 		todo = append(todo, u)
+	}
+
+	if c.Checkpoints {
+		e.forks = make([]sim.Time, len(run))
+		e.forkOK = make([]bool, len(run))
+		for _, u := range todo {
+			e.forks[u], e.forkOK[u] = c.Checkpointer.ForkTime(run[u])
+		}
+		// Sort the todo stream by injection time so each worker session
+		// establishes a golden prefix once per distinct instant and
+		// extends it monotonically. Results stay byte-identical because
+		// outcomes, journal entries and Merge are all keyed by scenario
+		// index, not dispatch order. StopOnFirst keeps index order: it
+		// must execute exactly the prefix the sequential loop would.
+		if !c.StopOnFirst {
+			sort.SliceStable(todo, func(i, j int) bool {
+				ui, uj := todo[i], todo[j]
+				if e.forks[ui] != e.forks[uj] {
+					return e.forks[ui] < e.forks[uj]
+				}
+				return ui < uj
+			})
+		}
 	}
 
 	e.obs = c.newObs(len(todo), workers)
@@ -380,6 +422,11 @@ type campaignExec struct {
 	ran      []bool
 	panicked []bool
 
+	// forks/forkOK (set only when Checkpoints) hold each unique-run
+	// position's injection fork time and eligibility.
+	forks  []sim.Time
+	forkOK []bool
+
 	mu           sync.Mutex
 	firstFail    int // lowest failure position seen (len(run) = none)
 	completed    int // runs executed this Execute (excludes resumed)
@@ -424,6 +471,8 @@ func (e *campaignExec) record(u int, out fault.Outcome, panicked, timedOut bool)
 // (ascending), honoring Halt, the StopOnFirst cutoff (possibly seeded
 // by a resumed failure) and journal failures.
 func (e *campaignExec) seq(todo []int) {
+	h := e.newHolder()
+	defer h.close()
 	for _, u := range todo {
 		e.mu.Lock()
 		stop := e.journalErr != nil || (e.c.StopOnFirst && u > e.firstFail)
@@ -436,7 +485,7 @@ func (e *campaignExec) seq(todo []int) {
 			e.halted = true
 			break
 		}
-		out, p, to := e.c.runOne(e.obs, e.run[u], 0)
+		out, p, to := e.dispatchRun(u, 0, h)
 		e.record(u, out, p, to)
 	}
 }
@@ -455,6 +504,8 @@ func (e *campaignExec) par(todo []int, workers int) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			h := e.newHolder()
+			defer h.close()
 			for u := range indices {
 				if e.c.StopOnFirst {
 					e.mu.Lock()
@@ -464,7 +515,7 @@ func (e *campaignExec) par(todo []int, workers int) {
 						continue
 					}
 				}
-				out, p, to := e.c.runOne(e.obs, e.run[u], w)
+				out, p, to := e.dispatchRun(u, w, h)
 				if e.record(u, out, p, to) {
 					cancel()
 				}
@@ -609,6 +660,23 @@ func (c *Campaign) safeRun(sc fault.Scenario) (o fault.Outcome, panicked bool) {
 		}
 	}()
 	return c.Run(sc), false
+}
+
+// safeSessionRun is safeRun for a checkpoint-session run, with the
+// identical panic-to-detected-safe conversion (and Detail format) so
+// a panicking scenario yields the same outcome on either path.
+func (c *Campaign) safeSessionRun(sess CheckpointSession, sc fault.Scenario, fork sim.Time) (o fault.Outcome, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			o = fault.Outcome{
+				Scenario: sc,
+				Class:    fault.DetectedSafe,
+				Detail:   fmt.Sprintf("campaign panic recovered: %v", r),
+			}
+		}
+	}()
+	return sess.Run(sc, fork), false
 }
 
 // assemble folds per-index outcomes into a Result in scenario order,

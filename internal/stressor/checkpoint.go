@@ -1,0 +1,93 @@
+package stressor
+
+import (
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// Checkpointer is what a prototype runner implements to let campaigns
+// fork scenarios off a golden-run checkpoint instead of re-simulating
+// the fault-free prefix (Campaign.Checkpoints). The contract mirrors
+// the paper's error-effect-simulation structure: scenarios differ only
+// in when/where they inject, so the prefix up to the earliest
+// injection instant is shared and worth snapshotting once per worker.
+type Checkpointer interface {
+	// ForkTime reports the injection instant scenario sc can be forked
+	// from — the latest golden-run time that precedes every state
+	// mutation sc performs — and whether forking is valid for it at
+	// all. Runners return ok=false for scenario classes that mutate
+	// pre-injection state (or when their own reuse machinery is
+	// disabled); the campaign transparently falls back to the plain
+	// RunFunc for those.
+	ForkTime(sc fault.Scenario) (sim.Time, bool)
+	// NewSession creates a private golden-run session. Each campaign
+	// worker owns at most one live session; sessions are never shared
+	// across goroutines.
+	NewSession() CheckpointSession
+}
+
+// CheckpointSession is one worker's reusable golden-run prototype: it
+// lazily simulates the golden prefix up to fork, snapshots there, and
+// serves scenario runs by restoring the snapshot instead of
+// rebuilding. Run must produce the exact Outcome the campaign's
+// RunFunc would for the same scenario. Close releases the session's
+// resources; a session the campaign abandoned (timeout, panic) is
+// never Closed — its kernel must therefore hold no goroutines.
+type CheckpointSession interface {
+	Run(sc fault.Scenario, fork sim.Time) fault.Outcome
+	Close()
+}
+
+// sessionHolder carries one worker's lazily created checkpoint
+// session. nil holders (checkpointing off) are valid and inert.
+type sessionHolder struct {
+	c    *Campaign
+	sess CheckpointSession
+}
+
+func (e *campaignExec) newHolder() *sessionHolder {
+	if !e.c.Checkpoints {
+		return nil
+	}
+	return &sessionHolder{c: e.c}
+}
+
+// close shuts the worker's session down at the end of its run loop.
+func (h *sessionHolder) close() {
+	if h != nil && h.sess != nil {
+		h.sess.Close()
+		h.sess = nil
+	}
+}
+
+// abandon drops the session without closing it: a timed-out run's
+// goroutine (or a panicked run's torn kernel) still owns it, so the
+// worker must not touch it again — the next eligible run builds a
+// fresh one. Late writes into the abandoned session can never reach a
+// result or journal because the campaign already recorded the run.
+func (h *sessionHolder) abandon() { h.sess = nil }
+
+// dispatchRun executes position u on worker w, routing fork-eligible
+// scenarios through the worker's checkpoint session and everything
+// else through the plain RunFunc. The session is resolved here, on the
+// worker goroutine, before the (possibly timeout-supervised) run
+// goroutine starts — so an abandoned holder can never race with a
+// late run still using the old session.
+func (e *campaignExec) dispatchRun(u, w int, h *sessionHolder) (fault.Outcome, bool, bool) {
+	sc := e.run[u]
+	do := func() (fault.Outcome, bool) { return e.c.safeRun(sc) }
+	viaSession := false
+	if h != nil && e.forkOK[u] {
+		if h.sess == nil {
+			h.sess = e.c.Checkpointer.NewSession()
+		}
+		sess, fork := h.sess, e.forks[u]
+		do = func() (fault.Outcome, bool) { return e.c.safeSessionRun(sess, sc, fork) }
+		viaSession = true
+	}
+	out, panicked, timedOut := e.c.runOne(e.obs, sc, w, do)
+	if viaSession && (timedOut || panicked) {
+		h.abandon()
+	}
+	return out, panicked, timedOut
+}

@@ -36,11 +36,21 @@ type Stressor struct {
 
 	records []Record
 
-	// reuse machinery: the bound Run method value and the timeline
+	// reuse machinery: the bound step method value and the timeline
 	// scratch buffer survive Respawn, so a pooled prototype slot drives
 	// scenario after scenario without reallocating either.
-	runFn func(*sim.ThreadCtx)
-	tl    []timelineEntry
+	stepFn func()
+	tl     []timelineEntry
+
+	// method-process state for the campaign path (Respawn/SpawnThread):
+	// the timeline cursor and the self-notification event. The stressor
+	// runs as a method process there — a state machine with no goroutine
+	// stack — so a kernel carrying one stays snapshottable
+	// (sim.Snapshottable); the UVM run phase still uses the thread-bodied
+	// Run below.
+	k   *sim.Kernel
+	ev  *sim.Event
+	idx int
 }
 
 // New creates a stressor component.
@@ -50,9 +60,11 @@ func New(parent uvm.Component, name string, reg *fault.Registry) *Stressor {
 	return s
 }
 
-// SpawnThread schedules a scenario on a plain kernel thread, without
-// a UVM environment — for virtual prototypes wired directly on the
-// kernel (the CAPS campaigns use this form).
+// SpawnThread schedules a scenario on the kernel without a UVM
+// environment — for virtual prototypes wired directly on the kernel
+// (the CAPS and ECU campaigns use this form). Despite the historical
+// name, the stressor runs as a method-process state machine, not a
+// kernel thread, so the hosting kernel remains snapshottable.
 func SpawnThread(k *sim.Kernel, reg *fault.Registry, sc fault.Scenario, horizon sim.Time) *Stressor {
 	s := &Stressor{}
 	s.Respawn(k, reg, sc, horizon)
@@ -60,18 +72,67 @@ func SpawnThread(k *sim.Kernel, reg *fault.Registry, sc fault.Scenario, horizon 
 }
 
 // Respawn re-arms the stressor for another scenario on a freshly
-// elaborated (or reset) kernel, reusing its internal buffers. Campaign
-// runners that pool prototype slots keep one stressor per slot and
-// Respawn it each scenario instead of allocating a new one.
+// elaborated (or reset, or checkpoint-restored) kernel, reusing its
+// internal buffers. Campaign runners that pool prototype slots keep
+// one stressor per slot and Respawn it each scenario instead of
+// allocating a new one.
+//
+// The stressor elaborates as one event plus one method process whose
+// initial activation walks the timeline from the current kernel time:
+// on a fresh kernel that is time 0 (identical to the old thread form),
+// and on a kernel restored to just before the first injection instant
+// the first actions land at exactly the simulated times a full run
+// would produce — which is what makes checkpointed campaign results
+// byte-identical.
 func (s *Stressor) Respawn(k *sim.Kernel, reg *fault.Registry, sc fault.Scenario, horizon sim.Time) {
 	s.registry = reg
 	s.scenario = sc
 	s.Horizon = horizon
 	s.records = s.records[:0]
-	if s.runFn == nil {
-		s.runFn = s.Run
+	s.timeline()
+	s.idx = 0
+	s.k = k
+	if s.stepFn == nil {
+		s.stepFn = s.step
 	}
-	k.Thread("stressor."+sc.ID, s.runFn)
+	name := "stressor." + sc.ID
+	s.ev = k.NewEvent(name)
+	k.Method(name, s.stepFn, s.ev)
+}
+
+// step is one activation of the campaign-path method process: perform
+// every action due at the current time, then schedule the next one.
+func (s *Stressor) step() {
+	now := s.k.Now()
+	for s.idx < len(s.tl) && s.tl[s.idx].at <= now {
+		e := s.tl[s.idx]
+		s.idx++
+		var err error
+		if e.inject {
+			err = s.registry.Inject(e.desc)
+		} else {
+			err = s.registry.Revert(e.desc)
+		}
+		s.records = append(s.records, Record{Fault: e.desc, At: now, Inject: e.inject, Err: err})
+	}
+	if s.idx < len(s.tl) {
+		s.ev.Notify(s.tl[s.idx].at - now)
+	}
+}
+
+// ForkTime reports the earliest injection instant of the scenario —
+// the latest point a golden run can be checkpointed at and still
+// reproduce the scenario exactly — or 0 when the scenario carries no
+// faults. Every stressor action (including transient reverts and
+// intermittent windows) happens at or after this time.
+func ForkTime(sc fault.Scenario) sim.Time {
+	var min sim.Time
+	for i, d := range sc.Faults {
+		if i == 0 || d.Start < min {
+			min = d.Start
+		}
+	}
+	return min
 }
 
 // SetScenario installs the fault set for the next run.

@@ -1,10 +1,11 @@
 // Package stressortest provides the cross-mode determinism matrix
 // shared by the campaign-engine integrations: one table-driven suite
 // asserting that a campaign's Result is byte-identical across
-// {sequential, parallel} × {rebuild, reuse} × {unsharded, N-shard
-// merged} × {fresh, resumed-after-simulated-interrupt}. The CAPS and
-// ECU runners both run it against their real prototypes, replacing
-// per-package ad-hoc pairwise checks.
+// {sequential, parallel} × {rebuild, reuse, checkpointed} ×
+// {unsharded, N-shard merged} × {fresh,
+// resumed-after-simulated-interrupt}. The CAPS and ECU runners both
+// run it against their real prototypes, replacing per-package ad-hoc
+// pairwise checks.
 package stressortest
 
 import (
@@ -25,10 +26,11 @@ type Config struct {
 	// Scenarios is the universe every cell executes.
 	Scenarios []fault.Scenario
 	// NewRun builds a RunFunc for one cell (reuseOff selects the
-	// rebuild-per-run path where the engine supports it) plus a
-	// cleanup. It is called once per cell, so pooled engines get a
-	// fresh pool each time.
-	NewRun func(t *testing.T, reuseOff bool) (stressor.RunFunc, func())
+	// rebuild-per-run path where the engine supports it), the engine's
+	// Checkpointer (nil when it has none — checkpointed cells are then
+	// skipped) and a cleanup. It is called once per cell, so pooled
+	// engines get a fresh pool each time.
+	NewRun func(t *testing.T, reuseOff bool) (stressor.RunFunc, stressor.Checkpointer, func())
 	// Workers are the worker counts to cross (default {0, 2}).
 	Workers []int
 	// Shards are the shard counts to cross; 1 means unsharded
@@ -55,7 +57,7 @@ func Run(t *testing.T, cfg Config) {
 	if cfg.InterruptAfter == 0 {
 		cfg.InterruptAfter = 3
 	}
-	refRun, cleanup := cfg.NewRun(t, true)
+	refRun, _, cleanup := cfg.NewRun(t, true)
 	ref, err := (&stressor.Campaign{
 		Name: cfg.Name, Run: refRun, Dedup: cfg.Dedup, StopOnFirst: cfg.StopOnFirst,
 	}).Execute(cfg.Scenarios)
@@ -67,23 +69,36 @@ func Run(t *testing.T, cfg Config) {
 		t.Fatal("reference campaign produced no outcomes — matrix would pass vacuously")
 	}
 	for _, reuseOff := range []bool{true, false} {
-		for _, workers := range cfg.Workers {
-			for _, shards := range cfg.Shards {
-				for _, resumed := range []bool{false, true} {
-					name := fmt.Sprintf("reuse=%v/workers=%d/shards=%d/resumed=%v",
-						!reuseOff, workers, shards, resumed)
-					if reuseOff && workers == 0 && shards == 1 && !resumed {
-						continue // the reference cell itself
-					}
-					reuseOff, workers, shards, resumed := reuseOff, workers, shards, resumed
-					t.Run(name, func(t *testing.T) {
-						run, cleanup := cfg.NewRun(t, reuseOff)
-						defer cleanup()
-						got := executeCell(t, cfg, run, workers, shards, resumed)
-						if !reflect.DeepEqual(got, ref) {
-							t.Errorf("result diverged from reference\ngot:  %+v\nwant: %+v", got, ref)
+		for _, checkpoints := range []bool{false, true} {
+			if checkpoints && reuseOff {
+				// Checkpoint sessions build on the reuse machinery; the
+				// rebuild path has nothing to fork from.
+				continue
+			}
+			for _, workers := range cfg.Workers {
+				for _, shards := range cfg.Shards {
+					for _, resumed := range []bool{false, true} {
+						name := fmt.Sprintf("reuse=%v/checkpoints=%v/workers=%d/shards=%d/resumed=%v",
+							!reuseOff, checkpoints, workers, shards, resumed)
+						if reuseOff && workers == 0 && shards == 1 && !resumed {
+							continue // the reference cell itself
 						}
-					})
+						reuseOff, checkpoints, workers, shards, resumed := reuseOff, checkpoints, workers, shards, resumed
+						t.Run(name, func(t *testing.T) {
+							run, cp, cleanup := cfg.NewRun(t, reuseOff)
+							defer cleanup()
+							if checkpoints && cp == nil {
+								t.Skip("engine has no Checkpointer")
+							}
+							if !checkpoints {
+								cp = nil
+							}
+							got := executeCell(t, cfg, run, cp, workers, shards, resumed)
+							if !reflect.DeepEqual(got, ref) {
+								t.Errorf("result diverged from reference\ngot:  %+v\nwant: %+v", got, ref)
+							}
+						})
+					}
 				}
 			}
 		}
@@ -93,13 +108,14 @@ func Run(t *testing.T, cfg Config) {
 // executeCell runs one matrix cell: all shards of the campaign (with
 // shard 0 interrupted and resumed when resumed is set), merged back
 // into one Result when sharded.
-func executeCell(t *testing.T, cfg Config, run stressor.RunFunc, workers, shards int, resumed bool) *stressor.Result {
+func executeCell(t *testing.T, cfg Config, run stressor.RunFunc, cp stressor.Checkpointer, workers, shards int, resumed bool) *stressor.Result {
 	t.Helper()
 	dir := t.TempDir()
 	campaign := func(sh stressor.Shard, w *journal.Writer, j *journal.Journal, halt func(int) bool) *stressor.Campaign {
 		return &stressor.Campaign{
 			Name: cfg.Name, Run: run, Workers: workers,
 			Dedup: cfg.Dedup, StopOnFirst: cfg.StopOnFirst,
+			Checkpoints: cp != nil, Checkpointer: cp,
 			Shard: sh, Journal: w, Resume: j, Halt: halt,
 		}
 	}

@@ -196,3 +196,40 @@ func (m *Memory) Peek(addr uint64, n int) []byte {
 	copy(out, m.data[addr-m.base:])
 	return out
 }
+
+// MemoryState is an opaque deep copy of a Memory's mutable state —
+// contents, stuck-at defects and access counters — captured by
+// SnapshotState for golden-run checkpointing.
+type MemoryState struct {
+	data   []byte
+	stuck  map[uint64]stuck
+	reads  uint64
+	writes uint64
+}
+
+// SnapshotState implements sim.Snapshottable.
+func (m *Memory) SnapshotState() any {
+	st := &MemoryState{
+		data:   append([]byte(nil), m.data...),
+		stuck:  make(map[uint64]stuck, len(m.stuckMask)),
+		reads:  m.reads,
+		writes: m.writes,
+	}
+	for k, v := range m.stuckMask {
+		st.stuck[k] = v
+	}
+	return st
+}
+
+// RestoreState implements sim.Snapshottable, writing a SnapshotState
+// capture back without aliasing it into the memory.
+func (m *Memory) RestoreState(state any) {
+	st := state.(*MemoryState)
+	copy(m.data, st.data)
+	clear(m.stuckMask)
+	for k, v := range st.stuck {
+		m.stuckMask[k] = v
+	}
+	m.reads = st.reads
+	m.writes = st.writes
+}
