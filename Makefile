@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race tier1 bench bench-smoke bench-campaign bench-json bench-reuse bench-sharded bench-checkpoint fuzz-smoke
+.PHONY: all build vet test race tier1 bench bench-smoke bench-campaign bench-json bench-reuse bench-sharded bench-checkpoint bench-daemon fuzz-smoke daemon-e2e
 
 all: tier1
 
@@ -62,6 +62,19 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzInterp -fuzztime=$(FUZZTIME) ./internal/mdl
 	$(GO) test -run=NONE -fuzz=FuzzDescriptor -fuzztime=$(FUZZTIME) ./internal/fault
 	$(GO) test -run=NONE -fuzz=FuzzJournalReplay -fuzztime=$(FUZZTIME) ./internal/journal
+	$(GO) test -run=NONE -fuzz=FuzzCampaignSpec -fuzztime=$(FUZZTIME) ./internal/campaignd
+
+# Campaign-service end-to-end: the goldenfile CLI harness plus the
+# capsimd daemon lifecycle matrix (kill/restart resume, concurrent
+# clients, malformed specs), under the race detector.
+daemon-e2e:
+	$(GO) test -race -count=1 ./internal/campaignd ./internal/clitest
+
+# Daemon submit-to-done turnaround: warm (cached runner + parked
+# checkpoint sessions) vs cold (rebuild per run); compare with
+# benchstat.
+bench-daemon:
+	$(GO) test -run xxx -bench BenchmarkDaemonRunTurnaround -benchtime 10x ./internal/campaignd
 
 # Machine-readable benchmark snapshot: the perf trajectory artifact
 # committed per perf PR (BENCH_PR<n>.json). Override OUT to target a

@@ -33,9 +33,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 
+	"repro/internal/campaignd"
 	"repro/internal/caps"
 	"repro/internal/fault"
 	"repro/internal/journal"
@@ -43,6 +46,28 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stressor"
 )
+
+// failingJournal is a testing aid: it fails every Append past a
+// budget, simulating a journal path that becomes unwritable mid-run
+// (full disk, yanked mount). Enabled via CAPSIM_FAIL_JOURNAL_AFTER=N
+// so the E2E harness can pin the exit-code contract — a campaign
+// whose journal stops persisting must exit non-zero, never report
+// success over runs that can't be resumed or merged.
+type failingJournal struct {
+	w    *journal.Writer
+	mu   sync.Mutex
+	left int
+}
+
+func (f *failingJournal) Append(e journal.Entry) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.left <= 0 {
+		return fmt.Errorf("journal: append: injected write failure (CAPSIM_FAIL_JOURNAL_AFTER)")
+	}
+	f.left--
+	return f.w.Append(e)
+}
 
 func main() {
 	world := flag.String("world", "normal", "environment: normal or crash")
@@ -187,6 +212,9 @@ func main() {
 				os.Exit(1)
 			}
 			c.Journal = jw
+			if n, err := strconv.Atoi(os.Getenv("CAPSIM_FAIL_JOURNAL_AFTER")); err == nil && n >= 0 {
+				c.Journal = &failingJournal{w: jw, left: n}
+			}
 		} else if *resume {
 			fmt.Fprintln(os.Stderr, "-resume requires -journal")
 			os.Exit(2)
@@ -238,22 +266,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("world:     %s\n", *world)
-		fmt.Printf("config:    protected=%v\n", !*unprotected)
-		fmt.Printf("campaign:  %d single-fault scenarios, workers=%d\n", len(scenarios), *workers)
-		if shard.Enabled() {
-			fmt.Printf("shard:     %s\n", shard)
-		}
-		if halted.Load() {
-			fmt.Printf("halted:    %d outcomes recorded; rerun with -resume to continue\n", len(res.Outcomes))
-		}
-		fmt.Printf("tally:     %s\n", res.Tally)
-		if res.DedupSavedRuns > 0 {
-			fmt.Printf("dedup:     %d duplicate runs skipped\n", res.DedupSavedRuns)
-		}
-		if o, ok := res.FirstFailure(); ok {
-			fmt.Printf("first failure at run %d: %s\n", res.RunsToFirstFailure, o.Scenario.ID)
-		}
+		// The summary block is rendered by the shared campaignd.Summary
+		// so the daemon's text result and this CLI stay byte-identical
+		// for the same campaign — the goldenfile harness pins that.
+		campaignd.Summary{
+			World: *world, Protected: !*unprotected,
+			Scenarios: len(scenarios), Workers: *workers,
+			Shard: shard, Halted: halted.Load(), Result: res,
+		}.WriteText(os.Stdout)
 		if res.Tally[fault.SafetyCritical] > 0 {
 			os.Exit(1)
 		}

@@ -1,0 +1,100 @@
+// Command capsimd is the campaign service daemon: capsim's campaign
+// engine behind a long-running HTTP API with a FIFO job queue, a
+// durable journal-backed run store, streaming progress, and warm
+// virtual-prototype runners that persist across runs.
+//
+// Usage:
+//
+//	capsimd -addr 127.0.0.1:8848 -data ./capsimd-data
+//
+//	# submit the E8 single-fault campaign
+//	curl -s -X POST localhost:8848/runs -d '{
+//	  "campaign": "e8",
+//	  "universe": {"kind": "caps-single-fault", "horizon": "80ms"},
+//	  "workers": -1
+//	}'
+//	# => {"id":"r000001","state":"queued"}
+//
+//	curl -s localhost:8848/runs/r000001                 # state
+//	curl -sN localhost:8848/runs/r000001/events         # NDJSON stream
+//	curl -s localhost:8848/runs/r000001/result          # result JSON
+//	curl -s 'localhost:8848/runs/r000001/result?format=text'
+//
+// The daemon shuts down cleanly on SIGINT/SIGTERM: the in-flight
+// campaign stops between scenarios and its journal stays resumable,
+// so restarting capsimd with the same -data directory picks every
+// pending run back up and completes it to the byte-identical result.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/campaignd"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8848", "listen address (host:port; port 0 picks a free port)")
+	dataDir := flag.String("data", "capsimd-data", "durable run-store directory")
+	queueCap := flag.Int("queue-cap", 256, "maximum queued runs")
+	cacheCap := flag.Int("runner-cache", 4, "warm prototype configurations kept across runs (LRU)")
+	quiet := flag.Bool("quiet", false, "suppress per-run log lines")
+	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	sched, err := campaignd.NewScheduler(campaignd.Config{
+		DataDir: *dataDir, QueueCap: *queueCap, RunnerCacheCap: *cacheCap, Logf: logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sched.Start()
+	srv := &http.Server{Handler: campaignd.NewServer(sched)}
+
+	// The listening line is the daemon's readiness handshake: clients
+	// (and the E2E harness) parse the actual address from it, which is
+	// what makes ":0" usable.
+	fmt.Printf("capsimd listening on http://%s (data %s)\n", ln.Addr(), *dataDir)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, err)
+		sched.Stop()
+		os.Exit(1)
+	case s := <-sig:
+		logf("received %v, shutting down", s)
+	}
+	// Halt the campaign first (it stops between scenarios, leaving the
+	// journal resumable), then cut HTTP — long-lived event streams end
+	// with the hubs' final "interrupted" events already delivered.
+	sched.Stop()
+	srv.SetKeepAlivesEnabled(false)
+	done := make(chan struct{})
+	go func() { srv.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+	}
+	fmt.Println("capsimd stopped; pending runs resume on restart")
+}

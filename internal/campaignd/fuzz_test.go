@@ -1,0 +1,68 @@
+package campaignd
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzCampaignSpec throws arbitrary bytes at the spec decoder — the
+// daemon's untrusted input surface. Invariants: ParseSpec never
+// panics; an accepted spec has every parsed knob inside the decoder
+// bounds; and an accepted spec survives a marshal/re-parse round trip
+// (what the store does across a daemon restart).
+func FuzzCampaignSpec(f *testing.F) {
+	f.Add([]byte(`{"campaign":"e8","universe":{"kind":"caps-single-fault","horizon":"80ms"},"workers":-1}`))
+	f.Add([]byte(`{"universe":{"kind":"inline","horizon":"1ms","scenarios":[{"id":"a","faults":"open @caps.accel0.harness from 100us"}]}}`))
+	f.Add([]byte(`{"universe":{"kind":"caps-single-fault","inject":"5ms"},"shard":"0/4","dedup":true,"checkpoints":true}`))
+	f.Add([]byte(`{"universe":{},"scenario_timeout":"2s","stop_on_first":true}`))
+	f.Add([]byte(`{"workers":9999999}`))
+	f.Add([]byte(`{"universe":{"kind":"inline","scenarios":[{"id":"a","faults":"gibberish"}]}}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"universe":{}} {"universe":{}}`))
+	f.Add([]byte(`{"campaign":"` + strings.Repeat("й", 100) + `","universe":{}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		// Accepted: the parsed knobs respect the documented bounds.
+		if spec.Campaign == "" || len(spec.Campaign) > maxNameLen {
+			t.Fatalf("accepted campaign name %q outside bounds", spec.Campaign)
+		}
+		if h := spec.Horizon(); h <= 0 || h > MaxHorizon {
+			t.Fatalf("accepted horizon %d outside bounds", h)
+		}
+		if spec.Workers > MaxWorkers {
+			t.Fatalf("accepted workers %d above cap", spec.Workers)
+		}
+		if d := spec.Timeout(); d < 0 || d > MaxScenarioTimeout {
+			t.Fatalf("accepted scenario timeout %v outside bounds", d)
+		}
+		if sh := spec.ShardSpec(); sh.Count > MaxShardCount {
+			t.Fatalf("accepted shard count %d above cap", sh.Count)
+		}
+		if n := len(spec.Universe.Scenarios); n > MaxInlineScenarios {
+			t.Fatalf("accepted %d inline scenarios above cap", n)
+		}
+		// RunnerKey must be total on accepted specs.
+		if spec.RunnerKey() == "" {
+			t.Fatal("empty runner key for accepted spec")
+		}
+		// Round trip: the defaulted spec re-marshals to a spec the
+		// decoder accepts again and parses identically.
+		remarshaled, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("marshal of accepted spec: %v", err)
+		}
+		again, err := ParseSpec(remarshaled)
+		if err != nil {
+			t.Fatalf("re-parse of marshaled spec %s: %v", remarshaled, err)
+		}
+		if again.RunnerKey() != spec.RunnerKey() || again.Horizon() != spec.Horizon() ||
+			again.ShardSpec() != spec.ShardSpec() || again.Timeout() != spec.Timeout() {
+			t.Fatalf("round trip changed the spec: %s", remarshaled)
+		}
+	})
+}

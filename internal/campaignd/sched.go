@@ -1,0 +1,490 @@
+package campaignd
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/caps"
+	"repro/internal/fault"
+	"repro/internal/journal"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/stressor"
+)
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// DataDir is the durable store root.
+	DataDir string
+	// QueueCap bounds the number of queued runs (default 256).
+	QueueCap int
+	// RunnerCacheCap bounds how many distinct warm prototype
+	// configurations the daemon keeps alive (default 4, LRU-evicted).
+	RunnerCacheCap int
+	// ProgressInterval rate-limits the /events progress stream
+	// (0 selects obs.DefaultProgressInterval, negative disables
+	// limiting — used by tests).
+	ProgressInterval time.Duration
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Scheduler owns the daemon's run lifecycle: a FIFO queue fed by
+// Submit (multi-tenant — any number of clients, strictly ordered), a
+// single executor goroutine that runs one campaign at a time so
+// concurrent submissions never interleave worker slots, and the warm
+// runner cache that carries kernel/prototype slot pools and
+// checkpoint sessions across runs. Durability is delegated to the
+// Store: every campaign is journaled, so stopping the daemon (or
+// crashing it) mid-run leaves a resumable run that the next
+// Scheduler picks up on construction.
+type Scheduler struct {
+	cfg   Config
+	store *Store
+	cache *runnerCache
+
+	queue  chan string
+	stopCh chan struct{}
+	done   chan struct{}
+	halt   atomic.Bool
+
+	mu   sync.Mutex // guards hubs and Submit's id-allocate+enqueue pairing
+	hubs map[string]*hub
+}
+
+// NewScheduler opens the store under cfg.DataDir and re-queues every
+// pending run found there — the crash-recovery path: an in-flight
+// run's journal is picked up by the executor exactly as capsim
+// -resume would pick it up.
+func NewScheduler(cfg Config) (*Scheduler, error) {
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 256
+	}
+	if cfg.RunnerCacheCap <= 0 {
+		cfg.RunnerCacheCap = 4
+	}
+	store, err := OpenStore(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Scheduler{
+		cfg:    cfg,
+		store:  store,
+		cache:  &runnerCache{cap: cfg.RunnerCacheCap, entries: map[string]*cacheEntry{}},
+		queue:  make(chan string, cfg.QueueCap),
+		stopCh: make(chan struct{}),
+		done:   make(chan struct{}),
+		hubs:   map[string]*hub{},
+	}
+	ids, err := store.List()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		state, err := store.State(id)
+		if err != nil {
+			continue
+		}
+		if state != StateQueued {
+			continue
+		}
+		if len(s.queue) == cap(s.queue) {
+			return nil, fmt.Errorf("campaignd: %d pending runs exceed the queue capacity %d", len(s.queue)+1, cfg.QueueCap)
+		}
+		s.hubs[id] = newHub(id, StateQueued)
+		s.queue <- id
+		s.logf("requeued pending run %s", id)
+	}
+	return s, nil
+}
+
+// Start launches the executor goroutine.
+func (s *Scheduler) Start() { go s.loop() }
+
+// Store exposes the underlying run store (read paths of the server).
+func (s *Scheduler) Store() *Store { return s.store }
+
+// Submit persists a new run and enqueues it. rawSpec must be the
+// bytes spec was parsed from; they are stored verbatim so a restart
+// re-parses exactly what the client sent.
+func (s *Scheduler) Submit(spec *Spec, rawSpec []byte) (string, error) {
+	if s.halt.Load() {
+		return "", fmt.Errorf("campaignd: daemon is shutting down")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) == cap(s.queue) {
+		return "", fmt.Errorf("campaignd: run queue is full (%d queued)", cap(s.queue))
+	}
+	id, err := s.store.NewRun(rawSpec)
+	if err != nil {
+		return "", err
+	}
+	s.hubs[id] = newHub(id, StateQueued)
+	s.queue <- id
+	s.logf("queued run %s (campaign %q)", id, spec.Campaign)
+	return id, nil
+}
+
+// Stop halts the daemon gracefully: the in-flight campaign stops
+// between scenarios (its journal stays resumable), queued runs stay
+// queued on disk, and Stop returns once the executor has exited.
+func (s *Scheduler) Stop() {
+	if s.halt.Swap(true) {
+		<-s.done
+		return
+	}
+	close(s.stopCh)
+	<-s.done
+	s.cache.drain()
+}
+
+// Hub returns the live event hub for a run, or nil when the daemon
+// holds none (terminal runs from a previous daemon process).
+func (s *Scheduler) Hub(id string) *hub {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hubs[id]
+}
+
+// RunnerCacheStats reports warm-runner reuse across runs.
+func (s *Scheduler) RunnerCacheStats() (builds, hits int64) {
+	return s.cache.builds.Load(), s.cache.hits.Load()
+}
+
+func (s *Scheduler) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// loop is the executor: strictly FIFO, one campaign at a time.
+func (s *Scheduler) loop() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		default:
+		}
+		select {
+		case <-s.stopCh:
+			return
+		case id := <-s.queue:
+			s.execute(id)
+		}
+	}
+}
+
+// publish fans an event out through the run's hub.
+func (s *Scheduler) publish(e Event) {
+	if h := s.Hub(e.Run); h != nil {
+		h.publish(e)
+	}
+}
+
+// execute runs one campaign end to end: warm runner lookup, scenario
+// materialization, journal create-or-resume, Execute, result (or
+// error) persistence. A daemon shutdown mid-campaign leaves the run
+// pending with a valid journal; everything else ends terminal.
+func (s *Scheduler) execute(id string) {
+	defer func() {
+		if r := recover(); r != nil {
+			msg := fmt.Sprintf("internal error: %v", r)
+			s.store.WriteRunError(id, msg)
+			s.publish(Event{Type: "state", Run: id, State: StateFailed, Error: msg, Final: true})
+			s.logf("run %s panicked: %v", id, r)
+		}
+	}()
+	fail := func(err error) {
+		msg := err.Error()
+		if werr := s.store.WriteRunError(id, msg); werr != nil {
+			s.logf("run %s: recording failure: %v", id, werr)
+		}
+		s.publish(Event{Type: "state", Run: id, State: StateFailed, Error: msg, Final: true})
+		s.logf("run %s failed: %s", id, msg)
+	}
+
+	spec, err := s.store.ReadSpec(id)
+	if err != nil {
+		fail(err)
+		return
+	}
+	s.publish(Event{Type: "state", Run: id, State: StateRunning})
+	ent, err := s.cache.get(spec)
+	if err != nil {
+		fail(err)
+		return
+	}
+	scenarios, err := spec.Scenarios(ent.runner)
+	if err != nil {
+		fail(err)
+		return
+	}
+
+	shard := spec.ShardSpec()
+	shards := shard.Count
+	if shards < 1 {
+		shards = 1
+	}
+	header := journal.Header{
+		Campaign: spec.Campaign, Shard: shard.Index, Shards: shards,
+		Total: len(scenarios), Universe: stressor.UniverseHash(scenarios),
+	}
+	var resume *journal.Journal
+	var jw *journal.Writer
+	jpath := s.store.JournalPath(id)
+	if _, statErr := os.Stat(jpath); statErr == nil {
+		if resume, jw, err = journal.AppendTo(jpath, header); err != nil {
+			fail(err)
+			return
+		}
+	} else if jw, err = journal.Create(jpath, header); err != nil {
+		fail(err)
+		return
+	}
+
+	reg := obs.NewRegistry()
+	var halted atomic.Bool
+	c := &stressor.Campaign{
+		Name: spec.Campaign, Run: ent.runner.RunFunc(),
+		Workers: spec.Workers, Dedup: spec.Dedup, StopOnFirst: spec.StopOnFirst,
+		Shard: shard, ScenarioTimeout: spec.Timeout(),
+		Journal: jw, Resume: resume,
+		Metrics: reg,
+		Halt: func(int) bool {
+			stop := s.halt.Load()
+			if stop {
+				halted.Store(true)
+			}
+			return stop
+		},
+		Progress: func(u obs.ProgressUpdate) {
+			s.publish(Event{
+				Type: "progress", Run: id,
+				Completed: u.Completed, Total: u.Total, Failures: u.Failures,
+				RunsPerSec: u.RunsPerSec, ETAMillis: u.ETA.Milliseconds(),
+			})
+		},
+		ProgressInterval: s.cfg.ProgressInterval,
+	}
+	if spec.Checkpoints {
+		c.Checkpoints = true
+		c.Checkpointer = ent.pool
+	}
+	res, err := c.Execute(scenarios)
+	if cerr := jw.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fail(err)
+		return
+	}
+	if halted.Load() {
+		// Shutdown landed mid-campaign: the journal holds everything
+		// completed so far, the run stays pending, and the next daemon
+		// resumes it to the byte-identical result.
+		s.publish(Event{Type: "state", Run: id, State: "interrupted", Final: true})
+		s.logf("run %s interrupted by shutdown (%d outcomes journaled)", id, len(res.Outcomes))
+		return
+	}
+
+	doc := BuildResultDoc(id, len(scenarios), res, Summary{
+		World: spec.Universe.World, Protected: !spec.Universe.Unprotected,
+		Scenarios: len(scenarios), Workers: spec.Workers,
+		Inline: spec.Inline(), Shard: shard, Result: res,
+	})
+	if err := s.store.WriteResult(id, doc); err != nil {
+		fail(err)
+		return
+	}
+	var mbuf bytes.Buffer
+	if err := reg.WriteJSON(&mbuf); err == nil {
+		if werr := s.store.WriteMetrics(id, mbuf.Bytes()); werr != nil {
+			s.logf("run %s: writing metrics: %v", id, werr)
+		}
+	}
+	s.publish(Event{Type: "state", Run: id, State: StateDone, Final: true})
+	s.logf("run %s done: %s", id, res.Tally)
+}
+
+// MergeRuns reassembles the shard journals of the given completed
+// runs into the result the unsharded campaign would have produced
+// (the POST /merge path), via stressor.Merge. The universe is rebuilt
+// from spec — which must carry the same prototype knobs the shards
+// ran with — on a warm cached runner.
+func (s *Scheduler) MergeRuns(spec *Spec, runIDs []string) (*ResultDoc, error) {
+	if len(runIDs) == 0 {
+		return nil, fmt.Errorf("campaignd: merge of zero runs")
+	}
+	js := make([]*journal.Journal, len(runIDs))
+	for i, id := range runIDs {
+		state, err := s.store.State(id)
+		if err != nil {
+			return nil, err
+		}
+		if state != StateDone {
+			return nil, fmt.Errorf("campaignd: run %s is %s, not done — only completed runs merge", id, state)
+		}
+		if js[i], err = journal.Read(s.store.JournalPath(id)); err != nil {
+			return nil, err
+		}
+	}
+	ent, err := s.cache.get(spec)
+	if err != nil {
+		return nil, err
+	}
+	scenarios, err := spec.Scenarios(ent.runner)
+	if err != nil {
+		return nil, err
+	}
+	res, err := stressor.Merge(stressor.MergeSpec{
+		StopOnFirst: spec.StopOnFirst, Dedup: spec.Dedup,
+	}, scenarios, js)
+	if err != nil {
+		return nil, err
+	}
+	return BuildResultDoc("merge", len(scenarios), res, Summary{
+		World: spec.Universe.World, Protected: !spec.Universe.Unprotected,
+		Scenarios: len(scenarios), Workers: spec.Workers,
+		Inline: spec.Inline(), Result: res,
+	}), nil
+}
+
+// runnerCache keeps warm prototype runners keyed by Spec.RunnerKey.
+// A hit hands back the same *caps.Runner — slot pools, golden
+// observation and checkpoint session pool intact — so back-to-back
+// runs pay zero re-elaboration. Bounded, LRU-evicted; eviction closes
+// the runner and drains its session pool.
+type runnerCache struct {
+	cap int
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	tick    int64
+
+	builds atomic.Int64
+	hits   atomic.Int64
+}
+
+type cacheEntry struct {
+	runner  *caps.Runner
+	pool    *sessionPool
+	lastUse int64
+}
+
+// get returns the warm entry for spec's prototype configuration,
+// building (golden run included) on miss.
+func (c *runnerCache) get(spec *Spec) (*cacheEntry, error) {
+	key := spec.RunnerKey()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tick++
+	if ent, ok := c.entries[key]; ok {
+		ent.lastUse = c.tick
+		c.hits.Add(1)
+		return ent, nil
+	}
+	if len(c.entries) >= c.cap {
+		var lruKey string
+		var lru *cacheEntry
+		for k, e := range c.entries {
+			if lru == nil || e.lastUse < lru.lastUse {
+				lruKey, lru = k, e
+			}
+		}
+		lru.pool.drain()
+		lru.runner.Close()
+		delete(c.entries, lruKey)
+	}
+	r, err := spec.BuildRunner()
+	if err != nil {
+		return nil, err
+	}
+	ent := &cacheEntry{runner: r, pool: &sessionPool{inner: r}, lastUse: c.tick}
+	c.entries[key] = ent
+	c.builds.Add(1)
+	return ent, nil
+}
+
+// drain closes every cached runner (daemon shutdown).
+func (c *runnerCache) drain() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.entries {
+		e.pool.drain()
+		e.runner.Close()
+		delete(c.entries, k)
+	}
+}
+
+// sessionPool keeps golden-run checkpoint sessions alive across
+// campaign runs. The campaign engine creates one session per worker
+// and Closes it when the worker's stream ends; pooling intercepts
+// that Close and parks the session — snapshot, simulated prefix and
+// all — for the next run's workers, which amortizes prefix
+// re-simulation across runs the way PR 5 amortized it across
+// scenarios. Sessions the engine abandons (timeout, panic) are never
+// Closed and therefore never re-enter the pool, preserving the
+// engine's abandonment contract.
+type sessionPool struct {
+	inner stressor.Checkpointer
+
+	mu   sync.Mutex
+	free []stressor.CheckpointSession
+
+	created atomic.Int64
+	reused  atomic.Int64
+}
+
+// ForkTime delegates to the wrapped Checkpointer.
+func (p *sessionPool) ForkTime(sc fault.Scenario) (sim.Time, bool) {
+	return p.inner.ForkTime(sc)
+}
+
+// NewSession pops a parked session or creates a fresh one.
+func (p *sessionPool) NewSession() stressor.CheckpointSession {
+	p.mu.Lock()
+	var sess stressor.CheckpointSession
+	if n := len(p.free); n > 0 {
+		sess = p.free[n-1]
+		p.free = p.free[:n-1]
+	}
+	p.mu.Unlock()
+	if sess == nil {
+		sess = p.inner.NewSession()
+		p.created.Add(1)
+	} else {
+		p.reused.Add(1)
+	}
+	return &pooledSession{pool: p, CheckpointSession: sess}
+}
+
+// pooledSession parks the real session on Close instead of shutting
+// it down.
+type pooledSession struct {
+	pool *sessionPool
+	stressor.CheckpointSession
+}
+
+func (ps *pooledSession) Close() {
+	p := ps.pool
+	p.mu.Lock()
+	p.free = append(p.free, ps.CheckpointSession)
+	p.mu.Unlock()
+}
+
+// drain closes every parked session.
+func (p *sessionPool) drain() {
+	p.mu.Lock()
+	free := p.free
+	p.free = nil
+	p.mu.Unlock()
+	for _, s := range free {
+		s.Close()
+	}
+}

@@ -1,0 +1,304 @@
+package campaignd
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// mustSpec parses a spec literal.
+func mustSpec(t testing.TB, raw string) *Spec {
+	t.Helper()
+	spec, err := ParseSpec([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// runToCompletion submits raw and blocks until the run's final event,
+// returning the run ID.
+func runToCompletion(t testing.TB, sched *Scheduler, raw string) string {
+	t.Helper()
+	id, err := sched.Submit(mustSpec(t, raw), []byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitHubFinal(t, sched, id, StateDone)
+	return id
+}
+
+func waitHubFinal(t testing.TB, sched *Scheduler, id, want string) {
+	t.Helper()
+	ch, cancel := sched.Hub(id).subscribe()
+	defer cancel()
+	deadline := time.After(120 * time.Second)
+	for {
+		select {
+		case e, ok := <-ch:
+			if !ok {
+				t.Fatalf("run %s: hub closed without final event", id)
+			}
+			if e.Final {
+				if e.State != want {
+					t.Fatalf("run %s ended %q (%s), want %q", id, e.State, e.Error, want)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatalf("run %s: no final event", id)
+		}
+	}
+}
+
+// TestSchedulerStopMidRunResumesByteIdentical is the in-process
+// kill/restart leg: Stop() lands mid-campaign, the run stays pending
+// with a partial journal, and a new scheduler over the same store
+// resumes it to the byte-identical result an uninterrupted scheduler
+// produces.
+func TestSchedulerStopMidRunResumesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scheduler lifecycle test")
+	}
+	const n = 120
+	raw := genInline("interrupt", n, "10s")
+
+	// Reference result from an uninterrupted scheduler.
+	refSched, err := NewScheduler(Config{DataDir: t.TempDir(), ProgressInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSched.Start()
+	refID := runToCompletion(t, refSched, raw)
+	refBytes, err := refSched.Store().ReadResult(refID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSched.Stop()
+
+	// Victim scheduler: Stop as soon as the first scenario completes.
+	dir := t.TempDir()
+	sched, err := NewScheduler(Config{DataDir: dir, ProgressInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Start()
+	id, err := sched.Submit(mustSpec(t, raw), []byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := sched.Hub(id).subscribe()
+	stopped := false
+	for e := range ch {
+		if e.Type == "progress" && e.Completed >= 1 && e.Completed < e.Total && !stopped {
+			stopped = true
+			go sched.Stop()
+		}
+		if e.Final {
+			if !stopped {
+				t.Fatalf("run finished (%q) before the test could stop it", e.State)
+			}
+			if e.State != "interrupted" {
+				t.Fatalf("final state %q, want interrupted", e.State)
+			}
+			break
+		}
+	}
+	cancel()
+	sched.Stop() // idempotent; waits for the executor
+
+	state, err := sched.Store().State(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state != StateQueued {
+		t.Fatalf("interrupted run state = %q, want queued (pending)", state)
+	}
+	jdata, err := os.ReadFile(filepath.Join(dir, "runs", id, "journal.jsonl"))
+	if err != nil {
+		t.Fatalf("interrupted run has no journal: %v", err)
+	}
+	jlines := len(strings.Split(strings.TrimRight(string(jdata), "\n"), "\n"))
+	if jlines < 2 || jlines >= n+1 {
+		t.Fatalf("journal has %d lines, want a partial 2..%d", jlines, n)
+	}
+
+	// Restart: the pending run is requeued and resumed from the
+	// journal.
+	revived, err := NewScheduler(Config{DataDir: dir, ProgressInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	revived.Start()
+	defer revived.Stop()
+	waitHubFinal(t, revived, id, StateDone)
+	gotBytes, err := revived.Store().ReadResult(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotBytes) != string(refBytes) {
+		t.Errorf("resumed result differs from the uninterrupted run:\n--- resumed ---\n%s\n--- reference ---\n%s", gotBytes, refBytes)
+	}
+
+	// The journal grew to completion (header + every outcome): the
+	// resume appended only the missing scenarios.
+	jdata, err = os.ReadFile(filepath.Join(dir, "runs", id, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimRight(string(jdata), "\n"), "\n")); got != n+1 {
+		t.Errorf("final journal has %d lines, want %d (header + %d outcomes)", got, n+1, n)
+	}
+}
+
+// TestSchedulerResumeFromTruncatedJournal is the fully deterministic
+// resume test: a run directory is crafted with a journal that holds
+// only the first few outcomes of a completed reference run, and a
+// fresh scheduler must finish the campaign, skip the recorded
+// entries, and serialize the byte-identical result document.
+func TestSchedulerResumeFromTruncatedJournal(t *testing.T) {
+	raw := genInline("crafted", 24, "100ms")
+
+	refSched, err := NewScheduler(Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSched.Start()
+	refID := runToCompletion(t, refSched, raw)
+	refBytes, err := refSched.Store().ReadResult(refID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJournal, err := os.ReadFile(refSched.Store().JournalPath(refID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSched.Stop()
+
+	// Craft an interrupted store: same spec, journal truncated to the
+	// header plus the first 5 outcomes.
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := store.NewRun([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(refJournal), "\n")
+	if len(lines) < 7 {
+		t.Fatalf("reference journal too short: %d lines", len(lines))
+	}
+	if err := os.WriteFile(store.JournalPath(id), []byte(strings.Join(lines[:6], "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sched, err := NewScheduler(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Start()
+	defer sched.Stop()
+	waitHubFinal(t, sched, id, StateDone)
+	gotBytes, err := sched.Store().ReadResult(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotBytes) != string(refBytes) {
+		t.Errorf("crafted-resume result differs from reference:\n--- resumed ---\n%s\n--- reference ---\n%s", gotBytes, refBytes)
+	}
+
+	// The metrics prove the replayed outcomes were skipped: only the
+	// remaining 19 scenarios executed.
+	mdata, err := sched.Store().ReadMetrics(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal(mdata, &m); err != nil {
+		t.Fatalf("metrics document: %v", err)
+	}
+	if got := m.Counters["campaign.resumed_skips{campaign=crafted}"]; got != 5 {
+		t.Errorf("resume skipped %d scenarios, want 5 (the journaled prefix)", got)
+	}
+}
+
+// TestSchedulerWarmRunnerAndSessionReuse pins the cross-run
+// amortization: back-to-back runs of the same prototype configuration
+// share one warm runner (one build, then cache hits), and with
+// checkpoints enabled the golden-run sessions park between campaigns
+// and are reused instead of re-snapshotted.
+func TestSchedulerWarmRunnerAndSessionReuse(t *testing.T) {
+	sched, err := NewScheduler(Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Start()
+	defer sched.Stop()
+
+	raw := `{"campaign":"warm","universe":{"kind":"caps-single-fault","horizon":"30ms"},"workers":2,"checkpoints":true}`
+	first := runToCompletion(t, sched, raw)
+	second := runToCompletion(t, sched, raw)
+
+	builds, hits := sched.RunnerCacheStats()
+	if builds != 1 || hits != 1 {
+		t.Errorf("runner cache builds=%d hits=%d, want 1 build and 1 hit", builds, hits)
+	}
+
+	spec := mustSpec(t, raw)
+	sched.cache.mu.Lock()
+	ent := sched.cache.entries[spec.RunnerKey()]
+	sched.cache.mu.Unlock()
+	if ent == nil {
+		t.Fatal("no cached runner entry after two runs")
+	}
+	created, reused := ent.pool.created.Load(), ent.pool.reused.Load()
+	if created > 2 {
+		t.Errorf("checkpoint sessions created = %d, want at most the worker count (2)", created)
+	}
+	if reused < 1 {
+		t.Errorf("checkpoint sessions reused = %d, want >= 1 (second run must ride parked sessions)", reused)
+	}
+
+	// Warm reuse must not perturb results: both runs byte-identical
+	// modulo the run ID.
+	b1, err := sched.Store().ReadResult(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := sched.Store().ReadResult(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := strings.ReplaceAll(string(b1), `"id":"`+first+`"`, `"id":"r"`)
+	s2 := strings.ReplaceAll(string(b2), `"id":"`+second+`"`, `"id":"r"`)
+	if s1 != s2 {
+		t.Error("warm-runner rerun produced a different result document")
+	}
+}
+
+// TestRunnerCacheHitAllocs pins the allocation cost of the warm-path
+// cache lookup: a hit must stay a map probe plus the key formatting,
+// not a rebuild.
+func TestRunnerCacheHitAllocs(t *testing.T) {
+	spec := mustSpec(t, tinySpec)
+	cache := &runnerCache{cap: 2, entries: map[string]*cacheEntry{}}
+	if _, err := cache.get(spec); err != nil {
+		t.Fatal(err)
+	}
+	defer cache.drain()
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := cache.get(spec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 8 {
+		t.Errorf("runner cache hit allocates %.0f times per lookup, want <= 8", allocs)
+	}
+}

@@ -1,0 +1,127 @@
+package clitest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The capsim campaign command line every daemon test mirrors: the
+// E2E spec {"campaign":"e2e","universe":{"kind":"caps-single-fault",
+// "horizon":"30ms"},"workers":2} must produce byte-identical text.
+var capsimCampaignArgs = []string{"-campaign", "e2e", "-horizon", "30ms", "-workers", "2"}
+
+// goldenCampaign is the goldenfile shared by the capsim CLI and the
+// capsimd daemon result tests.
+const goldenCampaign = "capsim_campaign"
+
+func TestCapsimScenarioGolden(t *testing.T) {
+	r := Run(t, nil, Binary(t, "capsim"), "-faults", "open @caps.accel0.harness from 5ms")
+	if r.Code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", r.Code, r.Stderr)
+	}
+	Golden(t, "capsim_scenario", r.Stdout)
+}
+
+func TestCapsimSitesGolden(t *testing.T) {
+	r := Run(t, nil, Binary(t, "capsim"), "-sites")
+	if r.Code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", r.Code, r.Stderr)
+	}
+	Golden(t, "capsim_sites", r.Stdout)
+}
+
+func TestCapsimCampaignGolden(t *testing.T) {
+	r := Run(t, nil, Binary(t, "capsim"), capsimCampaignArgs...)
+	if r.Code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", r.Code, r.Stderr)
+	}
+	Golden(t, goldenCampaign, r.Stdout)
+}
+
+// TestCapsimCampaignModesIdentical pins the engine's core promise at
+// the CLI surface: checkpointed, journaled and plain executions of
+// the same campaign print the same bytes (against the same golden).
+func TestCapsimCampaignModesIdentical(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "run.jsonl")
+	for _, extra := range [][]string{
+		{"-checkpoints"},
+		{"-journal", jpath},
+	} {
+		r := Run(t, nil, Binary(t, "capsim"), append(append([]string{}, capsimCampaignArgs...), extra...)...)
+		if r.Code != 0 {
+			t.Fatalf("capsim %v: exit %d, stderr:\n%s", extra, r.Code, r.Stderr)
+		}
+		Golden(t, goldenCampaign, r.Stdout)
+	}
+}
+
+// TestCampmergeGolden runs the campaign as two shard subprocesses and
+// merges the journals: the shard tallies must reassemble into the
+// goldenfiled merge summary.
+func TestCampmergeGolden(t *testing.T) {
+	dir := t.TempDir()
+	capsim := Binary(t, "capsim")
+	var journals []string
+	for _, shard := range []string{"0/2", "1/2"} {
+		jpath := filepath.Join(dir, "shard"+shard[:1]+".jsonl")
+		journals = append(journals, jpath)
+		args := append(append([]string{}, capsimCampaignArgs...), "-shard", shard, "-journal", jpath)
+		if r := Run(t, nil, capsim, args...); r.Code != 0 {
+			t.Fatalf("capsim -shard %s: exit %d, stderr:\n%s", shard, r.Code, r.Stderr)
+		}
+	}
+	r := Run(t, nil, Binary(t, "campmerge"), append([]string{"-horizon", "30ms"}, journals...)...)
+	if r.Code != 0 {
+		t.Fatalf("campmerge: exit %d, stderr:\n%s", r.Code, r.Stderr)
+	}
+	Golden(t, "campmerge", r.Stdout)
+}
+
+func TestMutateDemoGolden(t *testing.T) {
+	r := Run(t, nil, Binary(t, "mutate"), "-demo")
+	if r.Code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", r.Code, r.Stderr)
+	}
+	Golden(t, "mutate_demo", r.Stdout)
+
+	// The parallel path must print the identical report.
+	rp := Run(t, nil, Binary(t, "mutate"), "-demo", "-workers", "-1")
+	if rp.Stdout != r.Stdout {
+		t.Errorf("mutate -demo -workers -1 diverges from the sequential output")
+	}
+}
+
+func TestVpsafetyGolden(t *testing.T) {
+	r := Run(t, nil, Binary(t, "vpsafety"), "-exp", "E7")
+	if r.Code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", r.Code, r.Stderr)
+	}
+	Golden(t, "vpsafety_e7", r.Stdout)
+}
+
+// TestCapsimJournalFailureExitsNonZero pins the exit-code contract: a
+// campaign whose journal stops persisting mid-run must exit non-zero
+// — success over an unresumable, unmergeable journal is a lie. The
+// CAPSIM_FAIL_JOURNAL_AFTER knob injects the write failure after N
+// appends, modeling a volume that fills up mid-campaign.
+func TestCapsimJournalFailureExitsNonZero(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "run.jsonl")
+	args := append(append([]string{}, capsimCampaignArgs...), "-journal", jpath)
+	r := Run(t, []string{"CAPSIM_FAIL_JOURNAL_AFTER=3"}, Binary(t, "capsim"), args...)
+	if r.Code == 0 {
+		t.Fatalf("capsim exited 0 with a failing journal; stdout:\n%s", r.Stdout)
+	}
+	if !strings.Contains(r.Stderr, "injected write failure") {
+		t.Errorf("stderr lacks the journal failure cause:\n%s", r.Stderr)
+	}
+	// The journal keeps the appends that succeeded: header + 3 entries.
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(strings.Split(strings.TrimRight(string(data), "\n"), "\n")); n != 4 {
+		t.Errorf("journal has %d lines, want 4 (header + 3 outcomes)", n)
+	}
+}

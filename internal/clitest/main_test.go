@@ -1,0 +1,10 @@
+package clitest
+
+import (
+	"os"
+	"testing"
+)
+
+func TestMain(m *testing.M) {
+	os.Exit(Main(m))
+}

@@ -291,9 +291,18 @@ func (w *Writer) Appends() int {
 	return w.appends
 }
 
-// Close closes the underlying file.
+// Close syncs the journal to stable storage and closes the file. The
+// sync is what surfaces write-back failures — an unwritable path
+// (quota, ENOSPC, a yanked network mount) discovered after the kernel
+// buffered the appends — so a campaign CLI can exit non-zero instead
+// of reporting success over a journal that never reached disk.
 func (w *Writer) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.f.Close()
+	serr := w.f.Sync()
+	cerr := w.f.Close()
+	if serr != nil {
+		return fmt.Errorf("journal: sync: %w", serr)
+	}
+	return cerr
 }

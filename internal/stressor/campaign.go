@@ -27,6 +27,13 @@ type RunFunc func(sc fault.Scenario) fault.Outcome
 // WorkersAuto asks Execute for one worker per available CPU.
 const WorkersAuto = par.Auto
 
+// JournalSink receives one entry per completed run. *journal.Writer
+// implements it; wrappers compose around it — the daemon's run store
+// and the fault-injecting test writers both do.
+type JournalSink interface {
+	Append(journal.Entry) error
+}
+
 // Campaign repeats stress tests over a scenario list: the quantitative
 // evaluation loop of Sec. 3.4.
 type Campaign struct {
@@ -78,8 +85,10 @@ type Campaign struct {
 	// append-only line so the campaign survives interruption. Under
 	// Dedup only representative runs are journaled. A journal append
 	// failure aborts the campaign with an error — better to stop than
-	// to run scenarios that can never be resumed or merged.
-	Journal *journal.Writer
+	// to run scenarios that can never be resumed or merged. Callers
+	// assigning a concrete pointer must take care not to store a typed
+	// nil (the engine only checks Journal against the nil interface).
+	Journal JournalSink
 	// Resume, when non-nil, is a previously recorded journal for this
 	// exact campaign (same name, shard, universe — validated before
 	// any run starts). Journaled scenarios are not re-executed; their
