@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race tier1 bench bench-smoke bench-campaign bench-json bench-reuse bench-sharded bench-checkpoint bench-daemon fuzz-smoke daemon-e2e
+.PHONY: all build vet test race tier1 bench bench-smoke bench-campaign bench-json bench-reuse bench-sharded bench-checkpoint bench-daemon bench-obs fuzz-smoke daemon-e2e
 
 all: tier1
 
@@ -75,6 +75,13 @@ daemon-e2e:
 # benchstat.
 bench-daemon:
 	$(GO) test -run xxx -bench BenchmarkDaemonRunTurnaround -benchtime 10x ./internal/campaignd
+
+# Telemetry-plane overhead: Prometheus exposition encode and flight-
+# recorder writes, with -benchmem so the zero-allocs/op steady state
+# is visible; TestPromEncodeZeroAlloc and
+# TestFlightRecorderRecordZeroAlloc gate the same property in tier1.
+bench-obs:
+	$(GO) test -run xxx -bench 'BenchmarkObsExposition|BenchmarkFlightRecorder' -benchmem ./internal/obs
 
 # Machine-readable benchmark snapshot: the perf trajectory artifact
 # committed per perf PR (BENCH_PR<n>.json). Override OUT to target a

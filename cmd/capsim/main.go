@@ -31,6 +31,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
@@ -88,6 +89,7 @@ func main() {
 	resume := flag.Bool("resume", false, "resume an interrupted -journal, skipping recorded scenarios")
 	scenarioTimeout := flag.Duration("scenario-timeout", 0, "wall-clock budget per scenario (0 = none)")
 	interruptAfter := flag.Int("interrupt-after", 0, "stop cleanly after N completed runs (testing aid; journal stays resumable)")
+	logFormat := flag.String("log-format", "", "stream structured campaign logs to stderr: text or json (default off)")
 	flag.Parse()
 
 	// "-campaign e8" names the campaign. The boolean flag consumes no
@@ -99,6 +101,19 @@ func main() {
 		if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil {
 			os.Exit(2)
 		}
+	}
+
+	// Structured logging is opt-in: the default stdout/stderr surface
+	// stays byte-stable for the goldenfile harness. Validated up front
+	// so a bogus format is a usage error before any simulation work.
+	var campaignLog *slog.Logger
+	if *logFormat != "" {
+		l, err := obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		campaignLog = l
 	}
 
 	var reg *obs.Registry
@@ -169,6 +184,7 @@ func main() {
 			Name: campaignName, Run: runner.RunFunc(), Workers: *workers,
 			Dedup: *dedup, Metrics: reg, Trace: tr,
 			Shard: shard, ScenarioTimeout: *scenarioTimeout,
+			Log: campaignLog,
 		}
 		if *checkpoints {
 			if *reuseOff {

@@ -1,7 +1,8 @@
 // Command capsimd is the campaign service daemon: capsim's campaign
 // engine behind a long-running HTTP API with a FIFO job queue, a
-// durable journal-backed run store, streaming progress, and warm
-// virtual-prototype runners that persist across runs.
+// durable journal-backed run store, streaming progress, warm
+// virtual-prototype runners that persist across runs, and a live
+// telemetry plane (Prometheus /metrics, flight recorder, run traces).
 //
 // Usage:
 //
@@ -19,6 +20,14 @@
 //	curl -sN localhost:8848/runs/r000001/events         # NDJSON stream
 //	curl -s localhost:8848/runs/r000001/result          # result JSON
 //	curl -s 'localhost:8848/runs/r000001/result?format=text'
+//	curl -s localhost:8848/metrics                      # live Prometheus text
+//	curl -s localhost:8848/debug/flight                 # flight recorder
+//	curl -s localhost:8848/runs/r000001/trace           # Chrome trace ("trace": true specs)
+//
+// Logs are structured (log/slog); -log-format json emits one JSON
+// object per line for CI pipelines. SIGQUIT dumps the flight-recorder
+// ring to stderr without stopping the daemon. -debug-addr exposes
+// net/http/pprof on a second listener.
 //
 // The daemon shuts down cleanly on SIGINT/SIGTERM: the in-flight
 // campaign stops between scenarios and its journal stays resumable,
@@ -29,15 +38,17 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux (-debug-addr)
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/campaignd"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -45,15 +56,24 @@ func main() {
 	dataDir := flag.String("data", "capsimd-data", "durable run-store directory")
 	queueCap := flag.Int("queue-cap", 256, "maximum queued runs")
 	cacheCap := flag.Int("runner-cache", 4, "warm prototype configurations kept across runs (LRU)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	slowScenario := flag.Duration("slow-scenario", 0, "flight-record any scenario at or over this wall-clock time (0 disables)")
+	debugAddr := flag.String("debug-addr", "", "optional second listener serving net/http/pprof (host:port)")
 	quiet := flag.Bool("quiet", false, "suppress per-run log lines")
 	flag.Parse()
 
-	logf := log.Printf
+	level := slog.LevelInfo
 	if *quiet {
-		logf = func(string, ...any) {}
+		level = slog.LevelError
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	sched, err := campaignd.NewScheduler(campaignd.Config{
-		DataDir: *dataDir, QueueCap: *queueCap, RunnerCacheCap: *cacheCap, Logf: logf,
+		DataDir: *dataDir, QueueCap: *queueCap, RunnerCacheCap: *cacheCap,
+		Logger: logger, SlowScenario: *slowScenario, FlightDump: os.Stderr,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -67,23 +87,47 @@ func main() {
 	sched.Start()
 	srv := &http.Server{Handler: campaignd.NewServer(sched)}
 
+	errCh := make(chan error, 2)
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// The pprof import registered its handlers on the default mux;
+		// serve only that mux here, isolated from the API listener.
+		dsrv := &http.Server{Handler: http.DefaultServeMux}
+		defer dsrv.Close()
+		fmt.Printf("capsimd debug listening on http://%s\n", dln.Addr())
+		go func() { errCh <- dsrv.Serve(dln) }()
+	}
+
 	// The listening line is the daemon's readiness handshake: clients
 	// (and the E2E harness) parse the actual address from it, which is
 	// what makes ":0" usable.
 	fmt.Printf("capsimd listening on http://%s (data %s)\n", ln.Addr(), *dataDir)
 
-	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errCh:
-		fmt.Fprintln(os.Stderr, err)
-		sched.Stop()
-		os.Exit(1)
-	case s := <-sig:
-		logf("received %v, shutting down", s)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGQUIT)
+loop:
+	for {
+		select {
+		case err := <-errCh:
+			fmt.Fprintln(os.Stderr, err)
+			sched.Stop()
+			os.Exit(1)
+		case s := <-sig:
+			if s == syscall.SIGQUIT {
+				// Forensic dump, then keep serving: SIGQUIT asks "what is
+				// the daemon doing", not "stop".
+				sched.DumpFlight("SIGQUIT")
+				continue
+			}
+			logger.Info("shutting down", "signal", s.String())
+			break loop
+		}
 	}
 	// Halt the campaign first (it stops between scenarios, leaving the
 	// journal resumable), then cut HTTP — long-lived event streams end

@@ -1,6 +1,10 @@
 package campaignd
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
 
 // Event is one NDJSON line on a run's /events stream: a state
 // transition or a rate-limited progress snapshot lifted straight off
@@ -28,18 +32,26 @@ type Event struct {
 // state event is retained so late subscribers (including ones
 // arriving after the run finished) immediately learn where the run
 // stands. Progress events are lossy by design: a slow subscriber
-// drops intermediate snapshots, never state transitions.
+// drops intermediate snapshots — counted on the daemon's
+// campaignd.events_dropped metric — never state transitions. publish
+// never blocks on a subscriber, so a stalled /events reader can never
+// stall the executor.
 type hub struct {
-	mu     sync.Mutex
-	last   Event // last state event published
-	closed bool
-	subs   map[chan Event]struct{}
+	mu      sync.Mutex
+	last    Event // last state event published
+	closed  bool
+	subs    map[chan Event]struct{}
+	dropped *obs.Counter // nil-safe: shared events-dropped counter
 }
 
-func newHub(id, state string) *hub {
+func newHub(id, state string, dropped *obs.Counter) *hub {
+	if dropped == nil {
+		dropped = &obs.Counter{}
+	}
 	return &hub{
-		last: Event{Type: "state", Run: id, State: state},
-		subs: make(map[chan Event]struct{}),
+		last:    Event{Type: "state", Run: id, State: state},
+		subs:    make(map[chan Event]struct{}),
+		dropped: dropped,
 	}
 }
 
@@ -65,12 +77,16 @@ func (h *hub) publish(e Event) {
 				// the oldest buffered event.
 				select {
 				case <-ch:
+					h.dropped.Inc()
 				default:
 				}
 				select {
 				case ch <- e:
 				default:
 				}
+			} else {
+				// Progress snapshot dropped on a full subscriber.
+				h.dropped.Inc()
 			}
 		}
 	}

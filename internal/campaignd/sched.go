@@ -3,6 +3,8 @@ package campaignd
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -29,8 +31,19 @@ type Config struct {
 	// (0 selects obs.DefaultProgressInterval, negative disables
 	// limiting — used by tests).
 	ProgressInterval time.Duration
-	// Logf, when non-nil, receives operational log lines.
-	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives structured operational logs
+	// (run lifecycle, failures, flight dumps).
+	Logger *slog.Logger
+	// SlowScenario, when positive, marks any single scenario run at or
+	// over this wall-clock budget in the flight recorder.
+	SlowScenario time.Duration
+	// FlightCap sizes the flight-recorder ring (default
+	// obs.DefaultFlightCap).
+	FlightCap int
+	// FlightDump, when non-nil, receives the flight-recorder text dump
+	// on executor panic and on DumpFlight (capsimd points it at
+	// stderr for SIGQUIT forensics).
+	FlightDump io.Writer
 }
 
 // Scheduler owns the daemon's run lifecycle: a FIFO queue fed by
@@ -52,8 +65,24 @@ type Scheduler struct {
 	done   chan struct{}
 	halt   atomic.Bool
 
-	mu   sync.Mutex // guards hubs and Submit's id-allocate+enqueue pairing
+	mu   sync.Mutex // guards hubs, enq, and Submit's id-allocate+enqueue pairing
 	hubs map[string]*hub
+	enq  map[string]time.Time // run id -> enqueue instant (queue-wait metric)
+
+	// Telemetry plane. agg is the daemon-wide aggregate registry served
+	// at GET /metrics; live holds the in-flight run's registry (and
+	// optional trace recorder) so mid-flight scrapes see the campaign
+	// moving; flight is the black-box event ring.
+	agg           *obs.Registry
+	prom          *obs.PromEncoder
+	flight        *obs.FlightRecorder
+	queueDepth    *obs.Gauge
+	queueWait     *obs.Histogram
+	eventsDropped *obs.Counter
+
+	liveMu    sync.Mutex
+	liveReg   map[string]*obs.Registry
+	liveTrace map[string]*obs.TraceRecorder
 }
 
 // NewScheduler opens the store under cfg.DataDir and re-queues every
@@ -71,14 +100,32 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 	if err != nil {
 		return nil, err
 	}
+	agg := obs.NewRegistry()
 	s := &Scheduler{
-		cfg:    cfg,
-		store:  store,
-		cache:  &runnerCache{cap: cfg.RunnerCacheCap, entries: map[string]*cacheEntry{}},
-		queue:  make(chan string, cfg.QueueCap),
-		stopCh: make(chan struct{}),
-		done:   make(chan struct{}),
-		hubs:   map[string]*hub{},
+		cfg:       cfg,
+		store:     store,
+		cache:     &runnerCache{cap: cfg.RunnerCacheCap, entries: map[string]*cacheEntry{}},
+		queue:     make(chan string, cfg.QueueCap),
+		stopCh:    make(chan struct{}),
+		done:      make(chan struct{}),
+		hubs:      map[string]*hub{},
+		enq:       map[string]time.Time{},
+		agg:       agg,
+		prom:      obs.NewPromEncoder(),
+		flight:    obs.NewFlightRecorder(cfg.FlightCap),
+		liveReg:   map[string]*obs.Registry{},
+		liveTrace: map[string]*obs.TraceRecorder{},
+	}
+	// Pre-register every daemon-wide family so the /metrics document has
+	// a deterministic shape from the first scrape (goldenfile-able), not
+	// one that grows as states are first reached.
+	s.queueDepth = agg.Gauge("campaignd.queue_depth")
+	s.queueWait = agg.Histogram("campaignd.queue_wait_ns")
+	s.eventsDropped = agg.Counter("campaignd.events_dropped")
+	s.cache.builds2 = agg.Counter("campaignd.runner_cache_builds")
+	s.cache.hits2 = agg.Counter("campaignd.runner_cache_hits")
+	for _, st := range []string{StateDone, StateFailed, "interrupted"} {
+		agg.Counter("campaignd.runs", obs.L("state", st))
 	}
 	ids, err := store.List()
 	if err != nil {
@@ -95,10 +142,13 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 		if len(s.queue) == cap(s.queue) {
 			return nil, fmt.Errorf("campaignd: %d pending runs exceed the queue capacity %d", len(s.queue)+1, cfg.QueueCap)
 		}
-		s.hubs[id] = newHub(id, StateQueued)
+		s.hubs[id] = newHub(id, StateQueued, s.eventsDropped)
+		s.enq[id] = time.Now()
 		s.queue <- id
-		s.logf("requeued pending run %s", id)
+		s.flight.Record("run.requeue", id, "pending run from a previous daemon")
+		s.logInfo("requeued pending run", "run", id)
 	}
+	s.queueDepth.Set(float64(len(s.queue)))
 	return s, nil
 }
 
@@ -124,9 +174,12 @@ func (s *Scheduler) Submit(spec *Spec, rawSpec []byte) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	s.hubs[id] = newHub(id, StateQueued)
+	s.hubs[id] = newHub(id, StateQueued, s.eventsDropped)
+	s.enq[id] = time.Now()
 	s.queue <- id
-	s.logf("queued run %s (campaign %q)", id, spec.Campaign)
+	s.queueDepth.Set(float64(len(s.queue)))
+	s.flight.Record("run.submit", id, spec.Campaign)
+	s.logInfo("queued run", "run", id, "campaign", spec.Campaign)
 	return id, nil
 }
 
@@ -156,9 +209,77 @@ func (s *Scheduler) RunnerCacheStats() (builds, hits int64) {
 	return s.cache.builds.Load(), s.cache.hits.Load()
 }
 
-func (s *Scheduler) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
+// Flight exposes the daemon's flight recorder (the /debug/flight and
+// SIGQUIT surface).
+func (s *Scheduler) Flight() *obs.FlightRecorder { return s.flight }
+
+// WriteProm renders the daemon's live telemetry — the aggregate
+// registry plus every in-flight run's registry — in the Prometheus
+// text exposition format (GET /metrics). The encoder caches rendered
+// series, so steady-state scrapes do not allocate.
+func (s *Scheduler) WriteProm(w io.Writer) error {
+	regs := []*obs.Registry{s.agg}
+	s.liveMu.Lock()
+	for _, r := range s.liveReg {
+		regs = append(regs, r)
+	}
+	s.liveMu.Unlock()
+	return s.prom.Encode(w, regs...)
+}
+
+// LiveMetrics returns the in-flight registry of a running campaign, or
+// nil once the run is terminal (GET /runs/{id}/metrics?live=1).
+func (s *Scheduler) LiveMetrics(id string) *obs.Registry {
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	return s.liveReg[id]
+}
+
+// LiveTrace returns the in-flight trace recorder of a running
+// traced campaign, or nil.
+func (s *Scheduler) LiveTrace(id string) *obs.TraceRecorder {
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	return s.liveTrace[id]
+}
+
+// setLive installs (or, with nils, clears) a run's live telemetry.
+func (s *Scheduler) setLive(id string, reg *obs.Registry, tr *obs.TraceRecorder) {
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	if reg == nil {
+		delete(s.liveReg, id)
+	} else {
+		s.liveReg[id] = reg
+	}
+	if tr == nil {
+		delete(s.liveTrace, id)
+	} else {
+		s.liveTrace[id] = tr
+	}
+}
+
+// DumpFlight writes the flight-recorder contents to cfg.FlightDump
+// (no-op without one) — the SIGQUIT / executor-panic forensic path.
+func (s *Scheduler) DumpFlight(reason string) {
+	if s.cfg.FlightDump == nil {
+		return
+	}
+	fmt.Fprintf(s.cfg.FlightDump, "campaignd flight dump (%s):\n", reason)
+	if err := s.flight.WriteText(s.cfg.FlightDump); err != nil {
+		s.logError("flight dump failed", "err", err)
+	}
+}
+
+func (s *Scheduler) logInfo(msg string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info(msg, args...)
+	}
+}
+
+func (s *Scheduler) logError(msg string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Error(msg, args...)
 	}
 }
 
@@ -192,21 +313,36 @@ func (s *Scheduler) publish(e Event) {
 // error) persistence. A daemon shutdown mid-campaign leaves the run
 // pending with a valid journal; everything else ends terminal.
 func (s *Scheduler) execute(id string) {
+	// Queue-wait and depth: the run leaves the queue now.
+	s.mu.Lock()
+	if t0, ok := s.enq[id]; ok {
+		delete(s.enq, id)
+		s.queueWait.Observe(uint64(time.Since(t0)))
+	}
+	s.mu.Unlock()
+	s.queueDepth.Set(float64(len(s.queue)))
+
+	defer s.setLive(id, nil, nil)
 	defer func() {
 		if r := recover(); r != nil {
 			msg := fmt.Sprintf("internal error: %v", r)
 			s.store.WriteRunError(id, msg)
 			s.publish(Event{Type: "state", Run: id, State: StateFailed, Error: msg, Final: true})
-			s.logf("run %s panicked: %v", id, r)
+			s.agg.Counter("campaignd.runs", obs.L("state", StateFailed)).Inc()
+			s.flight.Recordf("executor.panic", id, "%v", r)
+			s.logError("run panicked", "run", id, "panic", fmt.Sprint(r))
+			s.DumpFlight("executor panic")
 		}
 	}()
 	fail := func(err error) {
 		msg := err.Error()
 		if werr := s.store.WriteRunError(id, msg); werr != nil {
-			s.logf("run %s: recording failure: %v", id, werr)
+			s.logError("recording failure", "run", id, "err", werr)
 		}
 		s.publish(Event{Type: "state", Run: id, State: StateFailed, Error: msg, Final: true})
-		s.logf("run %s failed: %s", id, msg)
+		s.agg.Counter("campaignd.runs", obs.L("state", StateFailed)).Inc()
+		s.flight.Record("run.failed", id, msg)
+		s.logError("run failed", "run", id, "err", msg)
 	}
 
 	spec, err := s.store.ReadSpec(id)
@@ -215,6 +351,7 @@ func (s *Scheduler) execute(id string) {
 		return
 	}
 	s.publish(Event{Type: "state", Run: id, State: StateRunning})
+	s.flight.Record("run.start", id, spec.Campaign)
 	ent, err := s.cache.get(spec)
 	if err != nil {
 		fail(err)
@@ -249,6 +386,18 @@ func (s *Scheduler) execute(id string) {
 	}
 
 	reg := obs.NewRegistry()
+	var tr *obs.TraceRecorder
+	if spec.Trace {
+		tr = obs.NewTraceRecorder()
+	}
+	// Expose the run's registry (and trace) while it executes: a
+	// mid-flight GET /metrics or ?live=1 sees counters moving before
+	// the run completes.
+	s.setLive(id, reg, tr)
+	var logger *slog.Logger
+	if s.cfg.Logger != nil {
+		logger = s.cfg.Logger.With("run", id)
+	}
 	var halted atomic.Bool
 	c := &stressor.Campaign{
 		Name: spec.Campaign, Run: ent.runner.RunFunc(),
@@ -256,6 +405,9 @@ func (s *Scheduler) execute(id string) {
 		Shard: shard, ScenarioTimeout: spec.Timeout(),
 		Journal: jw, Resume: resume,
 		Metrics: reg,
+		Trace:   tr,
+		Flight:  s.flight, SlowScenario: s.cfg.SlowScenario,
+		Log: logger,
 		Halt: func(int) bool {
 			stop := s.halt.Load()
 			if stop {
@@ -289,7 +441,9 @@ func (s *Scheduler) execute(id string) {
 		// completed so far, the run stays pending, and the next daemon
 		// resumes it to the byte-identical result.
 		s.publish(Event{Type: "state", Run: id, State: "interrupted", Final: true})
-		s.logf("run %s interrupted by shutdown (%d outcomes journaled)", id, len(res.Outcomes))
+		s.agg.Counter("campaignd.runs", obs.L("state", "interrupted")).Inc()
+		s.flight.Recordf("run.interrupted", id, "%d outcomes journaled", len(res.Outcomes))
+		s.logInfo("run interrupted by shutdown", "run", id, "journaled", len(res.Outcomes))
 		return
 	}
 
@@ -305,11 +459,21 @@ func (s *Scheduler) execute(id string) {
 	var mbuf bytes.Buffer
 	if err := reg.WriteJSON(&mbuf); err == nil {
 		if werr := s.store.WriteMetrics(id, mbuf.Bytes()); werr != nil {
-			s.logf("run %s: writing metrics: %v", id, werr)
+			s.logError("writing metrics", "run", id, "err", werr)
+		}
+	}
+	if tr != nil {
+		var tbuf bytes.Buffer
+		if err := tr.WriteJSON(&tbuf); err == nil {
+			if werr := s.store.WriteTrace(id, tbuf.Bytes()); werr != nil {
+				s.logError("writing trace", "run", id, "err", werr)
+			}
 		}
 	}
 	s.publish(Event{Type: "state", Run: id, State: StateDone, Final: true})
-	s.logf("run %s done: %s", id, res.Tally)
+	s.agg.Counter("campaignd.runs", obs.L("state", StateDone)).Inc()
+	s.flight.Recordf("run.done", id, "%s", res.Tally)
+	s.logInfo("run done", "run", id, "tally", res.Tally.String())
 }
 
 // MergeRuns reassembles the shard journals of the given completed
@@ -369,6 +533,10 @@ type runnerCache struct {
 
 	builds atomic.Int64
 	hits   atomic.Int64
+	// builds2/hits2 mirror the counters into the daemon's aggregate
+	// registry (GET /metrics); nil outside a scheduler.
+	builds2 *obs.Counter
+	hits2   *obs.Counter
 }
 
 type cacheEntry struct {
@@ -387,6 +555,9 @@ func (c *runnerCache) get(spec *Spec) (*cacheEntry, error) {
 	if ent, ok := c.entries[key]; ok {
 		ent.lastUse = c.tick
 		c.hits.Add(1)
+		if c.hits2 != nil {
+			c.hits2.Inc()
+		}
 		return ent, nil
 	}
 	if len(c.entries) >= c.cap {
@@ -408,6 +579,9 @@ func (c *runnerCache) get(spec *Spec) (*cacheEntry, error) {
 	ent := &cacheEntry{runner: r, pool: &sessionPool{inner: r}, lastUse: c.tick}
 	c.entries[key] = ent
 	c.builds.Add(1)
+	if c.builds2 != nil {
+		c.builds2.Inc()
+	}
 	return ent, nil
 }
 

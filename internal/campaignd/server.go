@@ -15,7 +15,12 @@ import (
 //	GET  /runs/{id}/events    NDJSON stream: state + progress events
 //	GET  /runs/{id}/result    completed result (?format=text for the
 //	                          capsim-identical summary block)
-//	GET  /runs/{id}/metrics   final metrics snapshot (obs.Registry)
+//	GET  /runs/{id}/metrics   final metrics snapshot (obs.Registry);
+//	                          ?live=1 reads the in-flight registry
+//	GET  /runs/{id}/trace     Chrome trace-event timeline (specs
+//	                          submitted with "trace": true)
+//	GET  /metrics             daemon-wide live Prometheus exposition
+//	GET  /debug/flight        flight-recorder ring (?format=text)
 //	POST /merge               merge completed shard runs
 //	GET  /healthz             liveness
 //
@@ -36,6 +41,9 @@ func NewServer(sched *Scheduler) *Server {
 	s.mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /runs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /runs/{id}/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /runs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /metrics", s.handleProm)
+	s.mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	s.mux.HandleFunc("POST /merge", s.handleMerge)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -237,6 +245,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	// ?live=1 snapshots the in-flight registry — counters move while
+	// the campaign executes, before any terminal snapshot exists.
+	if r.URL.Query().Get("live") == "1" {
+		reg := s.sched.LiveMetrics(id)
+		if reg == nil {
+			writeErr(w, http.StatusNotFound, "run %s is not executing (no live metrics)", id)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
+		reg.WriteJSON(w)
+		return
+	}
 	data, err := s.sched.Store().ReadMetrics(id)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "run %s has no metrics snapshot", id)
@@ -244,6 +265,64 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data)
+}
+
+// handleTrace serves a traced run's Chrome trace-event document: the
+// live recorder while the run executes, the stored trace.json after.
+// Runs submitted without "trace": true are a 400 — the client asked
+// for evidence the daemon was never told to collect.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	state, err := s.sched.Store().State(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	spec, err := s.sched.Store().ReadSpec(id)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if !spec.Trace {
+		writeErr(w, http.StatusBadRequest, "run %s was not submitted with \"trace\": true", id)
+		return
+	}
+	if tr := s.sched.LiveTrace(id); tr != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
+		tr.WriteJSON(w)
+		return
+	}
+	data, err := s.sched.Store().ReadTrace(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "run %s has no trace yet (state %s)", id, state)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// handleProm is the daemon-wide live telemetry scrape: the aggregate
+// registry plus every in-flight run's registry, Prometheus text
+// format.
+func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.sched.WriteProm(w)
+}
+
+// handleFlight dumps the flight-recorder ring: JSON by default,
+// ?format=text for the same block SIGQUIT prints.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	f := s.sched.Flight()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		f.WriteText(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":  f.Total(),
+		"events": f.Snapshot(),
+	})
 }
 
 // MergeRequest is the POST /merge body: the campaign knobs the shard

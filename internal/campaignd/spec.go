@@ -80,6 +80,11 @@ type Spec struct {
 	// ScenarioTimeout bounds each scenario's wall-clock time, in Go
 	// duration syntax, e.g. "2s" (capsim -scenario-timeout).
 	ScenarioTimeout string `json:"scenario_timeout,omitempty"`
+	// Trace records a Chrome trace-event timeline of the run (one span
+	// per scenario on its worker's row), downloadable at
+	// GET /runs/{id}/trace once the run completes — and streamable
+	// live while it executes.
+	Trace bool `json:"trace,omitempty"`
 
 	// Parsed forms, populated by Validate.
 	horizon sim.Time

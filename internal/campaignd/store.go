@@ -100,10 +100,12 @@ func (st *Store) RunDir(id string) string { return filepath.Join(st.dir, "runs",
 // JournalPath returns the run's campaign journal path.
 func (st *Store) JournalPath(id string) string { return filepath.Join(st.RunDir(id), "journal.jsonl") }
 
-// resultPath / errorPath / metricsPath locate the terminal documents.
+// resultPath / errorPath / metricsPath / tracePath locate the
+// terminal documents.
 func (st *Store) resultPath(id string) string  { return filepath.Join(st.RunDir(id), "result.json") }
 func (st *Store) errorPath(id string) string   { return filepath.Join(st.RunDir(id), "error.json") }
 func (st *Store) metricsPath(id string) string { return filepath.Join(st.RunDir(id), "metrics.json") }
+func (st *Store) tracePath(id string) string   { return filepath.Join(st.RunDir(id), "trace.json") }
 
 // ReadSpec loads and re-validates a run's spec.
 func (st *Store) ReadSpec(id string) (*Spec, error) {
@@ -239,6 +241,20 @@ func (st *Store) ReadMetrics(id string) ([]byte, error) {
 		return nil, fmt.Errorf("campaignd: bad run id %q", id)
 	}
 	return os.ReadFile(st.metricsPath(id))
+}
+
+// WriteTrace persists a traced run's Chrome trace-event document
+// (specs submitted with "trace": true).
+func (st *Store) WriteTrace(id string, data []byte) error {
+	return writeFileAtomic(st.tracePath(id), data)
+}
+
+// ReadTrace loads a run's trace document.
+func (st *Store) ReadTrace(id string) ([]byte, error) {
+	if !runIDPat.MatchString(id) {
+		return nil, fmt.Errorf("campaignd: bad run id %q", id)
+	}
+	return os.ReadFile(st.tracePath(id))
 }
 
 // writeFileAtomic writes data to path via a same-directory temp file

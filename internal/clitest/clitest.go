@@ -173,11 +173,54 @@ func Normalize(s string) string {
 	return s
 }
 
+// promSamplePat matches one Prometheus exposition sample line,
+// capturing everything up to the value.
+var promSamplePat = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[^}]*\})?) \S+$`)
+
+// NormalizeMetrics rewrites every sample value in a Prometheus text
+// exposition to the placeholder V, leaving names, labels, and TYPE
+// comments intact — the goldenfile then pins the document's *shape*
+// (which families and series exist, in which order) without pinning
+// wall-clock-dependent values.
+func NormalizeMetrics(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		if l == "" || strings.HasPrefix(l, "#") {
+			continue
+		}
+		lines[i] = promSamplePat.ReplaceAllString(l, "$1 V")
+	}
+	return strings.Join(lines, "\n")
+}
+
+// lockedBuffer is a goroutine-safe bytes.Buffer for capturing a live
+// subprocess's stderr while the test concurrently inspects it.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (lb *lockedBuffer) Write(p []byte) (int, error) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return lb.b.Write(p)
+}
+
+func (lb *lockedBuffer) String() string {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return lb.b.String()
+}
+
 // Daemon is a live capsimd subprocess started by StartDaemon.
 type Daemon struct {
 	t       testing.TB
 	cmd     *exec.Cmd
 	waitErr chan error
+	stderr  *lockedBuffer
+
+	linesMu sync.Mutex
+	lines   []string // every stdout line seen so far
 
 	// URL is the daemon's base URL (http://127.0.0.1:<port>).
 	URL string
@@ -185,11 +228,15 @@ type Daemon struct {
 	Ready string
 }
 
-var readyPat = regexp.MustCompile(`^capsimd listening on (http://[^ ]+) `)
+var (
+	readyPat = regexp.MustCompile(`^capsimd listening on (http://[^ ]+) `)
+	debugPat = regexp.MustCompile(`^capsimd debug listening on (http://[^ ]+)$`)
+)
 
 // StartDaemon launches capsimd on an ephemeral port over dataDir and
-// waits for its readiness line. The daemon is SIGKILLed at test
-// cleanup if the test did not stop it itself.
+// waits for its readiness line. Stderr (structured logs, flight
+// dumps) is captured; read it with Stderr/WaitStderr. The daemon is
+// SIGKILLed at test cleanup if the test did not stop it itself.
 func StartDaemon(t testing.TB, dataDir string, extraArgs ...string) *Daemon {
 	t.Helper()
 	bin := Binary(t, "capsimd")
@@ -199,21 +246,24 @@ func StartDaemon(t testing.TB, dataDir string, extraArgs ...string) *Daemon {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmd.Stderr = os.Stderr
+	d := &Daemon{t: t, cmd: cmd, waitErr: make(chan error, 1), stderr: &lockedBuffer{}}
+	cmd.Stderr = d.stderr
 	if err := cmd.Start(); err != nil {
 		t.Fatalf("starting capsimd: %v", err)
 	}
-	d := &Daemon{t: t, cmd: cmd, waitErr: make(chan error, 1)}
 	t.Cleanup(func() {
 		cmd.Process.Kill()
 		<-d.waitErr
 	})
 
 	sc := bufio.NewScanner(stdout)
-	lineCh := make(chan string, 1)
+	lineCh := make(chan string, 16)
 	go func() {
 		for sc.Scan() {
 			line := sc.Text()
+			d.linesMu.Lock()
+			d.lines = append(d.lines, line)
+			d.linesMu.Unlock()
 			select {
 			case lineCh <- line:
 			default:
@@ -221,21 +271,56 @@ func StartDaemon(t testing.TB, dataDir string, extraArgs ...string) *Daemon {
 		}
 	}()
 	go func() { d.waitErr <- cmd.Wait() }()
-	select {
-	case line := <-lineCh:
-		m := readyPat.FindStringSubmatch(line)
-		if m == nil {
-			t.Fatalf("capsimd first line is not the readiness handshake: %q", line)
+	deadline := time.After(30 * time.Second)
+	// Scan past auxiliary lines (e.g. the -debug-addr readiness) until
+	// the main handshake appears.
+	for d.URL == "" {
+		select {
+		case line := <-lineCh:
+			if m := readyPat.FindStringSubmatch(line); m != nil {
+				d.URL = m[1]
+				d.Ready = Normalize(line)
+			}
+		case err := <-d.waitErr:
+			d.waitErr <- err
+			t.Fatalf("capsimd exited before becoming ready; stderr:\n%s\nerr: %v", d.stderr.String(), err)
+		case <-deadline:
+			t.Fatal("capsimd readiness line timed out")
 		}
-		d.URL = m[1]
-		d.Ready = Normalize(line)
-	case err := <-d.waitErr:
-		d.waitErr <- err
-		t.Fatalf("capsimd exited before becoming ready: %v", err)
-	case <-time.After(30 * time.Second):
-		t.Fatal("capsimd readiness line timed out")
 	}
 	return d
+}
+
+// DebugURL returns the -debug-addr pprof base URL the daemon
+// announced, or "" when it runs without one.
+func (d *Daemon) DebugURL() string {
+	d.linesMu.Lock()
+	defer d.linesMu.Unlock()
+	for _, l := range d.lines {
+		if m := debugPat.FindStringSubmatch(l); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// Stderr returns everything the daemon has written to stderr so far.
+func (d *Daemon) Stderr() string { return d.stderr.String() }
+
+// WaitStderr polls the daemon's stderr until it contains substr.
+func (d *Daemon) WaitStderr(substr string, timeout time.Duration) string {
+	d.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		out := d.stderr.String()
+		if strings.Contains(out, substr) {
+			return out
+		}
+		if time.Now().After(deadline) {
+			d.t.Fatalf("daemon stderr never contained %q; stderr:\n%s", substr, out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // Signal delivers sig (e.g. SIGTERM) to the daemon.

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"testing"
+)
+
+// benchRegistry builds a registry shaped like a busy daemon: labeled
+// counters, gauges, and a pair of histograms with spread-out buckets.
+func benchRegistry() *Registry {
+	r := NewRegistry()
+	for i := 0; i < 16; i++ {
+		r.Counter("campaign.outcomes", L("campaign", "e8"), L("class", fmt.Sprintf("c%02d", i))).Add(uint64(i * 7))
+	}
+	r.Counter("campaignd.events_dropped").Add(3)
+	r.Gauge("campaignd.queue_depth").Set(5)
+	r.Gauge("campaign.worker_utilization", L("campaign", "e8")).Set(0.83)
+	for _, name := range []string{"campaignd.queue_wait_ns", "campaign.run_duration_ns"} {
+		h := r.Histogram(name, L("campaign", "e8"))
+		for v := uint64(1); v != 0 && v < 1<<40; v <<= 2 {
+			h.Observe(v)
+		}
+	}
+	return r
+}
+
+// BenchmarkObsExposition pins the /metrics hot path: steady-state
+// encoding of a warm PromEncoder must report 0 allocs/op.
+func BenchmarkObsExposition(b *testing.B) {
+	r := benchRegistry()
+	enc := NewPromEncoder()
+	if err := enc.Encode(io.Discard, r); err != nil { // warm series cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := enc.Encode(io.Discard, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFlightRecorder pins the per-event recording overhead on the
+// executor's hot path (static strings: 0 allocs/op).
+func BenchmarkFlightRecorder(b *testing.B) {
+	f := NewFlightRecorder(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Record("run.progress", "r000001", "completed")
+	}
+}
+
+// BenchmarkFlightRecorderSnapshot measures the cost of the /debug/flight
+// read path against a full ring.
+func BenchmarkFlightRecorderSnapshot(b *testing.B) {
+	f := NewFlightRecorder(256)
+	for i := 0; i < 512; i++ {
+		f.Record("tick", "r", "d")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(f.Snapshot()) != 256 {
+			b.Fatal("bad snapshot")
+		}
+	}
+}

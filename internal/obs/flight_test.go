@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderBasics(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Record("run.start", "r000001", "queued->running")
+	f.Record("run.done", "r000001", "")
+	evs := f.Snapshot()
+	if len(evs) != 2 || f.Total() != 2 {
+		t.Fatalf("snapshot = %d events, total %d", len(evs), f.Total())
+	}
+	if evs[0].Seq != 1 || evs[0].Kind != "run.start" || evs[0].Run != "r000001" {
+		t.Errorf("first event = %+v", evs[0])
+	}
+	if evs[1].Seq != 2 {
+		t.Errorf("second event seq = %d", evs[1].Seq)
+	}
+	if evs[0].Time.IsZero() {
+		t.Error("event time not stamped")
+	}
+}
+
+// TestFlightRecorderWrap: overflowing the ring keeps exactly the last
+// size events, oldest first, with continuous sequence numbers.
+func TestFlightRecorderWrap(t *testing.T) {
+	const size, total = 4, 11
+	f := NewFlightRecorder(size)
+	for i := 0; i < total; i++ {
+		f.Recordf("tick", "", "n=%d", i)
+	}
+	evs := f.Snapshot()
+	if len(evs) != size {
+		t.Fatalf("retained %d events, want %d", len(evs), size)
+	}
+	if f.Total() != total {
+		t.Errorf("total = %d, want %d", f.Total(), total)
+	}
+	for i, e := range evs {
+		wantSeq := uint64(total - size + 1 + i)
+		if e.Seq != wantSeq {
+			t.Errorf("event %d seq = %d, want %d", i, e.Seq, wantSeq)
+		}
+	}
+	if evs[len(evs)-1].Detail != "n=10" {
+		t.Errorf("newest retained detail = %q", evs[len(evs)-1].Detail)
+	}
+}
+
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	f.Record("x", "", "") // must not panic
+	f.Recordf("x", "", "%d", 1)
+	if f.Snapshot() != nil || f.Total() != 0 {
+		t.Error("nil recorder not empty")
+	}
+}
+
+// TestFlightRecorderConcurrent is the -race contract: many writers,
+// concurrent snapshots, no torn events (every retained event keeps its
+// seq/kind pairing intact).
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				f.Record("tick", "r", "static")
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			for _, e := range f.Snapshot() {
+				if e.Kind != "tick" || e.Run != "r" {
+					t.Errorf("torn event: %+v", e)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if f.Total() != 8*500 {
+		t.Errorf("total = %d, want %d", f.Total(), 8*500)
+	}
+	evs := f.Snapshot()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Errorf("sequence gap: %d -> %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+// TestFlightRecorderRecordZeroAlloc pins the allocation bound of the
+// hot path: recording static strings must not allocate.
+func TestFlightRecorderRecordZeroAlloc(t *testing.T) {
+	f := NewFlightRecorder(32)
+	allocs := testing.AllocsPerRun(200, func() {
+		f.Record("run.progress", "r000001", "completed=5")
+	})
+	if allocs != 0 {
+		t.Errorf("Record allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestFlightRecorderWriteText(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Record("run.start", "r000001", "queued->running")
+	f.Record("panic.recovered", "r000002", "scenario s0001: boom")
+	var buf bytes.Buffer
+	if err := f.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "flight recorder (2 of 2 events retained)") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "run.start") || !strings.Contains(out, "panic.recovered") ||
+		!strings.Contains(out, "scenario s0001: boom") {
+		t.Errorf("events missing:\n%s", out)
+	}
+}

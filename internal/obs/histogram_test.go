@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestQuantileEmptyAndEdges(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	h.Observe(100)
+	if got := h.Quantile(0); got != 100 {
+		t.Errorf("q=0 -> %d, want Min", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("q=1 -> %d, want Max", got)
+	}
+	if got := h.Quantile(0.5); got != 100 {
+		t.Errorf("single-sample median = %d, want 100 (clamped to [Min,Max])", got)
+	}
+}
+
+// TestQuantileUniform: on a uniform sample the power-of-two estimate
+// must land within one bucket width (2x relative error) of the truth.
+func TestQuantileUniform(t *testing.T) {
+	var h Histogram
+	for v := uint64(1); v <= 10000; v++ {
+		h.Observe(v)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want uint64
+	}{{0.5, 5000}, {0.9, 9000}, {0.99, 9900}} {
+		got := h.Quantile(tc.q)
+		// Power-of-two buckets guarantee at most 2x relative error.
+		if got < tc.want/2 || got > tc.want*2 {
+			t.Errorf("Quantile(%v) = %d, want within 2x of %d", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestQuantileMonotone: quantiles never decrease in q and always stay
+// inside [Min, Max].
+func TestQuantileMonotone(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		h.Observe(uint64(rng.Int63n(1 << 30)))
+	}
+	prev := uint64(0)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %d < previous %d", q, v, prev)
+		}
+		if v < h.Min() || v > h.Max() {
+			t.Fatalf("Quantile(%v) = %d outside [%d, %d]", q, v, h.Min(), h.Max())
+		}
+		prev = v
+	}
+}
+
+// TestQuantileTopBucket: values in the open top bucket (>= 2^63) must
+// not overflow the estimator.
+func TestQuantileTopBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(^uint64(0))
+	h.Observe(^uint64(0) - 5)
+	if got := h.Quantile(0.99); got < 1<<63 {
+		t.Errorf("top-bucket quantile = %d, want >= 2^63", got)
+	}
+}
+
+// TestMetricQuantileMatchesHistogram: the snapshot-side estimator
+// agrees with the live one (both interpolate the same fixed layout).
+func TestMetricQuantileMatchesHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dur")
+	for v := uint64(1); v <= 3000; v++ {
+		h.Observe(v)
+	}
+	var m Metric
+	for _, s := range r.Snapshot() {
+		if s.Name == "dur" {
+			m = s
+		}
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		if live, snap := h.Quantile(q), m.Quantile(q); live != snap {
+			t.Errorf("q=%v: live %d != snapshot %d", q, live, snap)
+		}
+	}
+	var empty Metric
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty Metric quantile != 0")
+	}
+}

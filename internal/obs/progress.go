@@ -20,10 +20,16 @@ type ProgressUpdate struct {
 	Failures int
 	// Elapsed is the wall-clock time since the meter was created.
 	Elapsed time.Duration
-	// RunsPerSec is the mean completion rate so far.
+	// RunsPerSec is the lifetime-mean completion rate: total completed
+	// over total elapsed. Stable, but on long campaigns with slow
+	// warmup it lags the true current rate badly.
 	RunsPerSec float64
-	// ETA estimates the remaining wall-clock time at the current rate
-	// (0 when the rate is still unknown).
+	// WindowRunsPerSec is the completion rate over the recent sample
+	// window (the last progressWindow steps), which tracks the current
+	// throughput. Zero until the window has at least two samples.
+	WindowRunsPerSec float64
+	// ETA estimates the remaining wall-clock time, preferring the
+	// window rate over the lifetime mean (0 when no rate is known).
 	ETA time.Duration
 	// Final marks the last update of the run.
 	Final bool
@@ -34,6 +40,16 @@ type ProgressUpdate struct {
 // with itself — the meter serializes calls.
 type ProgressFunc func(ProgressUpdate)
 
+// progressWindow is the number of recent completion samples the
+// sliding-rate window retains.
+const progressWindow = 64
+
+// progressSample records the wall clock at one completion count.
+type progressSample struct {
+	when      time.Time
+	completed int
+}
+
 // ProgressMeter tracks completions and streams rate-limited updates to
 // a callback. All methods are goroutine-safe; a nil meter is a no-op,
 // so campaign code can call Step/Finish unconditionally.
@@ -43,11 +59,17 @@ type ProgressMeter struct {
 	total     int
 	interval  time.Duration
 	fn        ProgressFunc
+	now       func() time.Time // injectable clock for rate tests
 	start     time.Time
 	lastEmit  time.Time
 	completed int
 	failures  int
 	finished  bool
+	// window is a ring of the most recent completion samples; head is
+	// the index of the next slot to overwrite, n the filled count.
+	window [progressWindow]progressSample
+	head   int
+	n      int
 }
 
 // DefaultProgressInterval is the rate limit applied when a meter is
@@ -66,10 +88,16 @@ func NewProgressMeter(name string, total int, interval time.Duration, fn Progres
 	if interval == 0 {
 		interval = DefaultProgressInterval
 	}
-	return &ProgressMeter{
+	m := &ProgressMeter{
 		name: name, total: total, interval: interval, fn: fn,
-		start: time.Now(),
+		now: time.Now,
 	}
+	m.start = m.now()
+	// Seed the window with the start instant so the first window rate
+	// spans "since start of the recent activity", not a single point.
+	m.window[0] = progressSample{when: m.start}
+	m.head, m.n = 1, 1
+	return m
 }
 
 // Step records one completed run (failed marks an unhandled failure)
@@ -84,7 +112,12 @@ func (m *ProgressMeter) Step(failed bool) {
 	if failed {
 		m.failures++
 	}
-	now := time.Now()
+	now := m.now()
+	m.window[m.head] = progressSample{when: now, completed: m.completed}
+	m.head = (m.head + 1) % progressWindow
+	if m.n < progressWindow {
+		m.n++
+	}
 	if m.interval > 0 && !m.lastEmit.IsZero() && now.Sub(m.lastEmit) < m.interval {
 		return
 	}
@@ -102,7 +135,22 @@ func (m *ProgressMeter) Finish() {
 		return
 	}
 	m.finished = true
-	m.emit(time.Now(), true)
+	m.emit(m.now(), true)
+}
+
+// windowRate computes the completion rate across the retained sample
+// window; caller holds m.mu.
+func (m *ProgressMeter) windowRate() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	oldest := m.window[(m.head-m.n+progressWindow)%progressWindow]
+	newest := m.window[(m.head-1+progressWindow)%progressWindow]
+	dt := newest.when.Sub(oldest.when)
+	if dt <= 0 || newest.completed <= oldest.completed {
+		return 0
+	}
+	return float64(newest.completed-oldest.completed) / dt.Seconds()
 }
 
 // emit builds and delivers one update; the caller holds m.mu, which
@@ -119,9 +167,16 @@ func (m *ProgressMeter) emit(now time.Time, final bool) {
 	}
 	if u.Elapsed > 0 && m.completed > 0 {
 		u.RunsPerSec = float64(m.completed) / u.Elapsed.Seconds()
-		if remaining := m.total - m.completed; remaining > 0 && u.RunsPerSec > 0 {
-			u.ETA = time.Duration(float64(remaining) / u.RunsPerSec * float64(time.Second))
-		}
+	}
+	u.WindowRunsPerSec = m.windowRate()
+	// The window rate reflects current throughput; the lifetime mean
+	// drags warmup along forever. Prefer the window for ETA.
+	rate := u.WindowRunsPerSec
+	if rate == 0 {
+		rate = u.RunsPerSec
+	}
+	if remaining := m.total - m.completed; remaining > 0 && rate > 0 {
+		u.ETA = time.Duration(float64(remaining) / rate * float64(time.Second))
 	}
 	m.fn(u)
 }

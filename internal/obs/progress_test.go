@@ -81,6 +81,71 @@ func TestProgressConcurrent(t *testing.T) {
 	}
 }
 
+// TestProgressWindowRate pins the ISSUE-7 rate fix: a campaign with a
+// slow warmup used to report a lifetime-mean RunsPerSec that dragged
+// the ETA far too high forever. The sliding window must report the
+// current (fast) rate while the lifetime mean still remembers the
+// warmup, and the ETA must follow the window.
+func TestProgressWindowRate(t *testing.T) {
+	var got []ProgressUpdate
+	m := NewProgressMeter("camp", 1000, -1, func(u ProgressUpdate) { got = append(got, u) })
+
+	// Deterministic clock: warmup does 1 run/s for 100s, steady state
+	// then does 100 runs/s.
+	now := m.start
+	m.now = func() time.Time { return now }
+	m.window[0] = progressSample{when: now} // re-seed with the fake clock
+
+	for i := 0; i < 100; i++ { // warmup: 1 run/s
+		now = now.Add(time.Second)
+		m.Step(false)
+	}
+	for i := 0; i < 200; i++ { // steady state: 100 runs/s
+		now = now.Add(10 * time.Millisecond)
+		m.Step(false)
+	}
+
+	last := got[len(got)-1]
+	// Lifetime mean: 300 runs in 102s ≈ 2.94 runs/s — the misleading
+	// number the meter used to report exclusively.
+	if last.RunsPerSec < 2.5 || last.RunsPerSec > 3.5 {
+		t.Errorf("lifetime RunsPerSec = %v, want ~2.94", last.RunsPerSec)
+	}
+	// Window rate: the last 64 samples are all steady-state, 100 runs/s.
+	if last.WindowRunsPerSec < 95 || last.WindowRunsPerSec > 105 {
+		t.Errorf("WindowRunsPerSec = %v, want ~100", last.WindowRunsPerSec)
+	}
+	// ETA must use the window rate: 700 remaining at 100/s = 7s, not
+	// the ~240s the lifetime mean would predict.
+	if last.ETA < 6*time.Second || last.ETA > 8*time.Second {
+		t.Errorf("ETA = %v, want ~7s (window-rate based)", last.ETA)
+	}
+}
+
+// TestProgressWindowRateEarly: before two samples exist the window
+// rate is 0 and ETA falls back to the lifetime mean.
+func TestProgressWindowRateEarly(t *testing.T) {
+	var got []ProgressUpdate
+	m := NewProgressMeter("camp", 10, -1, func(u ProgressUpdate) { got = append(got, u) })
+	now := m.start
+	m.now = func() time.Time { return now }
+	m.window[0] = progressSample{when: now}
+
+	now = now.Add(time.Second)
+	m.Step(false)
+	u := got[0]
+	if u.RunsPerSec != 1 {
+		t.Errorf("lifetime rate = %v, want 1", u.RunsPerSec)
+	}
+	// Window has the seed + one step: rate is computable and equals 1.
+	if u.WindowRunsPerSec != 1 {
+		t.Errorf("window rate = %v, want 1", u.WindowRunsPerSec)
+	}
+	if u.ETA != 9*time.Second {
+		t.Errorf("ETA = %v, want 9s", u.ETA)
+	}
+}
+
 // TestProgressLine renders a live stderr-style line.
 func TestProgressLine(t *testing.T) {
 	var buf bytes.Buffer

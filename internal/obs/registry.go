@@ -216,6 +216,60 @@ func (m Metric) Label(key string) string {
 	return ""
 }
 
+// Quantile estimates the q-quantile of a histogram Metric from its
+// snapshot buckets, with the same interpolate-and-clamp scheme as
+// Histogram.Quantile. Non-histogram metrics and empty histograms
+// return 0.
+func (m Metric) Quantile(q float64) uint64 {
+	if m.Count == 0 || len(m.Buckets) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return m.Min
+	}
+	if q >= 1 {
+		return m.Max
+	}
+	rank := uint64(q * float64(m.Count))
+	if float64(rank) < q*float64(m.Count) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > m.Count {
+		rank = m.Count
+	}
+	var cum uint64
+	for _, b := range m.Buckets {
+		if cum+b.Count >= rank {
+			// The power-of-two layout fixes a bucket's true range from its
+			// upper bound alone: Le = 2^i - 1 covers [2^(i-1), 2^i - 1].
+			lo, le := uint64(0), b.Le
+			switch {
+			case le == 0:
+				// zero-only bucket
+			case le == ^uint64(0):
+				lo, le = 1<<63, 1<<63
+			default:
+				lo = (le + 1) / 2
+			}
+			frac := (float64(rank-cum) - 0.5) / float64(b.Count)
+			v := float64(lo) + frac*float64(le-lo)
+			est := uint64(v)
+			if est < m.Min {
+				est = m.Min
+			}
+			if est > m.Max {
+				est = m.Max
+			}
+			return est
+		}
+		cum += b.Count
+	}
+	return m.Max
+}
+
 // Snapshot returns a point-in-time copy of every metric, sorted by
 // canonical name. Concurrent writers may land between individual
 // reads; each single metric is read atomically.

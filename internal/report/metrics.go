@@ -11,12 +11,13 @@ import (
 // .Snapshot, possibly filtered) as a result table — the renderer the
 // experiment harness uses for its wall-clock attribution tables.
 // Counter and gauge rows fill only the value column; histogram rows
-// add count/mean/min/max. Metrics whose name ends in "_ns" are
-// nanosecond quantities and render as milliseconds.
+// add count/mean/min/max plus p50/p99 estimated from the exponential
+// buckets. Metrics whose name ends in "_ns" are nanosecond quantities
+// and render as milliseconds.
 func MetricsTable(title string, metrics []obs.Metric) *Table {
 	t := &Table{
 		Title:   title,
-		Columns: []string{"metric", "kind", "value", "count", "mean", "min", "max"},
+		Columns: []string{"metric", "kind", "value", "count", "mean", "min", "p50", "p99", "max"},
 	}
 	for _, m := range metrics {
 		ns := len(m.Name) > 3 && m.Name[len(m.Name)-3:] == "_ns"
@@ -29,9 +30,11 @@ func MetricsTable(title string, metrics []obs.Metric) *Table {
 		switch m.Kind {
 		case "histogram":
 			t.AddRow(m.Full, m.Kind, val(float64(m.Sum)), m.Count,
-				val(m.Mean), val(float64(m.Min)), val(float64(m.Max)))
+				val(m.Mean), val(float64(m.Min)),
+				val(float64(m.Quantile(0.5))), val(float64(m.Quantile(0.99))),
+				val(float64(m.Max)))
 		default:
-			t.AddRow(m.Full, m.Kind, val(m.Value), "", "", "", "")
+			t.AddRow(m.Full, m.Kind, val(m.Value), "", "", "", "", "", "")
 		}
 	}
 	return t

@@ -22,6 +22,7 @@ func TestMetricsTable(t *testing.T) {
 		"campaign.runs{campaign=e8}", "counter", "156",
 		"gauge", "0.83",
 		"exp.phase_ns{phase=campaign}", "histogram", "6ms", "3ms", // sum, mean
+		"p50", "p99",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics table missing %q:\n%s", want, out)
@@ -29,5 +30,29 @@ func TestMetricsTable(t *testing.T) {
 	}
 	if len(tb.Rows) != 3 {
 		t.Errorf("rows = %d, want 3", len(tb.Rows))
+	}
+}
+
+// TestMetricsTableQuantiles: the histogram row's p50/p99 come from the
+// bucket estimator and stay inside [min, max].
+func TestMetricsTableQuantiles(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("dur")
+	for v := 1; v <= 1000; v++ {
+		h.Observe(uint64(v))
+	}
+	snap := reg.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot = %d metrics", len(snap))
+	}
+	p50, p99 := snap[0].Quantile(0.5), snap[0].Quantile(0.99)
+	if p50 < 250 || p50 > 1000 || p99 < p50 || p99 > 1000 {
+		t.Errorf("p50=%d p99=%d from uniform 1..1000", p50, p99)
+	}
+	out := MetricsTable("q", snap).Render()
+	for _, want := range []string{"p50", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
 	}
 }

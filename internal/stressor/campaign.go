@@ -3,6 +3,7 @@ package stressor
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strconv"
 	"sync"
@@ -123,6 +124,20 @@ type Campaign struct {
 	// Trace, when non-nil, records one span per scenario run on the
 	// executing worker's trace row (Chrome trace-event timeline).
 	Trace *obs.TraceRecorder
+	// Flight, when non-nil, receives low-volume operational marks —
+	// scenario timeouts, recovered panics, slow-scenario warnings, halt
+	// and journal failures — into the daemon's flight-recorder ring.
+	// Unlike Metrics it records *events*, not aggregates, so a wedged
+	// campaign leaves a readable last-moments trail.
+	Flight *obs.FlightRecorder
+	// SlowScenario, when positive, marks any single run whose wall
+	// clock meets or exceeds it in the flight recorder and the log —
+	// the "which scenario is dragging this campaign" probe.
+	SlowScenario time.Duration
+	// Log, when non-nil, receives structured engine events (start,
+	// finish, halt, timeouts, panics, journal failures) via log/slog.
+	// The Result is identical with or without it.
+	Log *slog.Logger
 	// Progress, when non-nil, receives rate-limited live updates
 	// (completed/total, failures, rate, ETA) while the campaign runs.
 	Progress obs.ProgressFunc
@@ -155,9 +170,16 @@ type Result struct {
 // *campaignObs is valid and free: uninstrumented campaigns skip all
 // timing calls.
 type campaignObs struct {
-	meter *obs.ProgressMeter
-	trace *obs.TraceRecorder
-	dur   *obs.Histogram
+	meter  *obs.ProgressMeter
+	trace  *obs.TraceRecorder
+	flight *obs.FlightRecorder
+	log    *slog.Logger
+	dur    *obs.Histogram
+	// completed counts runs live (incremented as each run finishes) so
+	// a mid-flight /metrics scrape sees the campaign moving — unlike
+	// the end-of-run counters publish folds in after Execute returns.
+	completed *obs.Counter
+	slow      time.Duration
 	// busy accumulates per-worker run time; each worker touches only
 	// its own slot and the slice is read after the pool joins.
 	busy []time.Duration
@@ -166,15 +188,20 @@ type campaignObs struct {
 // newObs builds the instrumentation state, or nil when the campaign
 // carries no observability hooks.
 func (c *Campaign) newObs(total, workers int) *campaignObs {
-	if c.Metrics == nil && c.Trace == nil && c.Progress == nil {
+	if c.Metrics == nil && c.Trace == nil && c.Progress == nil &&
+		c.Flight == nil && c.Log == nil {
 		return nil
 	}
 	o := &campaignObs{
-		meter: obs.NewProgressMeter(c.Name, total, c.ProgressInterval, c.Progress),
-		trace: c.Trace,
+		meter:  obs.NewProgressMeter(c.Name, total, c.ProgressInterval, c.Progress),
+		trace:  c.Trace,
+		flight: c.Flight,
+		log:    c.Log,
+		slow:   c.SlowScenario,
 	}
 	if c.Metrics != nil {
 		o.dur = c.Metrics.Histogram("campaign.scenario_duration_ns", obs.L("campaign", c.Name))
+		o.completed = c.Metrics.Counter("campaign.completed", obs.L("campaign", c.Name))
 		if workers == 0 {
 			workers = 1
 		}
@@ -193,7 +220,7 @@ func (c *Campaign) runOne(o *campaignObs, sc fault.Scenario, worker int, do func
 	}
 	sp := o.trace.Begin("campaign", sc.ID, worker)
 	var t0 time.Time
-	timed := o.dur != nil || o.busy != nil
+	timed := o.dur != nil || o.busy != nil || o.slow > 0
 	if timed {
 		t0 = time.Now()
 	}
@@ -206,6 +233,27 @@ func (c *Campaign) runOne(o *campaignObs, sc fault.Scenario, worker int, do func
 		if o.busy != nil {
 			o.busy[worker] += d
 		}
+		if o.slow > 0 && d >= o.slow && !timedOut {
+			o.flight.Recordf("scenario.slow", c.Name, "%s took %v (budget %v)", sc.ID, d.Round(time.Millisecond), o.slow)
+			if o.log != nil {
+				o.log.Warn("slow scenario", "campaign", c.Name, "scenario", sc.ID, "took", d, "budget", o.slow)
+			}
+		}
+	}
+	switch {
+	case timedOut:
+		o.flight.Recordf("scenario.timeout", c.Name, "%s exceeded %v", sc.ID, c.ScenarioTimeout)
+		if o.log != nil {
+			o.log.Warn("scenario timeout", "campaign", c.Name, "scenario", sc.ID, "budget", c.ScenarioTimeout)
+		}
+	case panicked:
+		o.flight.Recordf("panic.recovered", c.Name, "scenario %s: %s", sc.ID, out.Detail)
+		if o.log != nil {
+			o.log.Warn("panic recovered", "campaign", c.Name, "scenario", sc.ID, "detail", out.Detail)
+		}
+	}
+	if o.completed != nil {
+		o.completed.Inc()
 	}
 	sp.Arg("class", out.Class.String()).End()
 	o.meter.Step(out.Class.IsFailure())
@@ -354,6 +402,11 @@ func (c *Campaign) Execute(scenarios []fault.Scenario) (*Result, error) {
 	}
 
 	e.obs = c.newObs(len(todo), workers)
+	if c.Log != nil {
+		c.Log.Info("campaign start", "campaign", c.Name,
+			"scenarios", len(scenarios), "todo", len(todo),
+			"workers", workers, "resumed", e.resumedSkips)
+	}
 	start := time.Now()
 	if workers == 0 {
 		e.seq(todo)
@@ -361,6 +414,10 @@ func (c *Campaign) Execute(scenarios []fault.Scenario) (*Result, error) {
 		e.par(todo, workers)
 	}
 	if e.journalErr != nil {
+		c.Flight.Recordf("journal.error", c.Name, "%v", e.journalErr)
+		if c.Log != nil {
+			c.Log.Error("journal append failed", "campaign", c.Name, "err", e.journalErr)
+		}
 		return nil, fmt.Errorf("campaign %s: %w", c.Name, e.journalErr)
 	}
 	outs, ran, panicked := e.outs, e.ran, e.panicked
@@ -371,7 +428,18 @@ func (c *Campaign) Execute(scenarios []fault.Scenario) (*Result, error) {
 	if uniq != nil {
 		res.DedupSavedRuns = len(scenarios) - len(uniq)
 	}
-	c.publish(e, res, time.Since(start))
+	elapsed := time.Since(start)
+	if e.halted {
+		c.Flight.Recordf("campaign.halt", c.Name, "halted after %d runs", e.completed)
+		if c.Log != nil {
+			c.Log.Info("campaign halted", "campaign", c.Name, "completed", e.completed)
+		}
+	} else if c.Log != nil {
+		c.Log.Info("campaign done", "campaign", c.Name,
+			"runs", len(res.Outcomes), "failures", res.Tally.Failures(),
+			"panics", res.PanicRecoveries, "elapsed", elapsed)
+	}
+	c.publish(e, res, elapsed)
 	return res, nil
 }
 

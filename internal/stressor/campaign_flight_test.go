@@ -1,0 +1,177 @@
+package stressor
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// flightKinds collects the Kind of every retained flight event.
+func flightKinds(f *obs.FlightRecorder) map[string]int {
+	kinds := map[string]int{}
+	for _, e := range f.Snapshot() {
+		kinds[e.Kind]++
+	}
+	return kinds
+}
+
+// TestCampaignFlightTimeoutAndPanicMarks: timeouts and recovered
+// panics leave flight-recorder marks alongside their Result entries.
+func TestCampaignFlightTimeoutAndPanicMarks(t *testing.T) {
+	scenarios := makeScenarios(6)
+	fr := obs.NewFlightRecorder(32)
+	c := &Campaign{
+		Name: "fl",
+		Run: func(sc fault.Scenario) fault.Outcome {
+			switch sc.ID {
+			case scenarios[2].ID:
+				select {} // hang: exceeds the scenario budget
+			case scenarios[4].ID:
+				panic("injector exploded")
+			}
+			return fault.Outcome{Scenario: sc, Class: fault.Masked}
+		},
+		ScenarioTimeout: 20 * time.Millisecond,
+		Flight:          fr,
+	}
+	res, err := c.Execute(scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tally[fault.Timeout] != 1 || res.PanicRecoveries != 1 {
+		t.Fatalf("tally = %v, panics = %d", res.Tally, res.PanicRecoveries)
+	}
+	kinds := flightKinds(fr)
+	if kinds["scenario.timeout"] != 1 {
+		t.Errorf("flight kinds = %v, want one scenario.timeout", kinds)
+	}
+	if kinds["panic.recovered"] != 1 {
+		t.Errorf("flight kinds = %v, want one panic.recovered", kinds)
+	}
+	for _, e := range fr.Snapshot() {
+		if e.Run != "fl" {
+			t.Errorf("flight event not labeled with the campaign: %+v", e)
+		}
+	}
+}
+
+// TestCampaignFlightSlowMark: a run at or over SlowScenario leaves a
+// scenario.slow mark; fast runs do not.
+func TestCampaignFlightSlowMark(t *testing.T) {
+	scenarios := makeScenarios(4)
+	fr := obs.NewFlightRecorder(16)
+	c := &Campaign{
+		Name: "sl",
+		Run: func(sc fault.Scenario) fault.Outcome {
+			if sc.ID == scenarios[1].ID {
+				time.Sleep(30 * time.Millisecond)
+			}
+			return fault.Outcome{Scenario: sc, Class: fault.Masked}
+		},
+		SlowScenario: 10 * time.Millisecond,
+		Flight:       fr,
+	}
+	if _, err := c.Execute(scenarios); err != nil {
+		t.Fatal(err)
+	}
+	kinds := flightKinds(fr)
+	if kinds["scenario.slow"] != 1 {
+		t.Errorf("flight kinds = %v, want exactly one scenario.slow", kinds)
+	}
+	var detail string
+	for _, e := range fr.Snapshot() {
+		if e.Kind == "scenario.slow" {
+			detail = e.Detail
+		}
+	}
+	if !strings.Contains(detail, scenarios[1].ID) {
+		t.Errorf("slow mark detail %q does not name the scenario", detail)
+	}
+}
+
+// TestCampaignLiveCompletedCounter: campaign.completed ticks while the
+// campaign runs (unlike the end-of-run counters publish adds), so a
+// mid-flight /metrics scrape sees progress. Sequential execution makes
+// the expected count at each step exact.
+func TestCampaignLiveCompletedCounter(t *testing.T) {
+	const n = 8
+	scenarios := makeScenarios(n)
+	reg := obs.NewRegistry()
+	ctr := reg.Counter("campaign.completed", obs.L("campaign", "live"))
+	sawMidFlight := false
+	var idx int
+	c := &Campaign{
+		Name: "live",
+		Run: func(sc fault.Scenario) fault.Outcome {
+			if got, want := ctr.Value(), uint64(idx); got != want {
+				t.Errorf("run %d: live completed = %d, want %d", idx, got, want)
+			}
+			if idx > 0 {
+				sawMidFlight = true
+			}
+			idx++
+			return fault.Outcome{Scenario: sc, Class: fault.Masked}
+		},
+		Metrics: reg,
+	}
+	if _, err := c.Execute(scenarios); err != nil {
+		t.Fatal(err)
+	}
+	if !sawMidFlight {
+		t.Error("never observed a non-zero live counter mid-flight")
+	}
+	if got := ctr.Value(); got != n {
+		t.Errorf("final live completed = %d, want %d", got, n)
+	}
+	// The end-of-run counter agrees.
+	if got := reg.Counter("campaign.runs", obs.L("campaign", "live")).Value(); got != n {
+		t.Errorf("campaign.runs = %d, want %d", got, n)
+	}
+}
+
+// TestCampaignSlogEvents: an attached slog logger sees structured
+// start/done records carrying the campaign name.
+func TestCampaignSlogEvents(t *testing.T) {
+	var buf bytes.Buffer
+	lg := slog.New(slog.NewJSONHandler(&buf, nil))
+	scenarios := makeScenarios(3)
+	c := &Campaign{
+		Name: "lg",
+		Run: func(sc fault.Scenario) fault.Outcome {
+			return fault.Outcome{Scenario: sc, Class: fault.Masked}
+		},
+		Log: lg,
+	}
+	if _, err := c.Execute(scenarios); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"msg":"campaign start"`) || !strings.Contains(out, `"msg":"campaign done"`) {
+		t.Errorf("log output missing start/done records:\n%s", out)
+	}
+	if !strings.Contains(out, `"campaign":"lg"`) {
+		t.Errorf("log records not labeled with the campaign:\n%s", out)
+	}
+
+	// A halted campaign logs the halt instead of "done".
+	buf.Reset()
+	halted := &Campaign{
+		Name: "lg",
+		Run: func(sc fault.Scenario) fault.Outcome {
+			return fault.Outcome{Scenario: sc, Class: fault.Masked}
+		},
+		Halt: func(completed int) bool { return completed >= 1 },
+		Log:  lg,
+	}
+	if _, err := halted.Execute(scenarios); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"msg":"campaign halted"`) {
+		t.Errorf("halted campaign did not log the halt:\n%s", buf.String())
+	}
+}
