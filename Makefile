@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race tier1 bench bench-smoke bench-campaign bench-json bench-reuse bench-sharded bench-checkpoint bench-daemon bench-obs fuzz-smoke daemon-e2e
+.PHONY: all build vet test race tier1 bench bench-smoke bench-campaign bench-json bench-reuse bench-sharded bench-checkpoint bench-tree bench-daemon bench-obs fuzz-smoke daemon-e2e
 
 all: tier1
 
@@ -52,6 +52,13 @@ bench-sharded:
 # benchstat, or regenerate the committed BENCH_PR5.json snapshot.
 bench-checkpoint:
 	$(GO) run ./cmd/benchjson -bench BenchmarkCampaignCheckpointed -benchtime 10x -o BENCH_PR5.json .
+
+# Checkpoint tree + convergence early-exit vs the single-checkpoint
+# and reuse paths on the E8 transient sweep (the PR 8 tentpole);
+# compare checkpointed/* with tree*/* using benchstat, or regenerate
+# the committed BENCH_PR8.json snapshot.
+bench-tree:
+	$(GO) run ./cmd/benchjson -bench BenchmarkCampaignTree -benchtime 10x -o BENCH_PR8.json .
 
 # Native fuzzing smoke: run each fuzz target for FUZZTIME (~30s total
 # at the default). The seed corpora alone run under `go test`; this

@@ -334,6 +334,84 @@ func BenchmarkCampaignCheckpointed(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignTree is the PR 8 tentpole measurement: the E8
+// transient sweep (every injection site x four sub-frame injection
+// offsets at inject=10ms, 400us pulses, h=80ms full horizon) across
+// four engine modes. reuse and checkpointed are the PR 3/PR 5
+// baselines; tree replaces the single rolling checkpoint with the
+// retained-node tree; tree+ee adds convergence early-exit against the
+// golden trajectory. Transient pulses this short leave most runs
+// dynamically identical to the golden run within a stride or two of
+// the revert, so early-exit truncates ~3/4 of the universe (62/84
+// scenarios converge; the rest latch a detection or corrupt persistent
+// state and must run out the horizon). The acceptance bar is >= 2x on
+// the tree+ee vs checkpointed sequential pair; every mode produces the
+// identical tally (cross-checked each iteration), and byte-identical
+// full results are pinned by the stressortest matrix.
+func BenchmarkCampaignTree(b *testing.B) {
+	horizon := sim.MS(80)
+	ref, err := caps.NewRunner(caps.Protected(), caps.NormalDriving(), horizon)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var universe []fault.Descriptor
+	for _, off := range []sim.Time{0, sim.US(250), sim.US(500), sim.US(750)} {
+		for _, d := range ref.Universe(sim.MS(10) + off) {
+			d.Name += "+t400us@" + off.String()
+			d.Class = fault.Transient
+			d.Duration = sim.US(400)
+			universe = append(universe, d)
+		}
+	}
+	scenarios := fault.Singles(universe)
+	want, err := (&stressor.Campaign{Name: "ref", Run: ref.RunFunc()}).Execute(scenarios)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref.Close()
+	for _, mode := range []struct {
+		name                     string
+		checkpoints, tree, early bool
+	}{
+		{"reuse", false, false, false},
+		{"checkpointed", true, false, false},
+		{"tree", true, true, false},
+		{"tree+ee", true, true, true},
+	} {
+		for _, wc := range []struct {
+			name    string
+			workers int
+		}{{"sequential", 0}, {fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0)), stressor.WorkersAuto}} {
+			b.Run(mode.name+"/"+wc.name, func(b *testing.B) {
+				runner, err := caps.NewRunner(caps.Protected(), caps.NormalDriving(), horizon)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer runner.Close()
+				c := &stressor.Campaign{Name: "bench", Run: runner.RunFunc(), Workers: wc.workers}
+				if mode.checkpoints {
+					c.Checkpoints = true
+					c.Checkpointer = runner
+					c.CheckpointTree = mode.tree
+					c.EarlyExit = mode.early
+				}
+				b.ReportAllocs()
+				b.ReportMetric(float64(len(scenarios)), "scenarios/op")
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := c.Execute(scenarios)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Tally.String() != want.Tally.String() {
+						b.Fatalf("tally %s != reference %s", res.Tally, want.Tally)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkKernelTimedScheduling isolates the allocation-lean event
 // queue: a reused kernel running a self-retriggering timed event in
 // steady state. allocs/op must report 0 (also pinned by

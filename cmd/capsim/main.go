@@ -10,6 +10,7 @@
 //	capsim -sites                  # list injection sites
 //	capsim -campaign -workers -1   # exhaustive single-fault campaign, one worker per CPU
 //	capsim -campaign e8 -workers -1 -checkpoints   # restore the golden prefix instead of re-simulating it
+//	capsim -campaign e8 -checkpoint-tree -early-exit   # fork from retained tree nodes, stop on re-convergence
 //	capsim -campaign e8 -progress -metrics m.json -trace-events t.json
 //	capsim -campaign e8 -shard 0/4 -journal shard0.jsonl   # one shard of four
 //	capsim -campaign e8 -shard 0/4 -journal shard0.jsonl -resume
@@ -80,6 +81,9 @@ func main() {
 	workers := flag.Int("workers", 0, "campaign worker-pool size: 0 = sequential, -1 = one per CPU")
 	reuseOff := flag.Bool("reuse-off", false, "rebuild the prototype for every scenario instead of reusing pooled kernels")
 	checkpoints := flag.Bool("checkpoints", false, "snapshot the golden prefix per worker and restore it instead of re-simulating (implies kernel reuse)")
+	checkpointTree := flag.Bool("checkpoint-tree", false, "retain a tree of golden-prefix snapshots and fork each scenario from the deepest shared one (implies -checkpoints)")
+	earlyExit := flag.Bool("early-exit", false, "terminate a run the moment its state hash re-converges with the golden trajectory (implies -checkpoints)")
+	hashStride := flag.String("hash-stride", "", "golden-trajectory hashing interval for -early-exit (e.g. 5ms; default horizon/16)")
 	dedup := flag.Bool("dedup", false, "collapse campaign scenarios with identical fault content into one run")
 	metricsPath := flag.String("metrics", "", "write the metrics snapshot (JSON) to this file")
 	tracePath := flag.String("trace-events", "", "write Chrome trace-event JSON to this file")
@@ -186,6 +190,10 @@ func main() {
 			Shard: shard, ScenarioTimeout: *scenarioTimeout,
 			Log: campaignLog,
 		}
+		if *checkpointTree || *earlyExit || *hashStride != "" {
+			// Tree and early-exit modes build on checkpoint sessions.
+			*checkpoints = true
+		}
 		if *checkpoints {
 			if *reuseOff {
 				fmt.Fprintln(os.Stderr, "-checkpoints requires kernel reuse; drop -reuse-off")
@@ -193,6 +201,20 @@ func main() {
 			}
 			c.Checkpoints = true
 			c.Checkpointer = runner
+			c.CheckpointTree = *checkpointTree
+			c.EarlyExit = *earlyExit
+			if *hashStride != "" {
+				if !*earlyExit {
+					fmt.Fprintln(os.Stderr, "-hash-stride only applies with -early-exit")
+					os.Exit(2)
+				}
+				stride, err := fault.ParseDuration(*hashStride)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(2)
+				}
+				c.HashStride = stride
+			}
 		}
 		if *progress {
 			c.Progress = obs.ProgressLine(os.Stderr)

@@ -15,6 +15,9 @@ func FuzzCampaignSpec(f *testing.F) {
 	f.Add([]byte(`{"campaign":"e8","universe":{"kind":"caps-single-fault","horizon":"80ms"},"workers":-1}`))
 	f.Add([]byte(`{"universe":{"kind":"inline","horizon":"1ms","scenarios":[{"id":"a","faults":"open @caps.accel0.harness from 100us"}]}}`))
 	f.Add([]byte(`{"universe":{"kind":"caps-single-fault","inject":"5ms"},"shard":"0/4","dedup":true,"checkpoints":true}`))
+	f.Add([]byte(`{"universe":{},"checkpoint_tree":true,"early_exit":true,"hash_stride":"5ms"}`))
+	f.Add([]byte(`{"universe":{},"hash_stride":"5ms"}`))
+	f.Add([]byte(`{"universe":{"horizon":"1ms"},"early_exit":true,"hash_stride":"2ms"}`))
 	f.Add([]byte(`{"universe":{},"scenario_timeout":"2s","stop_on_first":true}`))
 	f.Add([]byte(`{"workers":9999999}`))
 	f.Add([]byte(`{"universe":{"kind":"inline","scenarios":[{"id":"a","faults":"gibberish"}]}}`))
@@ -46,6 +49,15 @@ func FuzzCampaignSpec(f *testing.F) {
 		if n := len(spec.Universe.Scenarios); n > MaxInlineScenarios {
 			t.Fatalf("accepted %d inline scenarios above cap", n)
 		}
+		if st := spec.Stride(); st > spec.Horizon() {
+			t.Fatalf("accepted hash stride %d past horizon %d", st, spec.Horizon())
+		}
+		if (spec.CheckpointTree || spec.EarlyExit) && !spec.Checkpoints {
+			t.Fatal("accepted tree/early-exit spec without checkpoints implied")
+		}
+		if spec.HashStride != "" && !spec.EarlyExit {
+			t.Fatal("accepted hash_stride without early_exit")
+		}
 		// RunnerKey must be total on accepted specs.
 		if spec.RunnerKey() == "" {
 			t.Fatal("empty runner key for accepted spec")
@@ -61,7 +73,9 @@ func FuzzCampaignSpec(f *testing.F) {
 			t.Fatalf("re-parse of marshaled spec %s: %v", remarshaled, err)
 		}
 		if again.RunnerKey() != spec.RunnerKey() || again.Horizon() != spec.Horizon() ||
-			again.ShardSpec() != spec.ShardSpec() || again.Timeout() != spec.Timeout() {
+			again.ShardSpec() != spec.ShardSpec() || again.Timeout() != spec.Timeout() ||
+			again.Stride() != spec.Stride() || again.CheckpointTree != spec.CheckpointTree ||
+			again.EarlyExit != spec.EarlyExit {
 			t.Fatalf("round trip changed the spec: %s", remarshaled)
 		}
 	})

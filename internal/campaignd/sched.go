@@ -427,6 +427,9 @@ func (s *Scheduler) execute(id string) {
 	if spec.Checkpoints {
 		c.Checkpoints = true
 		c.Checkpointer = ent.pool
+		c.CheckpointTree = spec.CheckpointTree
+		c.EarlyExit = spec.EarlyExit
+		c.HashStride = spec.Stride()
 	}
 	res, err := c.Execute(scenarios)
 	if cerr := jw.Close(); cerr != nil && err == nil {
@@ -618,6 +621,25 @@ type sessionPool struct {
 // ForkTime delegates to the wrapped Checkpointer.
 func (p *sessionPool) ForkTime(sc fault.Scenario) (sim.Time, bool) {
 	return p.inner.ForkTime(sc)
+}
+
+// NewTreeSession implements stressor.TreeCheckpointer by delegating to
+// the wrapped runner. Unlike plain sessions, tree sessions are not
+// parked across runs: their metrics sink and trajectory are run-scoped
+// (a parked session would keep publishing to a finished run's
+// registry), and the expensive state — retained node buffers, golden
+// trajectories — already lives in runner-level pools that survive the
+// session. Close therefore really closes them, and abandonment
+// recycling reaches the session directly.
+func (p *sessionPool) NewTreeSession(cfg stressor.TreeConfig) stressor.CheckpointSession {
+	tc, ok := p.inner.(stressor.TreeCheckpointer)
+	if !ok {
+		// Campaign validation type-checks the Checkpointer before any
+		// run; the CAPS runner always implements TreeCheckpointer.
+		panic(fmt.Sprintf("campaignd: %T does not implement TreeCheckpointer", p.inner))
+	}
+	p.created.Add(1)
+	return tc.NewTreeSession(cfg)
 }
 
 // NewSession pops a parked session or creates a fresh one.

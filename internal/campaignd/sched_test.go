@@ -283,6 +283,37 @@ func TestSchedulerWarmRunnerAndSessionReuse(t *testing.T) {
 	}
 }
 
+// TestSchedulerTreeEarlyExitResultIdentical is the daemon surface of
+// the engine's byte-identity promise: a checkpoint-tree + early-exit
+// spec must produce the identical result document (modulo run ID) to
+// the plain spec of the same campaign.
+func TestSchedulerTreeEarlyExitResultIdentical(t *testing.T) {
+	sched, err := NewScheduler(Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Start()
+	defer sched.Stop()
+
+	base := `"campaign":"tree","universe":{"kind":"caps-single-fault","horizon":"30ms","inject":"5ms"}`
+	plain := runToCompletion(t, sched, `{`+base+`}`)
+	tree := runToCompletion(t, sched, `{`+base+`,"checkpoint_tree":true,"early_exit":true,"hash_stride":"5ms"}`)
+
+	b1, err := sched.Store().ReadResult(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := sched.Store().ReadResult(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := strings.ReplaceAll(string(b1), `"id":"`+plain+`"`, `"id":"r"`)
+	s2 := strings.ReplaceAll(string(b2), `"id":"`+tree+`"`, `"id":"r"`)
+	if s1 != s2 {
+		t.Errorf("tree+early-exit run produced a different result document\nplain: %s\ntree:  %s", s1, s2)
+	}
+}
+
 // TestRunnerCacheHitAllocs pins the allocation cost of the warm-path
 // cache lookup: a hit must stay a map probe plus the key formatting,
 // not a rebuild.

@@ -73,6 +73,17 @@ type Spec struct {
 	// (capsim -checkpoints). The daemon keeps the checkpoint sessions
 	// alive across runs.
 	Checkpoints bool `json:"checkpoints,omitempty"`
+	// CheckpointTree retains a tree of golden-prefix snapshots and
+	// forks each scenario from the deepest shared one
+	// (capsim -checkpoint-tree). Implies checkpoints.
+	CheckpointTree bool `json:"checkpoint_tree,omitempty"`
+	// EarlyExit terminates a run the moment its state hash re-converges
+	// with the golden trajectory (capsim -early-exit). Implies
+	// checkpoints.
+	EarlyExit bool `json:"early_exit,omitempty"`
+	// HashStride is the golden-trajectory hashing interval for
+	// EarlyExit, e.g. "5ms" (capsim -hash-stride; default horizon/16).
+	HashStride string `json:"hash_stride,omitempty"`
 	// StopOnFirst aborts at the first unhandled failure.
 	StopOnFirst bool `json:"stop_on_first,omitempty"`
 	// Shard restricts the run to one partition, "i/N" (capsim -shard).
@@ -89,6 +100,7 @@ type Spec struct {
 	// Parsed forms, populated by Validate.
 	horizon sim.Time
 	inject  sim.Time
+	stride  sim.Time
 	shard   stressor.Shard
 	timeout time.Duration
 }
@@ -235,6 +247,26 @@ func (s *Spec) Validate() error {
 	} else {
 		s.shard = stressor.Shard{}
 	}
+	if s.CheckpointTree || s.EarlyExit {
+		// Tree and early-exit modes build on checkpoint sessions, the
+		// same way capsim's flags imply -checkpoints.
+		s.Checkpoints = true
+	}
+	if s.HashStride != "" {
+		if !s.EarlyExit {
+			return fmt.Errorf("campaignd: hash_stride set without early_exit")
+		}
+		stride, err := fault.ParseDuration(s.HashStride)
+		if err != nil {
+			return fmt.Errorf("campaignd: hash_stride: %w", err)
+		}
+		if stride <= 0 || stride > horizon {
+			return fmt.Errorf("campaignd: hash_stride %s out of range (0, horizon]", s.HashStride)
+		}
+		s.stride = stride
+	} else {
+		s.stride = 0
+	}
 	if s.ScenarioTimeout != "" {
 		d, err := time.ParseDuration(s.ScenarioTimeout)
 		if err != nil {
@@ -305,6 +337,9 @@ func (s *Spec) Horizon() sim.Time { return s.horizon }
 
 // Timeout returns the parsed per-scenario wall-clock budget.
 func (s *Spec) Timeout() time.Duration { return s.timeout }
+
+// Stride returns the parsed early-exit hash stride (0 = default).
+func (s *Spec) Stride() sim.Time { return s.stride }
 
 // Inline reports whether the universe is client-supplied.
 func (s *Spec) Inline() bool { return s.Universe.Kind == KindInline }

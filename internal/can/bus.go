@@ -446,6 +446,84 @@ func (b *Bus) SnapshotState() any {
 	return st
 }
 
+// SnapshotStateInto implements sim.StatePooler: SnapshotState reusing
+// the buffers of a previous capture (log, queues, retry map), so
+// checkpoint trees fork allocation-free in steady state.
+func (b *Bus) SnapshotStateInto(prev any) any {
+	st, _ := prev.(*BusState)
+	if st == nil {
+		return b.SnapshotState()
+	}
+	st.busy = b.busy
+	st.txWinner = -1
+	st.txFrame = b.txFrame
+	st.log = append(st.log[:0], b.log...)
+	st.corruptNext = b.corruptNext
+	st.dropNext = b.dropNext
+	clear(st.retriesLeft)
+	st.arbs = b.arbitrations
+	if cap(st.nodes) < len(b.nodes) {
+		st.nodes = make([]nodeState, len(b.nodes))
+	}
+	st.nodes = st.nodes[:len(b.nodes)]
+	for i, n := range b.nodes {
+		if n == b.txWinner {
+			st.txWinner = i
+		}
+		if left, ok := b.retriesLeft[n]; ok {
+			st.retriesLeft[i] = left
+		}
+		ns := &st.nodes[i]
+		ns.tec, ns.rec, ns.state = n.tec, n.rec, n.state
+		ns.queue = append(ns.queue[:0], n.queue...)
+		ns.sent, ns.received, ns.errors = n.sent, n.received, n.errorsSeen
+		ns.babbling = n.Babbling
+	}
+	return st
+}
+
+// HashState implements sim.Hashable, folding the bus state that can
+// influence future traffic or deliveries: the in-flight transmission,
+// channel-fault budgets, retry budgets, and each node's error
+// counters, confinement state, queue and babbling flag. The
+// transaction log, arbitration count and per-node sent/received/error
+// statistics are diagnostics nothing behavioral reads back — including
+// them would keep transient bus faults from ever converging.
+func (b *Bus) HashState(h *sim.StateHash) {
+	h.Bool(b.busy)
+	wi := -1
+	for i, n := range b.nodes {
+		if n == b.txWinner {
+			wi = i
+		}
+	}
+	h.Int(wi)
+	hashFrame(h, b.txFrame)
+	h.Int(b.corruptNext)
+	h.Int(b.dropNext)
+	for _, n := range b.nodes {
+		left, ok := b.retriesLeft[n]
+		h.Bool(ok)
+		if ok {
+			h.Int(left)
+		}
+		h.Int(n.tec)
+		h.Int(n.rec)
+		h.Byte(byte(n.state))
+		h.Int(len(n.queue))
+		for _, f := range n.queue {
+			hashFrame(h, f)
+		}
+		h.Bool(n.Babbling)
+	}
+}
+
+// hashFrame folds one frame.
+func hashFrame(h *sim.StateHash, f Frame) {
+	h.U32(uint32(f.ID))
+	h.Bytes(f.Data)
+}
+
 // RestoreState implements sim.Snapshottable, writing a SnapshotState
 // capture back into the live bus and nodes without aliasing it.
 func (b *Bus) RestoreState(state any) {

@@ -43,6 +43,13 @@ type Runner struct {
 
 	mu    sync.Mutex
 	slots []*runnerSlot
+
+	// checkpoint-tree shared state: the runner-wide node free list
+	// (buffers survive session abandonment and cross-campaign reuse)
+	// and the golden-trajectory cache keyed by normalized hash stride.
+	nodePool stressor.NodePool
+	trajMu   sync.Mutex
+	trajs    map[sim.Time]*capsTrajectory
 }
 
 // runnerSlot is one reusable kernel+prototype pair with its

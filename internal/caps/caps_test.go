@@ -325,7 +325,7 @@ func TestCampaignDeterminismMatrix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	scenarios := fault.Singles(runner.Universe(sim.MS(5)))
+	scenarios := fault.Singles(withTransients(runner.Universe(sim.MS(5))))
 	runner.Close()
 	stressortest.Run(t, stressortest.Config{
 		Name:      "caps-e8",
@@ -340,6 +340,22 @@ func TestCampaignDeterminismMatrix(t *testing.T) {
 		},
 		Dedup: true,
 	})
+}
+
+// withTransients appends a transient variant of every descriptor (2 ms
+// active window) to the universe. Transient runs whose disturbance
+// decays are the ones convergence early-exit can terminate early, so
+// the determinism matrix's tree+ee and ee cells exercise both the
+// converged and the ran-to-horizon path.
+func withTransients(u []fault.Descriptor) []fault.Descriptor {
+	out := append([]fault.Descriptor(nil), u...)
+	for _, d := range u {
+		d.Name += "+t2ms"
+		d.Class = fault.Transient
+		d.Duration = sim.MS(2)
+		out = append(out, d)
+	}
+	return out
 }
 
 // TestRunnerNewCampaignShard: the runner's campaign constructor wires

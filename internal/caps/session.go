@@ -138,7 +138,10 @@ func (s *capsSession) establish(fork sim.Time) error {
 	if err := s.k.SnapshotInto(&s.cp); err != nil {
 		return err
 	}
-	s.mst = s.sys.SnapshotState()
+	// Pooled capture: reuse the previous snapshot's buffers — it is
+	// superseded by this one, and steady-state re-snapshotting at a new
+	// fork must not allocate.
+	s.mst = sim.SnapshotModelState(s.sys, s.mst)
 	s.cpOK = true
 	s.cpFork = fork
 	s.dirty = false

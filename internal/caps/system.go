@@ -412,6 +412,85 @@ func (s *System) SnapshotState() any {
 	return st
 }
 
+// SnapshotStateInto implements sim.StatePooler: SnapshotState reusing
+// a previous capture's buffers so checkpoint-tree forking stays
+// allocation-free in steady state.
+func (s *System) SnapshotStateInto(prev any) any {
+	st, _ := prev.(*systemState)
+	if st == nil {
+		return s.SnapshotState()
+	}
+	st.threshold = s.threshold
+	st.thresholdInv = s.thresholdInv
+	st.debounceCount = s.debounceCount
+	st.inhibited = s.inhibited
+	st.lastFrameAt = s.lastFrameAt
+	st.gotFrame = s.gotFrame
+	st.fired = s.Fired
+	st.firedAt = s.FiredAt
+	if s.Detections == nil {
+		st.detections = nil
+	} else {
+		st.detections = append(st.detections[:0], s.Detections...)
+	}
+	st.severities = append(st.severities[:0], s.Severities...)
+	st.trace.CopyFrom(&s.Trace)
+	st.calib = s.calib.SnapshotStateInto(st.calib)
+	st.bus = s.bus.SnapshotStateInto(st.bus)
+	if len(st.sensors) != len(s.sensors) {
+		st.sensors = make([]sensorState, len(s.sensors))
+	}
+	for i, sen := range s.sensors {
+		st.sensors[i] = sensorState{offset: sen.offset, override: sen.override}
+	}
+	return st
+}
+
+// HashState implements sim.Hashable, covering exactly the mutable
+// state that drives FUTURE evolution: the airbag latches
+// (Fired/FiredAt, inhibited, debounce), the threshold registers, the
+// calibration memory, the behavioral bus state and the installed
+// sensor disturbances. Two runs with equal dynamic state at time t
+// evolve identically from t on.
+//
+// Deliberately excluded, in two classes:
+//
+//   - Accumulated observation history (Detections, Severities): an
+//     append-only record of the past that nothing feeds back into the
+//     dynamics. A converged run's final history is its live prefix
+//     plus the golden suffix — composeObservation splices it at
+//     early-exit, replicating detect()'s dedup, so excluding it here
+//     is what lets detected/SDC transients early-exit at all. (detect
+//     does read Detections, but only to dedup appends — and a run
+//     whose dynamics match fault-free golden makes no further detect
+//     calls, since golden makes none.)
+//   - Pure diagnostics (the propagation Trace): a transient fault
+//     that leaves only a trace residue has, by definition, no
+//     remaining effect.
+func (s *System) HashState(h *sim.StateHash) {
+	h.Byte(s.threshold)
+	h.Byte(s.thresholdInv)
+	h.Int(s.debounceCount)
+	h.Bool(s.inhibited)
+	h.Time(s.lastFrameAt)
+	h.Bool(s.gotFrame)
+	h.Bool(s.Fired)
+	h.Time(s.FiredAt)
+	s.calib.HashState(h)
+	s.bus.HashState(h)
+	for _, sen := range s.sensors {
+		h.F64(sen.offset)
+		// override uses NaN as its not-installed sentinel; fold a
+		// presence bit so NaN payload bits never enter the digest.
+		if math.IsNaN(sen.override) {
+			h.Bool(false)
+		} else {
+			h.Bool(true)
+			h.F64(sen.override)
+		}
+	}
+}
+
 // RestoreState implements sim.Snapshottable. Detections is rebuilt as
 // a fresh slice on every restore because observations hand it out by
 // reference — a run after one restore must not corrupt the last run's

@@ -1,0 +1,130 @@
+package caps
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/stressor"
+)
+
+// transientUniverse is a universe where a meaningful fraction of runs
+// re-converge with the golden trajectory after the fault window closes:
+// every E8 descriptor plus a 2 ms transient variant of each.
+func transientUniverse(t *testing.T, r *Runner) []fault.Scenario {
+	t.Helper()
+	return fault.Singles(withTransients(r.Universe(sim.MS(5))))
+}
+
+// TestTreeEarlyExitMatchesPlain is the non-vacuity guard behind the
+// determinism matrix: a tree+early-exit campaign over the transient
+// universe must (a) classify byte-identically to the plain engine and
+// (b) actually early-exit some runs and fork from retained tree nodes
+// — otherwise the byte-identity cells of the matrix would pass without
+// ever exercising the new machinery.
+func TestTreeEarlyExitMatchesPlain(t *testing.T) {
+	runner, err := NewRunner(Protected(), NormalDriving(), sim.MS(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+	scenarios := transientUniverse(t, runner)
+
+	plain, err := (&stressor.Campaign{Name: "caps-plain", Run: runner.RunFunc()}).Execute(scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	tree, err := (&stressor.Campaign{
+		Name: "caps-tree", Run: runner.RunFunc(),
+		Checkpoints: true, Checkpointer: runner,
+		CheckpointTree: true, EarlyExit: true,
+		Metrics: reg,
+	}).Execute(scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tree.Outcomes, plain.Outcomes) {
+		t.Errorf("tree+ee outcomes diverge from plain engine:\ngot:  %+v\nwant: %+v", tree.Outcomes, plain.Outcomes)
+	}
+
+	lbl := obs.L("campaign", "caps-tree")
+	exits := reg.Counter("campaign.early_exits", lbl).Value()
+	hits := reg.Counter("campaign.tree_hits", lbl).Value()
+	extends := reg.Counter("campaign.tree_extends", lbl).Value()
+	saved := reg.Counter("campaign.early_exit_saved_sim_ns", lbl).Value()
+	if exits == 0 {
+		t.Error("no run early-exited — transient universe should re-converge")
+	}
+	if hits+extends == 0 {
+		t.Error("no run forked from a retained tree node")
+	}
+	if exits > 0 && saved == 0 {
+		t.Error("early exits recorded but no saved simulated time")
+	}
+	t.Logf("early_exits=%d tree_hits=%d tree_extends=%d saved_sim_ns=%d", exits, hits, extends, saved)
+}
+
+// TestSnapshotCapturePooled pins the pooled snapshot-capture path of
+// checkpoint sessions: once warm, re-capturing kernel and model state
+// into the held buffers allocates nothing.
+func TestSnapshotCapturePooled(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	sys, _ := Build(k, Protected(), NormalDriving())
+	if err := k.Run(sim.MS(10)); err != nil {
+		t.Fatal(err)
+	}
+	var cp sim.Checkpoint
+	if err := k.SnapshotInto(&cp); err != nil {
+		t.Fatal(err)
+	}
+	mst := sim.SnapshotModelState(sys, nil)
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := k.SnapshotInto(&cp); err != nil {
+			panic(err)
+		}
+		mst = sim.SnapshotModelState(sys, mst)
+	})
+	if allocs != 0 {
+		t.Errorf("warm snapshot capture allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestTreeEstablishSteadyStateAllocs pins the tree session's steady
+// state: once nodes for a set of forks are retained, re-establishing
+// those forks (restore from node, mark dirty, restore again) is
+// allocation-free.
+func TestTreeEstablishSteadyStateAllocs(t *testing.T) {
+	runner, err := NewRunner(Protected(), NormalDriving(), sim.MS(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+	s := runner.NewTreeSession(stressor.TreeConfig{}).(*capsTreeSession)
+	defer s.Close()
+	u := runner.Universe(sim.MS(5))
+	sc := fault.Single(u[0])
+	// Warm: build nodes at two forks, then run each once more so every
+	// pooled buffer has reached its steady-state capacity.
+	for i := 0; i < 2; i++ {
+		s.Run(sc, sim.MS(5))
+		s.Run(sc, sim.MS(7))
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := s.core.Establish(sim.MS(5)); err != nil {
+			panic(err)
+		}
+		s.core.MarkDirty()
+		if err := s.core.Establish(sim.MS(7)); err != nil {
+			panic(err)
+		}
+		s.core.MarkDirty()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state tree establish allocates %.1f allocs/op, want 0", allocs)
+	}
+}

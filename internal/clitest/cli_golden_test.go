@@ -41,12 +41,16 @@ func TestCapsimCampaignGolden(t *testing.T) {
 }
 
 // TestCapsimCampaignModesIdentical pins the engine's core promise at
-// the CLI surface: checkpointed, journaled and plain executions of
-// the same campaign print the same bytes (against the same golden).
+// the CLI surface: checkpointed, checkpoint-tree, early-exit and
+// journaled executions of the same campaign print the same bytes
+// (against the same golden) as the plain run.
 func TestCapsimCampaignModesIdentical(t *testing.T) {
 	jpath := filepath.Join(t.TempDir(), "run.jsonl")
 	for _, extra := range [][]string{
 		{"-checkpoints"},
+		{"-checkpoint-tree"},
+		{"-checkpoint-tree", "-early-exit"},
+		{"-early-exit", "-hash-stride", "5ms"},
 		{"-journal", jpath},
 	} {
 		r := Run(t, nil, Binary(t, "capsim"), append(append([]string{}, capsimCampaignArgs...), extra...)...)

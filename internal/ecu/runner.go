@@ -112,6 +112,16 @@ type Runner struct {
 
 	mu    sync.Mutex
 	slots []*ecuSlot
+
+	// checkpoint-tree shared state, mirroring caps.Runner: the
+	// runner-wide node free list, the golden-trajectory cache keyed by
+	// normalized hash stride, and the precomputed early-exit outcome.
+	nodePool stressor.NodePool
+	trajMu   sync.Mutex
+	trajs    map[sim.Time]*stressor.GoldenTrajectory
+	eeOnce   sync.Once
+	eeClass  fault.Classification
+	eeDetail string
 }
 
 // NewRunner assembles the workload, builds the first slot and performs

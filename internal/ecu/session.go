@@ -112,7 +112,9 @@ func (s *ecuSession) establish(fork sim.Time) error {
 	if err := s.slot.k.SnapshotInto(&s.cp); err != nil {
 		return err
 	}
-	s.mst = s.slot.SnapshotState()
+	// Pooled capture: the superseded snapshot's buffers are reused, so
+	// steady-state re-snapshotting at a new fork does not allocate.
+	s.mst = sim.SnapshotModelState(s.slot, s.mst)
 	s.cpOK = true
 	s.cpFork = fork
 	s.dirty = false

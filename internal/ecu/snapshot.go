@@ -115,6 +115,110 @@ func (s *ecuSlot) SnapshotState() any {
 	return st
 }
 
+// SnapshotStateInto implements sim.StatePooler: SnapshotState reusing
+// a previous capture's buffers (codeword arrays, store logs, the
+// watchdog shadow) so checkpoint-tree forking stays allocation-free in
+// steady state.
+func (s *ecuSlot) SnapshotStateInto(prev any) any {
+	st, _ := prev.(*ecuSlotState)
+	if st == nil {
+		return s.SnapshotState()
+	}
+	s.primary.captureInto(&st.primary)
+	s.shadow.captureInto(&st.shadow)
+	s.pram.captureInto(&st.pram)
+	s.sram.captureInto(&st.sram)
+	st.wdshadow = s.wdshadow.SnapshotStateInto(st.wdshadow)
+	st.wd = wdState{enabled: s.wd.enabled, timeouts: s.wd.timeouts, kicks: s.wd.kicks}
+	st.ls.pLog = append(st.ls.pLog[:0], s.ls.pLog...)
+	st.ls.sLog = append(st.ls.sLog[:0], s.ls.sLog...)
+	st.ls.diverged = s.ls.diverged
+	st.ls.detail = s.ls.detail
+	st.pRun = crState{local: s.pRun.local, phase: s.pRun.phase, err: s.pRun.err}
+	st.sRun = crState{local: s.sRun.local, phase: s.sRun.phase, err: s.sRun.err}
+	st.pDone, st.sDone = s.pDone, s.sDone
+	st.pErr, st.sErr = s.pErr, s.sErr
+	st.haltAt = s.haltAt
+	return st
+}
+
+// HashState implements sim.Hashable, folding everything a run mutates
+// and FinalCheck/finishRun later read: core register files and
+// run-state machines, the ECC codewords plus their corrected and
+// uncorrectable counters (detection outputs), the watchdog shadow
+// memory and counters, the lockstep store logs (FinalCheck compares
+// them after the run) and the halt/error latches. The ECU slot keeps
+// no diagnostics-only state, so nothing is excluded.
+func (s *ecuSlot) HashState(h *sim.StateHash) {
+	hashCPU(h, s.primary)
+	hashCPU(h, s.shadow)
+	hashECC(h, s.pram)
+	hashECC(h, s.sram)
+	s.wdshadow.HashState(h)
+	h.Bool(s.wd.enabled)
+	h.U64(s.wd.timeouts)
+	h.U64(s.wd.kicks)
+	hashStores(h, s.ls.pLog)
+	hashStores(h, s.ls.sLog)
+	h.Bool(s.ls.diverged)
+	h.Str(s.ls.detail)
+	hashCoreRun(h, s.pRun.local, s.pRun.phase, s.pRun.err)
+	hashCoreRun(h, s.sRun.local, s.sRun.phase, s.sRun.err)
+	h.Bool(s.pDone)
+	h.Bool(s.sDone)
+	hashErr(h, s.pErr)
+	hashErr(h, s.sErr)
+	h.Time(s.haltAt)
+}
+
+func hashCPU(h *sim.StateHash, c *CPU) {
+	for _, r := range c.regs {
+		h.U32(r)
+	}
+	h.U32(c.pc)
+	h.U32(c.savedPC)
+	h.Bool(c.inIRQ)
+	h.Bool(c.pending)
+	h.Bool(c.halted)
+	h.U64(c.instrs)
+}
+
+func hashECC(h *sim.StateHash, m *ECCMemory) {
+	h.Int(len(m.words))
+	for _, w := range m.words {
+		h.U32(w)
+	}
+	h.Bytes(m.check)
+	h.U64(m.corrected)
+	h.U64(m.uncorrectable)
+}
+
+func hashStores(h *sim.StateHash, log []storeRec) {
+	h.Int(len(log))
+	for _, r := range log {
+		h.U32(r.addr)
+		h.U32(r.val)
+	}
+}
+
+func hashCoreRun(h *sim.StateHash, local sim.Time, phase uint8, err error) {
+	h.Time(local)
+	h.Byte(phase)
+	hashErr(h, err)
+}
+
+// hashErr folds an error as a presence bit plus its message — two runs
+// whose errors render identically are convergent for classification
+// purposes (finishRun only reads Error()).
+func hashErr(h *sim.StateHash, err error) {
+	if err == nil {
+		h.Bool(false)
+		return
+	}
+	h.Bool(true)
+	h.Str(err.Error())
+}
+
 // RestoreState implements sim.Snapshottable, reusing the slot's
 // backing buffers (codeword arrays, store logs).
 func (s *ecuSlot) RestoreState(state any) {

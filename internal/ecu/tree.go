@@ -1,0 +1,149 @@
+package ecu
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/stressor"
+)
+
+// Checkpoint-tree session for the ECU runner, mirroring caps/tree.go:
+// the plain session generalized over stressor.TreeCore with optional
+// convergence early-exit. ECU faults are permanent register/memory
+// upsets, so most runs retain latent residue and never converge — the
+// tree's value here is prefix sharing; early-exit mostly exercises the
+// soundness contract (a run that does not converge must run out).
+
+// NewTreeSession implements stressor.TreeCheckpointer.
+func (r *Runner) NewTreeSession(cfg stressor.TreeConfig) stressor.CheckpointSession {
+	return &ecuTreeSession{r: r, cfg: cfg}
+}
+
+// trajectory returns the golden trajectory for the given hash stride,
+// recording it on first use against a dedicated fault-free slot.
+func (r *Runner) trajectory(stride sim.Time) (*stressor.GoldenTrajectory, error) {
+	stride = stressor.NormalizeStride(stride, r.cfg.Horizon)
+	r.trajMu.Lock()
+	defer r.trajMu.Unlock()
+	if tr, ok := r.trajs[stride]; ok {
+		return tr, nil
+	}
+	slot := r.buildSlot()
+	defer slot.k.Shutdown()
+	slot.beginRun()
+	tr, err := stressor.RecordTrajectory(slot.k, slot, stride, r.cfg.Horizon)
+	if err != nil {
+		return nil, err
+	}
+	if r.trajs == nil {
+		r.trajs = make(map[sim.Time]*stressor.GoldenTrajectory)
+	}
+	r.trajs[stride] = tr
+	return tr, nil
+}
+
+// earlyExitOutcome precomputes the outcome every converged run
+// inherits: the golden observation with only the activation flag
+// raised.
+func (r *Runner) earlyExitOutcome() (fault.Classification, string) {
+	r.eeOnce.Do(func() {
+		ob := r.golden
+		ob.Activated = true
+		r.eeClass = analysis.Classify(r.golden, ob)
+		r.eeDetail = analysis.Describe(ob)
+	})
+	return r.eeClass, r.eeDetail
+}
+
+// ecuTreeSession is one worker's tree session: a private slot plus the
+// shared TreeCore machinery.
+type ecuTreeSession struct {
+	r    *Runner
+	cfg  stressor.TreeConfig
+	core stressor.TreeCore
+	st   stressor.Stressor
+	slot *ecuSlot
+	traj *stressor.GoldenTrajectory
+}
+
+func (s *ecuTreeSession) init() error {
+	if s.core.K != nil {
+		return nil
+	}
+	slot := s.r.buildSlot()
+	slot.beginRun()
+	s.slot = slot
+	s.core = stressor.TreeCore{
+		Cfg: s.cfg, K: slot.k, Model: slot, Pool: &s.r.nodePool,
+		Rebuild: func() {
+			s.r.rearmSlot(slot)
+			slot.beginRun()
+		},
+	}
+	s.core.Init()
+	if s.cfg.EarlyExit {
+		tr, err := s.r.trajectory(s.cfg.HashStride)
+		if err != nil {
+			return err
+		}
+		s.traj = tr
+	}
+	return nil
+}
+
+// Run implements stressor.CheckpointSession, producing the exact
+// outcome Runner.RunScenario yields for the same scenario.
+func (s *ecuTreeSession) Run(sc fault.Scenario, fork sim.Time) fault.Outcome {
+	ob, converged, err := s.execute(sc, fork)
+	if err != nil {
+		return fault.Outcome{Scenario: sc, Class: fault.DetectedSafe, Detail: "campaign error: " + err.Error()}
+	}
+	if converged {
+		class, detail := s.r.earlyExitOutcome()
+		return fault.Outcome{Scenario: sc, Class: class, Detail: detail}
+	}
+	ob.Activated = len(sc.Faults) > 0
+	class := analysis.Classify(s.r.golden, ob)
+	return fault.Outcome{Scenario: sc, Class: class, Detail: analysis.Describe(ob)}
+}
+
+// Close implements stressor.CheckpointSession.
+func (s *ecuTreeSession) Close() {
+	s.core.Recycle()
+	if s.slot != nil {
+		s.slot.k.Shutdown()
+	}
+}
+
+// Recycle implements stressor.RecyclableSession.
+func (s *ecuTreeSession) Recycle() { s.core.Recycle() }
+
+func (s *ecuTreeSession) execute(sc fault.Scenario, fork sim.Time) (analysis.Observation, bool, error) {
+	if err := s.init(); err != nil {
+		return analysis.Observation{}, false, err
+	}
+	if err := s.core.Establish(fork); err != nil {
+		return analysis.Observation{}, false, err
+	}
+	s.core.MarkDirty()
+	s.st.Respawn(s.slot.k, s.slot.reg, sc, s.r.cfg.Horizon)
+	if s.traj != nil {
+		converged, at, err := s.traj.RunToHorizon(s.slot.k, s.slot, &s.st)
+		if err != nil {
+			return analysis.Observation{}, false, err
+		}
+		if converged {
+			s.core.NoteEarlyExit(s.r.cfg.Horizon - at)
+			return analysis.Observation{}, true, nil
+		}
+	} else if err := s.slot.k.RunUntil(s.r.cfg.Horizon); err != nil {
+		return analysis.Observation{}, false, err
+	}
+	if errs := s.st.InjectionErrors(); len(errs) > 0 {
+		return analysis.Observation{}, false, fmt.Errorf("ecu: scenario %s: %v", sc.ID, errs[0])
+	}
+	ob, _, _, err := s.r.finishRun(s.slot)
+	return ob, false, err
+}

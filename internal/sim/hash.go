@@ -1,0 +1,177 @@
+package sim
+
+import "math"
+
+// Incremental state hashing for convergence detection: a faulty run
+// that provably returns to the golden trajectory can stop simulating
+// early and inherit the golden classification (the redundant-suffix
+// insight of dynamic-slicing fault-injection accelerators). The hash
+// must cover everything that can influence either future behavior or
+// the final observation — model state via Hashable, scheduler state
+// via Kernel.HashScheduler — and nothing that is pure diagnostics
+// (propagation traces, activity counters), so that transient faults
+// whose effects wash out still converge.
+
+// fnvOffset64 and fnvPrime64 are the FNV-1a 64-bit parameters.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// StateHash accumulates a 64-bit FNV-1a digest over typed state words.
+// The zero value is NOT ready; use NewStateHash (or Reset). It is a
+// value type — pass by pointer, read with Sum.
+type StateHash struct {
+	h uint64
+}
+
+// NewStateHash returns an initialized digest.
+func NewStateHash() StateHash { return StateHash{h: fnvOffset64} }
+
+// Reset reinitializes the digest.
+func (s *StateHash) Reset() { s.h = fnvOffset64 }
+
+// Sum reports the current digest value.
+func (s *StateHash) Sum() uint64 { return s.h }
+
+// Byte folds one byte.
+func (s *StateHash) Byte(b byte) {
+	s.h = (s.h ^ uint64(b)) * fnvPrime64
+}
+
+// U64 folds a 64-bit word, little-endian.
+func (s *StateHash) U64(v uint64) {
+	h := s.h
+	h = (h ^ (v & 0xff)) * fnvPrime64
+	h = (h ^ (v >> 8 & 0xff)) * fnvPrime64
+	h = (h ^ (v >> 16 & 0xff)) * fnvPrime64
+	h = (h ^ (v >> 24 & 0xff)) * fnvPrime64
+	h = (h ^ (v >> 32 & 0xff)) * fnvPrime64
+	h = (h ^ (v >> 40 & 0xff)) * fnvPrime64
+	h = (h ^ (v >> 48 & 0xff)) * fnvPrime64
+	h = (h ^ (v >> 56)) * fnvPrime64
+	s.h = h
+}
+
+// U32 folds a 32-bit word.
+func (s *StateHash) U32(v uint32) { s.U64(uint64(v)) }
+
+// Int folds an int.
+func (s *StateHash) Int(v int) { s.U64(uint64(int64(v))) }
+
+// Bool folds a boolean.
+func (s *StateHash) Bool(v bool) {
+	if v {
+		s.Byte(1)
+	} else {
+		s.Byte(0)
+	}
+}
+
+// Time folds a simulated time.
+func (s *StateHash) Time(t Time) { s.U64(uint64(t)) }
+
+// F64 folds a float64 by its IEEE-754 bits. NaN payloads differ, so
+// models using NaN sentinels should fold a presence bit instead.
+func (s *StateHash) F64(v float64) { s.U64(math.Float64bits(v)) }
+
+// Bytes folds a byte slice, length-prefixed so adjacent slices cannot
+// alias into the same digest.
+func (s *StateHash) Bytes(b []byte) {
+	s.Int(len(b))
+	h := s.h
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	s.h = h
+}
+
+// Str folds a string, length-prefixed.
+func (s *StateHash) Str(v string) {
+	s.Int(len(v))
+	h := s.h
+	for i := 0; i < len(v); i++ {
+		h = (h ^ uint64(v[i])) * fnvPrime64
+	}
+	s.h = h
+}
+
+// Hashable is the convention prototypes implement to support
+// convergence early-exit, companion to Snapshottable: HashState folds
+// every piece of mutable model state that can influence future
+// behavior or the final observation into h. Pure diagnostics that
+// nothing reads back — propagation traces, transaction logs — must be
+// left out, or transient faults that leave a diagnostic residue but no
+// behavioral one would never converge. Two models whose HashState
+// digests are equal (and whose kernels' HashScheduler digests are
+// equal) must produce byte-identical futures and observations.
+type Hashable interface {
+	HashState(h *StateHash)
+}
+
+// StatePooler is an optional extension of Snapshottable for
+// allocation-conscious checkpointing: SnapshotStateInto behaves like
+// SnapshotState but may reuse the buffers of prev (a value previously
+// returned by SnapshotState/SnapshotStateInto of the same model type;
+// nil means allocate fresh). Checkpoint trees recycle their node
+// states through this, keeping steady-state forking allocation-free.
+type StatePooler interface {
+	SnapshotStateInto(prev any) any
+}
+
+// SnapshotModelState captures m's state through its pooled path when
+// available, falling back to the plain SnapshotState.
+func SnapshotModelState(m Snapshottable, prev any) any {
+	if p, ok := m.(StatePooler); ok {
+		return p.SnapshotStateInto(prev)
+	}
+	return m.SnapshotState()
+}
+
+// Elaborated reports how many events and processes the kernel
+// currently holds. Convergence trajectories record these right after
+// model elaboration so live-run hashes can be restricted to the model
+// prefix, excluding the stressor's own event/process.
+func (k *Kernel) Elaborated() (events, procs int) {
+	return len(k.events), len(k.procs)
+}
+
+// HashScheduler folds the kernel's scheduler state into h, restricted
+// to the first nEvents events and nProcs processes (pass the counts
+// Elaborated reported on the golden kernel): the clock, every live
+// pending notification of a retained event — ordered by (at, seq) but
+// hashed as (at, event index), because absolute sequence numbers
+// differ between runs that scheduled extra (stressor) notifications —
+// and the retained processes' run states. The kernel must be quiescent
+// (between Run calls); activity counters are deliberately excluded,
+// they are diagnostics and differ between golden and faulty runs that
+// behave identically after convergence.
+func (k *Kernel) HashScheduler(h *StateHash, nEvents, nProcs int) {
+	h.Time(k.now)
+
+	// Collect live timed entries targeting retained events into the
+	// kernel-owned scratch buffer (no allocation in steady state), sort
+	// by (at, seq) — the deterministic firing order — then fold
+	// (at, event index) pairs.
+	scratch := k.hashScratch[:0]
+	for _, te := range k.timed {
+		if te.ev.idx < nEvents && te.ev.pending == notifyTimed && te.ev.pendingSeq == te.seq {
+			scratch = append(scratch, cpTimed{at: te.at, seq: te.seq, ev: te.ev.idx})
+		}
+	}
+	sortCpTimed(scratch)
+	k.hashScratch = scratch
+	h.Int(len(scratch))
+	for _, te := range scratch {
+		h.Time(te.at)
+		h.Int(te.ev)
+	}
+
+	// Delta/immediate notifications cannot be pending on a quiescent
+	// kernel, so the (at, index) list above fully determines every
+	// retained event's notification state; only process run states
+	// remain.
+	for _, p := range k.procs[:nProcs] {
+		h.Byte(byte(p.state))
+	}
+}

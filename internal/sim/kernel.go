@@ -151,6 +151,10 @@ type Kernel struct {
 	eventPool []*Event
 	procPool  []*Proc
 
+	// hashScratch is HashScheduler's sorted-timed-entry buffer, reused
+	// across calls so convergence checks stay allocation-free.
+	hashScratch []cpTimed
+
 	// workerPool parks idle thread-worker goroutines (see threadWorker
 	// in process.go). Workers survive Reset, so a reused kernel resumes
 	// thread processes on warm goroutines instead of paying go + channel

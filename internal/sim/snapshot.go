@@ -56,6 +56,18 @@ type Checkpoint struct {
 // Now reports the simulated time the checkpoint was captured at.
 func (cp *Checkpoint) Now() Time { return cp.now }
 
+// ApproxBytes estimates the memory retained by the checkpoint's
+// internal buffers — the quantity checkpoint trees budget their
+// retained nodes against. Capacities (not lengths) are counted, since
+// capacity is what the buffers actually pin.
+func (cp *Checkpoint) ApproxBytes() int {
+	const (
+		timedSize = 24 // cpTimed: Time + uint64 + int
+		headBytes = 96 // fixed fields
+	)
+	return headBytes + cap(cp.timed)*timedSize + cap(cp.staticLen)*8 + cap(cp.states)
+}
+
 // Snapshot captures the kernel's scheduler state so a later Restore
 // can rewind the simulation to this exact point. The kernel must be
 // quiescent: not inside Run (snapshotting mid-delta-cycle would tear

@@ -75,6 +75,28 @@ type Campaign struct {
 	// Checkpointer supplies golden-run sessions; required when
 	// Checkpoints is set. The CAPS and ECU runners implement it.
 	Checkpointer Checkpointer
+	// CheckpointTree generalizes Checkpoints into a checkpoint tree:
+	// each worker session retains an LRU-budgeted set of golden-prefix
+	// snapshots and establishes every scenario from the deepest
+	// retained node at or before its fork instead of extending a
+	// single checkpoint, and the dispatch stream is further grouped by
+	// (injection target, fault class) so scenario families share
+	// prefixes. Requires Checkpoints and a Checkpointer implementing
+	// TreeCheckpointer. Results are byte-identical to a plain
+	// checkpointed Execute.
+	CheckpointTree bool
+	// EarlyExit enables convergence early-exit inside tree sessions:
+	// the golden trajectory is hashed at HashStride intervals, and an
+	// injected run whose state digest returns to the golden trajectory
+	// (after its last scheduled fault action) terminates immediately
+	// with the golden-equal classification instead of simulating to
+	// the horizon. Requires Checkpoints and a TreeCheckpointer;
+	// classifications are byte-identical to full-horizon runs.
+	EarlyExit bool
+	// HashStride is the EarlyExit trajectory hashing interval; zero
+	// lets the runner derive one from its horizon (typically
+	// horizon/16). Meaningful only with EarlyExit.
+	HashStride sim.Time
 	// Shard restricts execution to one partition of the (post-Dedup)
 	// unique-run positions: position u runs iff u mod Count == Index.
 	// The zero value runs everything. A sharded Execute returns a
@@ -315,6 +337,17 @@ func (c *Campaign) Execute(scenarios []fault.Scenario) (*Result, error) {
 	if c.Checkpoints && c.Checkpointer == nil {
 		return nil, fmt.Errorf("campaign %s: Checkpoints set without a Checkpointer", c.Name)
 	}
+	if (c.CheckpointTree || c.EarlyExit) && !c.Checkpoints {
+		return nil, fmt.Errorf("campaign %s: CheckpointTree/EarlyExit require Checkpoints", c.Name)
+	}
+	if c.CheckpointTree || c.EarlyExit {
+		if _, ok := c.Checkpointer.(TreeCheckpointer); !ok {
+			return nil, fmt.Errorf("campaign %s: Checkpointer %T does not implement TreeCheckpointer", c.Name, c.Checkpointer)
+		}
+	}
+	if c.HashStride > 0 && !c.EarlyExit {
+		return nil, fmt.Errorf("campaign %s: HashStride set without EarlyExit", c.Name)
+	}
 	workers := par.Resolve(c.Workers)
 
 	// Dedup plan: run only the first occurrence of each distinct fault
@@ -391,10 +424,31 @@ func (c *Campaign) Execute(scenarios []fault.Scenario) (*Result, error) {
 		// index, not dispatch order. StopOnFirst keeps index order: it
 		// must execute exactly the prefix the sequential loop would.
 		if !c.StopOnFirst {
+			// Under CheckpointTree the stream is further grouped by the
+			// first fault's (target, class) so scenario families — same
+			// instant, same site — dispatch back to back and fork from
+			// the same retained node while it is hottest in the LRU.
+			key := func(u int) (string, fault.Class) {
+				if len(run[u].Faults) == 0 {
+					return "", 0
+				}
+				d := run[u].Faults[0]
+				return d.Target, d.Class
+			}
 			sort.SliceStable(todo, func(i, j int) bool {
 				ui, uj := todo[i], todo[j]
 				if e.forks[ui] != e.forks[uj] {
 					return e.forks[ui] < e.forks[uj]
+				}
+				if c.CheckpointTree {
+					ti, ci := key(ui)
+					tj, cj := key(uj)
+					if ti != tj {
+						return ti < tj
+					}
+					if ci != cj {
+						return ci < cj
+					}
 				}
 				return ui < uj
 			})

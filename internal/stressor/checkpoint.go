@@ -1,6 +1,8 @@
 package stressor
 
 import (
+	"sync"
+
 	"repro/internal/fault"
 	"repro/internal/sim"
 )
@@ -67,6 +69,70 @@ func (h *sessionHolder) close() {
 // result or journal because the campaign already recorded the run.
 func (h *sessionHolder) abandon() { h.sess = nil }
 
+// newSession builds the worker's session: a tree session when the
+// campaign runs in tree or early-exit mode (Execute validated that the
+// Checkpointer supports it), the plain single-checkpoint session
+// otherwise. Early-exit without CheckpointTree degenerates to a
+// one-node tree — plain-checkpoint forking plus convergence checks.
+func (c *Campaign) newSession() CheckpointSession {
+	if !c.CheckpointTree && !c.EarlyExit {
+		return c.Checkpointer.NewSession()
+	}
+	cfg := TreeConfig{
+		EarlyExit:  c.EarlyExit,
+		HashStride: c.HashStride,
+		Metrics:    c.Metrics,
+		Campaign:   c.Name,
+	}
+	if !c.CheckpointTree {
+		cfg.MaxNodes = 1
+	}
+	return c.Checkpointer.(TreeCheckpointer).NewTreeSession(cfg)
+}
+
+// recycleGuard reclaims an abandoned session's retained tree nodes
+// once it is safe to do so. Abandonment races with the runaway run —
+// on a timeout the run goroutine may still be mutating the session —
+// so whichever of {abandon, run completion} happens second performs
+// the Recycle: for a recovered panic the run has already completed
+// when the worker abandons (recycle fires immediately); for a timeout
+// the late goroutine recycles when it finally returns. Node buffers
+// are fully overwritten on reuse, so reclaiming from a torn kernel is
+// safe.
+type recycleGuard struct {
+	mu        sync.Mutex
+	sess      RecyclableSession
+	done      bool
+	abandoned bool
+}
+
+// finished marks the run complete (called on the run goroutine, after
+// any panic was recovered).
+func (g *recycleGuard) finished() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.done = true
+	if g.abandoned {
+		g.sess.Recycle()
+	}
+}
+
+// abandon marks the session dropped (called on the worker goroutine).
+func (g *recycleGuard) abandon() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.abandoned = true
+	if g.done {
+		g.sess.Recycle()
+	}
+}
+
 // dispatchRun executes position u on worker w, routing fork-eligible
 // scenarios through the worker's checkpoint session and everything
 // else through the plain RunFunc. The session is resolved here, on the
@@ -77,17 +143,26 @@ func (e *campaignExec) dispatchRun(u, w int, h *sessionHolder) (fault.Outcome, b
 	sc := e.run[u]
 	do := func() (fault.Outcome, bool) { return e.c.safeRun(sc) }
 	viaSession := false
+	var guard *recycleGuard
 	if h != nil && e.forkOK[u] {
 		if h.sess == nil {
-			h.sess = e.c.Checkpointer.NewSession()
+			h.sess = e.c.newSession()
 		}
 		sess, fork := h.sess, e.forks[u]
-		do = func() (fault.Outcome, bool) { return e.c.safeSessionRun(sess, sc, fork) }
+		if rs, ok := sess.(RecyclableSession); ok {
+			guard = &recycleGuard{sess: rs}
+		}
+		do = func() (fault.Outcome, bool) {
+			out, panicked := e.c.safeSessionRun(sess, sc, fork)
+			guard.finished()
+			return out, panicked
+		}
 		viaSession = true
 	}
 	out, panicked, timedOut := e.c.runOne(e.obs, sc, w, do)
 	if viaSession && (timedOut || panicked) {
 		h.abandon()
+		guard.abandon()
 	}
 	return out, panicked, timedOut
 }

@@ -188,6 +188,160 @@ func TestCampaignCheckpointSessionAbandonedOnPanic(t *testing.T) {
 	}
 }
 
+// fakeTreeCheckpointer extends fakeCheckpointer with tree sessions
+// that account retained nodes: the first Run of a session retains one
+// node, Recycle and Close release it. The lifecycle tests assert the
+// live-node count returns to baseline after every abandonment path —
+// the engine must recycle, not leak, a session it can no longer use.
+type fakeTreeCheckpointer struct {
+	fakeCheckpointer
+	treeSessions atomic.Int32
+	liveNodes    atomic.Int32
+	recycles     atomic.Int32
+}
+
+func (f *fakeTreeCheckpointer) NewTreeSession(cfg TreeConfig) CheckpointSession {
+	f.treeSessions.Add(1)
+	return &fakeTreeSession{f: f}
+}
+
+type fakeTreeSession struct {
+	f        *fakeTreeCheckpointer
+	retained atomic.Bool
+}
+
+func (s *fakeTreeSession) Run(sc fault.Scenario, fork sim.Time) fault.Outcome {
+	if s.retained.CompareAndSwap(false, true) {
+		s.f.liveNodes.Add(1)
+	}
+	return s.f.run(sc)
+}
+
+func (s *fakeTreeSession) Recycle() {
+	s.f.recycles.Add(1)
+	if s.retained.CompareAndSwap(true, false) {
+		s.f.liveNodes.Add(-1)
+	}
+}
+
+func (s *fakeTreeSession) Close() {
+	s.f.closes.Add(1)
+	s.Recycle()
+}
+
+// waitNodesDrained polls until the fake's live-node count reaches
+// zero: the timeout path recycles from the runaway goroutine after the
+// campaign has already returned.
+func waitNodesDrained(t *testing.T, cp *fakeTreeCheckpointer) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for cp.liveNodes.Load() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := cp.liveNodes.Load(); got != 0 {
+		t.Errorf("live tree nodes = %d after campaign drained, want 0 (leaked by abandonment)", got)
+	}
+}
+
+// TestCampaignTreeSessionRecycledOnTimeout: a timed-out run abandons
+// the worker's tree session, but its retained nodes must return to the
+// pool once the runaway goroutine finishes — abandonment may not leak
+// the node budget.
+func TestCampaignTreeSessionRecycledOnTimeout(t *testing.T) {
+	const n = 5
+	block := make(chan struct{})
+	lateDone := make(chan struct{})
+	cp := &fakeTreeCheckpointer{}
+	cp.run = func(sc fault.Scenario) fault.Outcome {
+		if sc.ID == "s2" {
+			defer close(lateDone)
+			<-block
+		}
+		return fault.Outcome{Scenario: sc, Class: fault.Masked, Detail: "ran " + sc.ID}
+	}
+	c := &Campaign{
+		Name: "tr", Run: cp.run, Checkpoints: true, Checkpointer: cp,
+		CheckpointTree: true, ScenarioTimeout: 20 * time.Millisecond,
+	}
+	res, err := c.Execute(makeScenarios(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes[2].Class != fault.Timeout {
+		t.Fatalf("timed-out outcome = %+v", res.Outcomes[2])
+	}
+	// Unblock the runaway goroutine; it recycles the abandoned
+	// session's nodes on its way out.
+	close(block)
+	<-lateDone
+	waitNodesDrained(t, cp)
+	if got := cp.treeSessions.Load(); got != 2 {
+		t.Errorf("NewTreeSession called %d times, want 2 (fresh session after abandonment)", got)
+	}
+	if got := cp.closes.Load(); got != 1 {
+		t.Errorf("Close called %d times, want 1 (abandoned session recycled, not closed)", got)
+	}
+}
+
+// TestCampaignTreeSessionRecycledOnPanic: a panicking run abandons the
+// session, and — because the panic is recovered before abandonment —
+// the engine reclaims its nodes synchronously, before Execute returns.
+func TestCampaignTreeSessionRecycledOnPanic(t *testing.T) {
+	const n = 4
+	cp := &fakeTreeCheckpointer{}
+	cp.run = func(sc fault.Scenario) fault.Outcome {
+		if sc.ID == "s1" {
+			panic("kernel torn mid-run")
+		}
+		return fault.Outcome{Scenario: sc, Class: fault.Masked, Detail: "ran " + sc.ID}
+	}
+	c := &Campaign{Name: "trp", Run: cp.run, Checkpoints: true, Checkpointer: cp, CheckpointTree: true}
+	res, err := c.Execute(makeScenarios(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes[1].Class != fault.DetectedSafe || res.PanicRecoveries != 1 {
+		t.Fatalf("panicked outcome = %+v (recoveries %d)", res.Outcomes[1], res.PanicRecoveries)
+	}
+	if got := cp.liveNodes.Load(); got != 0 {
+		t.Errorf("live tree nodes = %d immediately after Execute, want 0 (panic path recycles synchronously)", got)
+	}
+	if got := cp.treeSessions.Load(); got != 2 {
+		t.Errorf("NewTreeSession called %d times, want 2", got)
+	}
+	if got := cp.recycles.Load(); got < 2 {
+		t.Errorf("Recycle called %d times, want >= 2 (abandoned session + closed session)", got)
+	}
+}
+
+// TestCampaignTreeValidation: tree and early-exit modes are rejected
+// up front when misconfigured — without Checkpoints, on a Checkpointer
+// lacking tree support, or with a nonsensical hash stride.
+func TestCampaignTreeValidation(t *testing.T) {
+	run := classRunFunc(pattern(1, nil))
+	scs := makeScenarios(1)
+	plain := &fakeCheckpointer{run: run}
+	tree := &fakeTreeCheckpointer{fakeCheckpointer: fakeCheckpointer{run: run}}
+	cases := []struct {
+		name string
+		c    *Campaign
+		want string
+	}{
+		{"tree without checkpoints", &Campaign{Name: "v", Run: run, CheckpointTree: true, Checkpointer: tree}, "Checkpoints"},
+		{"early-exit without checkpoints", &Campaign{Name: "v", Run: run, EarlyExit: true, Checkpointer: tree}, "Checkpoints"},
+		{"tree on plain checkpointer", &Campaign{Name: "v", Run: run, Checkpoints: true, CheckpointTree: true, Checkpointer: plain}, "TreeCheckpointer"},
+		{"stride without early-exit", &Campaign{Name: "v", Run: run, Checkpoints: true, CheckpointTree: true, HashStride: 5, Checkpointer: tree}, "EarlyExit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.c.Execute(scs)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error mentioning %q, got: %v", tc.want, err)
+			}
+		})
+	}
+}
+
 // TestCampaignCheckpointDispatchSorted: with checkpointing on (and no
 // StopOnFirst), the todo stream is dispatched in fork-time order so a
 // session's golden prefix only ever extends — while the Result stays

@@ -143,6 +143,12 @@ func (s *Stressor) SetScenario(sc fault.Scenario) {
 // Records reports every injector action taken, in time order.
 func (s *Stressor) Records() []Record { return s.records }
 
+// Finished reports whether every scheduled timeline action has been
+// performed. Convergence checks gate on this: a pending revert or
+// intermittent pulse could still push a run off the golden trajectory,
+// so state comparisons before the last action prove nothing.
+func (s *Stressor) Finished() bool { return s.idx >= len(s.tl) }
+
 // InjectionErrors reports actions that failed (missing injector,
 // unsupported model) — these indicate a broken campaign setup, not a
 // DUT failure.

@@ -1,11 +1,11 @@
 // Package stressortest provides the cross-mode determinism matrix
 // shared by the campaign-engine integrations: one table-driven suite
 // asserting that a campaign's Result is byte-identical across
-// {sequential, parallel} × {rebuild, reuse, checkpointed} ×
-// {unsharded, N-shard merged} × {fresh,
-// resumed-after-simulated-interrupt}. The CAPS and ECU runners both
-// run it against their real prototypes, replacing per-package ad-hoc
-// pairwise checks.
+// {sequential, parallel} × {rebuild, reuse, checkpointed, tree,
+// tree+early-exit, early-exit-only} × {unsharded, N-shard merged} ×
+// {fresh, resumed-after-simulated-interrupt}. The CAPS and ECU runners
+// both run it against their real prototypes, replacing per-package
+// ad-hoc pairwise checks.
 package stressortest
 
 import (
@@ -69,8 +69,8 @@ func Run(t *testing.T, cfg Config) {
 		t.Fatal("reference campaign produced no outcomes — matrix would pass vacuously")
 	}
 	for _, reuseOff := range []bool{true, false} {
-		for _, checkpoints := range []bool{false, true} {
-			if checkpoints && reuseOff {
+		for _, mode := range cellModes {
+			if mode.checkpoints && reuseOff {
 				// Checkpoint sessions build on the reuse machinery; the
 				// rebuild path has nothing to fork from.
 				continue
@@ -78,22 +78,27 @@ func Run(t *testing.T, cfg Config) {
 			for _, workers := range cfg.Workers {
 				for _, shards := range cfg.Shards {
 					for _, resumed := range []bool{false, true} {
-						name := fmt.Sprintf("reuse=%v/checkpoints=%v/workers=%d/shards=%d/resumed=%v",
-							!reuseOff, checkpoints, workers, shards, resumed)
+						name := fmt.Sprintf("reuse=%v/mode=%s/workers=%d/shards=%d/resumed=%v",
+							!reuseOff, mode.name, workers, shards, resumed)
 						if reuseOff && workers == 0 && shards == 1 && !resumed {
 							continue // the reference cell itself
 						}
-						reuseOff, checkpoints, workers, shards, resumed := reuseOff, checkpoints, workers, shards, resumed
+						reuseOff, mode, workers, shards, resumed := reuseOff, mode, workers, shards, resumed
 						t.Run(name, func(t *testing.T) {
 							run, cp, cleanup := cfg.NewRun(t, reuseOff)
 							defer cleanup()
-							if checkpoints && cp == nil {
+							if mode.checkpoints && cp == nil {
 								t.Skip("engine has no Checkpointer")
 							}
-							if !checkpoints {
+							if mode.tree || mode.earlyExit {
+								if _, ok := cp.(stressor.TreeCheckpointer); !ok {
+									t.Skip("Checkpointer does not implement TreeCheckpointer")
+								}
+							}
+							if !mode.checkpoints {
 								cp = nil
 							}
-							got := executeCell(t, cfg, run, cp, workers, shards, resumed)
+							got := executeCell(t, cfg, run, cp, mode, workers, shards, resumed)
 							if !reflect.DeepEqual(got, ref) {
 								t.Errorf("result diverged from reference\ngot:  %+v\nwant: %+v", got, ref)
 							}
@@ -105,10 +110,29 @@ func Run(t *testing.T, cfg Config) {
 	}
 }
 
+// cellMode is the checkpointing axis of the matrix: classifications
+// must be byte-identical whether runs rebuild from scratch, fork from
+// one checkpoint, fork from a retained tree node, or early-exit the
+// moment they provably re-converge with the golden trajectory.
+type cellMode struct {
+	name        string
+	checkpoints bool
+	tree        bool
+	earlyExit   bool
+}
+
+var cellModes = []cellMode{
+	{name: "plain"},
+	{name: "checkpoints", checkpoints: true},
+	{name: "tree", checkpoints: true, tree: true},
+	{name: "tree+ee", checkpoints: true, tree: true, earlyExit: true},
+	{name: "ee", checkpoints: true, earlyExit: true},
+}
+
 // executeCell runs one matrix cell: all shards of the campaign (with
 // shard 0 interrupted and resumed when resumed is set), merged back
 // into one Result when sharded.
-func executeCell(t *testing.T, cfg Config, run stressor.RunFunc, cp stressor.Checkpointer, workers, shards int, resumed bool) *stressor.Result {
+func executeCell(t *testing.T, cfg Config, run stressor.RunFunc, cp stressor.Checkpointer, mode cellMode, workers, shards int, resumed bool) *stressor.Result {
 	t.Helper()
 	dir := t.TempDir()
 	campaign := func(sh stressor.Shard, w *journal.Writer, j *journal.Journal, halt func(int) bool) *stressor.Campaign {
@@ -116,7 +140,9 @@ func executeCell(t *testing.T, cfg Config, run stressor.RunFunc, cp stressor.Che
 			Name: cfg.Name, Run: run, Workers: workers,
 			Dedup: cfg.Dedup, StopOnFirst: cfg.StopOnFirst,
 			Checkpoints: cp != nil, Checkpointer: cp,
-			Shard: sh, Journal: w, Resume: j, Halt: halt,
+			CheckpointTree: cp != nil && mode.tree,
+			EarlyExit:      cp != nil && mode.earlyExit,
+			Shard:          sh, Journal: w, Resume: j, Halt: halt,
 		}
 	}
 	header := func(sh stressor.Shard) journal.Header {

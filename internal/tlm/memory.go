@@ -2,6 +2,7 @@ package tlm
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/sim"
 )
@@ -219,6 +220,50 @@ func (m *Memory) SnapshotState() any {
 		st.stuck[k] = v
 	}
 	return st
+}
+
+// SnapshotStateInto implements sim.StatePooler: SnapshotState reusing
+// the buffers of a previous capture, so checkpoint trees can recycle
+// node states allocation-free in steady state.
+func (m *Memory) SnapshotStateInto(prev any) any {
+	st, _ := prev.(*MemoryState)
+	if st == nil {
+		return m.SnapshotState()
+	}
+	st.data = append(st.data[:0], m.data...)
+	clear(st.stuck)
+	for k, v := range m.stuckMask {
+		st.stuck[k] = v
+	}
+	st.reads = m.reads
+	st.writes = m.writes
+	return st
+}
+
+// HashState implements sim.Hashable. Contents and stuck-at defects
+// determine every future read, and the access counters advance in
+// lockstep between behaviorally identical runs (per-cycle transaction
+// counts do not depend on data values), so all of it folds in. Defects
+// hash in ascending address order — map iteration order must not leak
+// into the digest.
+func (m *Memory) HashState(h *sim.StateHash) {
+	h.Bytes(m.data)
+	h.Int(len(m.stuckMask))
+	if len(m.stuckMask) > 0 {
+		keys := make([]uint64, 0, len(m.stuckMask))
+		for k := range m.stuckMask {
+			keys = append(keys, k)
+		}
+		slices.Sort(keys)
+		for _, k := range keys {
+			s := m.stuckMask[k]
+			h.U64(k)
+			h.Byte(s.mask)
+			h.Byte(s.value)
+		}
+	}
+	h.U64(m.reads)
+	h.U64(m.writes)
 }
 
 // RestoreState implements sim.Snapshottable, writing a SnapshotState
