@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race tier1 bench bench-smoke bench-campaign bench-json bench-reuse bench-sharded bench-checkpoint bench-tree bench-daemon bench-obs fuzz-smoke daemon-e2e
+.PHONY: all build vet test race tier1 bench bench-smoke bench-campaign bench-json bench-reuse bench-sharded bench-checkpoint bench-tree bench-daemon bench-obs bench-fabric fuzz-smoke daemon-e2e fabric-e2e
 
 all: tier1
 
@@ -69,6 +69,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzInterp -fuzztime=$(FUZZTIME) ./internal/mdl
 	$(GO) test -run=NONE -fuzz=FuzzDescriptor -fuzztime=$(FUZZTIME) ./internal/fault
 	$(GO) test -run=NONE -fuzz=FuzzJournalReplay -fuzztime=$(FUZZTIME) ./internal/journal
+	$(GO) test -run=NONE -fuzz=FuzzJournalBinary -fuzztime=$(FUZZTIME) ./internal/journal
 	$(GO) test -run=NONE -fuzz=FuzzCampaignSpec -fuzztime=$(FUZZTIME) ./internal/campaignd
 
 # Campaign-service end-to-end: the goldenfile CLI harness plus the
@@ -76,6 +77,20 @@ fuzz-smoke:
 # clients, malformed specs), under the race detector.
 daemon-e2e:
 	$(GO) test -race -count=1 ./internal/campaignd ./internal/clitest
+
+# Distributed-fabric end-to-end: the coordinator/worker chaos suite
+# (kill/stall/steal with byte-identical recovery), the stressortest
+# distributed axis on both prototypes, and the coord/worker subprocess
+# goldens, all under the race detector.
+fabric-e2e:
+	$(GO) test -race -count=1 ./internal/fabric ./internal/clitest
+	$(GO) test -race -count=1 -run 'Matrix' ./internal/caps ./internal/ecu
+
+# Binary-vs-JSONL journal codec throughput and 1-vs-2-worker fabric
+# campaign throughput (the PR 9 tentpole); regenerates the committed
+# BENCH_PR9.json snapshot.
+bench-fabric:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkJournalCodec|BenchmarkCampaignDistributed' -benchtime 5x -o BENCH_PR9.json ./internal/journal ./internal/fabric
 
 # Daemon submit-to-done turnaround: warm (cached runner + parked
 # checkpoint sessions) vs cold (rebuild per run); compare with

@@ -11,6 +11,11 @@
 // universe and refuses journals whose universe hash disagrees, so a
 // merge against the wrong prototype configuration fails loudly
 // instead of mislabeling outcomes.
+//
+// Journal encodings are sniffed per file, so JSONL shards (capsim's
+// default) and binary shards (capsim -journal-codec binary, or a
+// capsim-coord data directory) merge together freely — one campaign's
+// shards need not agree on a spelling.
 package main
 
 import (

@@ -1,0 +1,154 @@
+// Command capsim-coord is the distributed-campaign coordinator: it
+// partitions one campaign into shard leases, hands them to
+// capsim-worker processes over HTTP, journals every flushed outcome,
+// reclaims leases from dead or stalled workers, and merges the shard
+// journals into the result the unsharded sequential run would have
+// produced — byte for byte.
+//
+// The campaign is described by the same spec JSON that capsimd's
+// POST /runs accepts:
+//
+//	capsim-coord -spec e8.json -shards 8 -data ./coord-data
+//	capsim-worker -coord http://127.0.0.1:8859 &   # as many as you like
+//
+//	curl -s  localhost:8859/status                  # shard/lease table
+//	curl -sN localhost:8859/events                  # NDJSON progress stream
+//	curl -s  localhost:8859/result                  # merged result (JSON)
+//	curl -s 'localhost:8859/result?format=text'     # capsim summary block
+//
+// -oneshot prints the capsim-identical summary block to stdout when
+// the campaign completes and exits; without it the coordinator keeps
+// serving results until SIGINT/SIGTERM. Shard journals live under
+// -data, so a restarted coordinator (same -data, same spec) adopts
+// them and resumes the campaign instead of rerunning it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/campaignd"
+	"repro/internal/fabric"
+	"repro/internal/journal"
+	"repro/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8859", "listen address (host:port; port 0 picks a free port)")
+	specPath := flag.String("spec", "", "campaign spec JSON file (capsimd POST /runs schema; \"-\" reads stdin)")
+	shards := flag.Int("shards", 4, "number of shard leases to partition the campaign into")
+	dataDir := flag.String("data", "capsim-coord-data", "shard journal directory")
+	codec := flag.String("journal-codec", "binary", "shard journal encoding: binary or jsonl")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "heartbeat deadline before a lease is reclaimed")
+	stealAfter := flag.Duration("steal-after", 0, "no-progress window before an idle worker may steal a live lease (default 3x lease-ttl)")
+	oneshot := flag.Bool("oneshot", false, "print the campaign summary and exit when the campaign completes")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	quiet := flag.Bool("quiet", false, "suppress per-lease log lines")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *specPath == "" {
+		fail(fmt.Errorf("capsim-coord: -spec is required"))
+	}
+	var raw []byte
+	var err error
+	if *specPath == "-" {
+		raw, err = io.ReadAll(io.LimitReader(os.Stdin, campaignd.MaxSpecBytes+1))
+	} else {
+		raw, err = os.ReadFile(*specPath)
+	}
+	if err != nil {
+		fail(err)
+	}
+	cdc, err := journal.ParseCodec(*codec)
+	if err != nil {
+		fail(err)
+	}
+	level := slog.LevelInfo
+	if *quiet {
+		level = slog.LevelError
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	spec, runner, scenarios, err := campaignd.MaterializeSpec(raw)
+	if err != nil {
+		fail(err)
+	}
+	// The runner exists only to enumerate the universe; workers build
+	// their own from the spec.
+	runner.Close()
+
+	coord, err := fabric.NewCoordinator(fabric.CoordConfig{
+		Campaign: spec.Campaign, Spec: raw, Scenarios: scenarios,
+		Shards: *shards, Dedup: spec.Dedup, StopOnFirst: spec.StopOnFirst,
+		DataDir: *dataDir, Codec: cdc,
+		LeaseTTL: *leaseTTL, StealAfter: *stealAfter,
+		Text: campaignd.FabricText(spec, len(scenarios)),
+		Log:  logger,
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer coord.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	// The listening line is the readiness handshake: clients (and the
+	// E2E harness) parse the actual address from it, which is what
+	// makes ":0" usable.
+	fmt.Printf("capsim-coord listening on http://%s (campaign %q, %d scenarios, %d shards)\n",
+		ln.Addr(), spec.Campaign, len(scenarios), *shards)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fail(err)
+	case s := <-sig:
+		logger.Info("shutting down", "signal", s.String())
+		// Journals flush on every append; whatever is recorded stays
+		// resumable by the next coordinator over the same -data.
+		srv.Close()
+		fmt.Println("capsim-coord stopped; campaign resumes on restart")
+		return
+	case <-coord.Done():
+		if !*oneshot {
+			// Keep serving /result, /status, /events until signalled.
+			select {
+			case s := <-sig:
+				logger.Info("shutting down", "signal", s.String())
+			case err := <-errCh:
+				fail(err)
+			}
+			srv.Close()
+			return
+		}
+	}
+	srv.Close()
+	res, _, err := coord.Result()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(campaignd.FabricText(spec, len(scenarios))(res))
+}

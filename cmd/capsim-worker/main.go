@@ -1,0 +1,113 @@
+// Command capsim-worker executes shard leases for a capsim-coord
+// coordinator: it polls for a lease, materializes the campaign spec
+// carried in it (building — and caching — the virtual prototype
+// locally), runs its shard of the scenario universe, and streams
+// completed outcomes back on a heartbeat cadence. If the worker dies
+// or stalls mid-lease, the coordinator reclaims the shard and another
+// worker resumes it from the last flushed outcome.
+//
+//	capsim-worker -coord http://127.0.0.1:8859
+//	capsim-worker -coord http://127.0.0.1:8859 -name rig-2 &
+//
+// The worker exits 0 when the coordinator reports the campaign done.
+// Names default to host-pid and only need to be unique per
+// coordinator.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/campaignd"
+	"repro/internal/fabric"
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+func main() {
+	coord := flag.String("coord", "http://127.0.0.1:8859", "coordinator base URL")
+	name := flag.String("name", "", "worker name (default host-pid)")
+	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "flush cadence while holding a lease (capped at a third of the lease TTL)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	quiet := flag.Bool("quiet", false, "suppress per-lease log lines")
+	flag.Parse()
+
+	if *name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	level := slog.LevelInfo
+	if *quiet {
+		level = slog.LevelError
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	resolve := campaignd.FabricResolver(logger)
+	// CAPSIM_WORKER_STALL_AFTER=N blocks the worker forever inside its
+	// N-th scenario (chaos-testing aid, like capsim's
+	// CAPSIM_FAIL_JOURNAL_AFTER): the E2E harness SIGKILLs the stalled
+	// process to prove a real worker death mid-lease is recovered by the
+	// next worker, resuming from the last flushed outcome.
+	if n, err := strconv.Atoi(os.Getenv("CAPSIM_WORKER_STALL_AFTER")); err == nil && n > 0 {
+		inner := resolve
+		var runs atomic.Int32
+		resolve = func(raw json.RawMessage) (*fabric.Resolved, error) {
+			res, err := inner(raw)
+			if err != nil {
+				return nil, err
+			}
+			run := res.Campaign.Run
+			res.Campaign.Run = func(sc fault.Scenario) fault.Outcome {
+				if int(runs.Add(1)) == n {
+					select {} // stall forever; only SIGKILL ends this
+				}
+				return run(sc)
+			}
+			return res, nil
+		}
+	}
+
+	w, err := fabric.NewWorker(fabric.WorkerConfig{
+		Name: *name, Coordinator: *coord,
+		Resolve:   resolve,
+		Heartbeat: *heartbeat,
+		Log:       logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// SIGINT/SIGTERM cancel the lease loop between flushes; the
+	// coordinator reclaims the shard after the TTL and the outcomes
+	// flushed so far stay — the next worker resumes, not restarts.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("capsim-worker %s polling %s\n", *name, *coord)
+	if err := w.Run(ctx); err != nil {
+		if ctx.Err() != nil {
+			fmt.Println("capsim-worker interrupted; lease will be reclaimed")
+			return
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("capsim-worker done")
+}

@@ -22,11 +22,14 @@
 // live progress line to stderr.
 //
 // -shard i/N runs only the i-th of N deterministic partitions of the
-// scenario universe; -journal appends each outcome to a JSONL run
-// journal as it completes, and -resume picks an interrupted journal
-// back up, skipping scenarios already recorded. Ctrl-C stops the
+// scenario universe; -journal appends each outcome to a run journal as
+// it completes (-journal-codec selects JSONL, the default, or the
+// compact binary framing), and -resume picks an interrupted journal
+// back up, skipping scenarios already recorded — sniffing and adopting
+// whichever encoding the journal already uses. Ctrl-C stops the
 // campaign cleanly after the in-flight scenarios finish, leaving the
-// journal resumable. Completed shard journals merge with campmerge.
+// journal resumable. Completed shard journals merge with campmerge,
+// mixed encodings included.
 package main
 
 import (
@@ -89,7 +92,8 @@ func main() {
 	tracePath := flag.String("trace-events", "", "write Chrome trace-event JSON to this file")
 	progress := flag.Bool("progress", false, "stream live campaign progress to stderr")
 	shardFlag := flag.String("shard", "", "run one shard i/N of the campaign universe (e.g. 0/4)")
-	journalPath := flag.String("journal", "", "append per-scenario outcomes to this JSONL run journal")
+	journalPath := flag.String("journal", "", "append per-scenario outcomes to this run journal")
+	journalCodec := flag.String("journal-codec", "jsonl", "encoding for a fresh -journal: jsonl or binary (resume adopts the existing encoding)")
 	resume := flag.Bool("resume", false, "resume an interrupted -journal, skipping recorded scenarios")
 	scenarioTimeout := flag.Duration("scenario-timeout", 0, "wall-clock budget per scenario (0 = none)")
 	interruptAfter := flag.Int("interrupt-after", 0, "stop cleanly after N completed runs (testing aid; journal stays resumable)")
@@ -221,6 +225,11 @@ func main() {
 		}
 		var jw *journal.Writer
 		if *journalPath != "" {
+			codec, err := journal.ParseCodec(*journalCodec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
 			shards := shard.Count
 			if shards < 1 {
 				shards = 1
@@ -231,6 +240,8 @@ func main() {
 			}
 			if *resume {
 				if _, statErr := os.Stat(*journalPath); statErr == nil {
+					// Resume sniffs and adopts the journal's own encoding;
+					// -journal-codec only shapes fresh journals.
 					j, w, err := journal.AppendTo(*journalPath, h)
 					if err != nil {
 						fmt.Fprintln(os.Stderr, err)
@@ -240,12 +251,12 @@ func main() {
 				} else {
 					// Nothing to resume yet: start a fresh journal so the
 					// same command line works for first run and re-runs.
-					if jw, err = journal.Create(*journalPath, h); err != nil {
+					if jw, err = journal.CreateCodec(*journalPath, h, codec); err != nil {
 						fmt.Fprintln(os.Stderr, err)
 						os.Exit(1)
 					}
 				}
-			} else if jw, err = journal.Create(*journalPath, h); err != nil {
+			} else if jw, err = journal.CreateCodec(*journalPath, h, codec); err != nil {
 				fmt.Fprintf(os.Stderr, "%v (use -resume to continue an interrupted journal)\n", err)
 				os.Exit(1)
 			}

@@ -1,0 +1,284 @@
+package fabric
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/stressor"
+)
+
+// chaosTimings are the real-clock knobs the chaos suite runs with:
+// short enough that expiry and stealing land within a test, long
+// enough that heartbeats always make the deadline under -race.
+const (
+	chaosTTL       = 250 * time.Millisecond
+	chaosSteal     = 500 * time.Millisecond
+	chaosHeartbeat = 20 * time.Millisecond
+	chaosPoll      = 10 * time.Millisecond
+)
+
+// runWorkers starts each worker in a goroutine and waits for all of
+// them (with a hang guard).
+func runWorkers(t *testing.T, ctx context.Context, workers ...*Worker) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, len(workers))
+	for i, w := range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = w.Run(ctx)
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("workers did not finish within 30s")
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition not reached within %v", d)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// sequentialBaseline runs the campaign unsharded, sequentially.
+func sequentialBaseline(t *testing.T, name string, scenarios []fault.Scenario, run stressor.RunFunc, dedup, stop bool) *stressor.Result {
+	t.Helper()
+	res, err := (&stressor.Campaign{Name: name, Run: run, Dedup: dedup, StopOnFirst: stop}).Execute(scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// newChaosWorker builds a worker against srvURL with chaos timings.
+func newChaosWorker(t *testing.T, name, srvURL string, res Resolver) *Worker {
+	t.Helper()
+	w, err := NewWorker(WorkerConfig{
+		Name: name, Coordinator: srvURL, Resolve: res,
+		Heartbeat: chaosHeartbeat, Poll: chaosPoll,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestDistributedMatchesSequential is the fabric's core determinism
+// claim on the happy path: 2 workers × 4 shards produce a merged
+// Result identical to the unsharded sequential run, for all
+// dedup/stop-on-first combinations.
+func TestDistributedMatchesSequential(t *testing.T) {
+	scenarios := testScenarios(24)
+	scenarios[13].Faults = scenarios[5].Faults // a dedup fold across shards
+	run := testRun(map[int]fault.Classification{17: fault.SDC})
+	for _, tc := range []struct{ dedup, stop bool }{{false, false}, {true, false}, {false, true}, {true, true}} {
+		c, srv := startCoord(t, CoordConfig{
+			Scenarios: scenarios, Shards: 4, Dedup: tc.dedup, StopOnFirst: tc.stop,
+			LeaseTTL: chaosTTL, StealAfter: chaosSteal,
+		})
+		res := resolver(scenarios, run)
+		runWorkers(t, context.Background(),
+			newChaosWorker(t, "w1", srv.URL, res),
+			newChaosWorker(t, "w2", srv.URL, res))
+		got, done, err := c.Result()
+		if err != nil || !done {
+			t.Fatalf("dedup=%v stop=%v: done=%v err=%v", tc.dedup, tc.stop, done, err)
+		}
+		want := sequentialBaseline(t, "fab", scenarios, run, tc.dedup, tc.stop)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("dedup=%v stop=%v: distributed result differs:\n%+v\n%+v", tc.dedup, tc.stop, got, want)
+		}
+	}
+}
+
+// TestWorkerKillMidLease is the headline chaos test: a worker is
+// killed partway through its lease (it goes silent without flushing
+// its tail), the lease expires, the surviving worker steals the shard,
+// resumes it from the last flushed entry, and the merged result is
+// byte-identical to the sequential run.
+func TestWorkerKillMidLease(t *testing.T) {
+	scenarios := testScenarios(20)
+	baseRun := testRun(map[int]fault.Classification{11: fault.DetectedSafe})
+	c, srv := startCoord(t, CoordConfig{
+		Scenarios: scenarios, Shards: 2,
+		LeaseTTL: chaosTTL, StealAfter: chaosSteal,
+	})
+
+	var victim *Worker
+	var runs atomic.Int32
+	// The victim's run function kills its own worker after 3 scenarios,
+	// stranding the rest of the lease; runs already journaled and
+	// flushed by then form the resume prefix.
+	killingRun := func(sc fault.Scenario) fault.Outcome {
+		if runs.Add(1) == 3 {
+			// Let at least one heartbeat carry the completed entries out
+			// before going dark, so the recovery genuinely RESUMES.
+			time.Sleep(3 * chaosHeartbeat)
+			victim.Kill()
+		}
+		return baseRun(sc)
+	}
+	victim = newChaosWorker(t, "victim", srv.URL, resolver(scenarios, killingRun))
+	survivor := newChaosWorker(t, "survivor", srv.URL, resolver(scenarios, baseRun))
+	// Let the victim claim its lease first so the kill always lands
+	// mid-campaign instead of racing the survivor for both shards.
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var victimErr error
+	go func() { defer wg.Done(); victimErr = victim.Run(ctx) }()
+	waitFor(t, 10*time.Second, func() bool { return runs.Load() >= 1 })
+	runWorkers(t, ctx, survivor)
+	wg.Wait()
+	if victimErr != nil {
+		t.Fatalf("victim: %v", victimErr)
+	}
+
+	got, done, err := c.Result()
+	if err != nil || !done {
+		t.Fatalf("done=%v err=%v", done, err)
+	}
+	want := sequentialBaseline(t, "fab", scenarios, baseRun, false, false)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered result differs from sequential:\n%+v\n%+v", got, want)
+	}
+	if runs.Load() < 3 {
+		t.Fatalf("victim ran %d scenarios, kill never triggered", runs.Load())
+	}
+}
+
+// TestWorkerStallIsStolen covers the slow-worker path: the holder
+// keeps heartbeating but blocks inside a scenario, so no entries flow
+// for StealAfter; an idle worker steals the shard, re-runs it, and the
+// merged result is still identical — the stalled holder's eventual
+// flush is refused and it halts.
+func TestWorkerStallIsStolen(t *testing.T) {
+	scenarios := testScenarios(12)
+	baseRun := testRun(nil)
+	c, srv := startCoord(t, CoordConfig{
+		Scenarios: scenarios, Shards: 2,
+		LeaseTTL: chaosTTL, StealAfter: chaosSteal,
+	})
+
+	unblock := make(chan struct{})
+	var stalled atomic.Bool
+	stallingRun := func(sc fault.Scenario) fault.Outcome {
+		if sc.ID == "s2" && stalled.CompareAndSwap(false, true) {
+			<-unblock // stuck "forever" — until the test tears down
+		}
+		return baseRun(sc)
+	}
+	stall := newChaosWorker(t, "stall", srv.URL, resolver(scenarios, stallingRun))
+	thief := newChaosWorker(t, "thief", srv.URL, resolver(scenarios, baseRun))
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); stall.Run(ctx) }()
+	defer func() { close(unblock); wg.Wait() }()
+	// Hold the thief back until the stall worker actually owns a lease —
+	// otherwise the thief races through both shards and nothing stalls.
+	waitFor(t, 10*time.Second, func() bool { return stalled.Load() })
+	runWorkers(t, ctx, thief)
+
+	got, done, err := c.Result()
+	if err != nil || !done {
+		t.Fatalf("done=%v err=%v", done, err)
+	}
+	want := sequentialBaseline(t, "fab", scenarios, baseRun, false, false)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stolen result differs from sequential:\n%+v\n%+v", got, want)
+	}
+	if !stalled.Load() {
+		t.Fatal("stall never triggered")
+	}
+}
+
+// TestEventsStream reads the NDJSON progress stream through a full
+// run: progress lines must be monotonic and the final line must carry
+// the merged tally.
+func TestEventsStream(t *testing.T) {
+	scenarios := testScenarios(10)
+	run := testRun(map[int]fault.Classification{6: fault.SDC})
+	c, srv := startCoord(t, CoordConfig{
+		Scenarios: scenarios, Shards: 2,
+		LeaseTTL: chaosTTL, StealAfter: chaosSteal,
+	})
+	resp, err := http.Get(srv.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	events := make(chan Event, 64)
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var ev Event
+			if json.Unmarshal(sc.Bytes(), &ev) == nil {
+				events <- ev
+			}
+		}
+	}()
+
+	runWorkers(t, context.Background(), newChaosWorker(t, "w1", srv.URL, resolver(scenarios, run)))
+
+	var last Event
+	completed := -1
+	for ev := range events {
+		if ev.Completed < completed {
+			t.Fatalf("progress went backwards: %d after %d", ev.Completed, completed)
+		}
+		completed = ev.Completed
+		last = ev
+	}
+	if !last.Final || last.Type != "done" || last.Completed != 10 {
+		t.Fatalf("final event = %+v", last)
+	}
+	want, _, _ := c.Result()
+	if last.Tally != want.Tally.String() {
+		t.Fatalf("final tally %q, want %q", last.Tally, want.Tally.String())
+	}
+}
+
+// TestWorkerRejectsUniverseSkew pins the cross-check that stops a
+// misconfigured worker before it poisons a campaign: a resolver
+// producing a different universe than the coordinator merges must
+// abort the worker at lease time.
+func TestWorkerRejectsUniverseSkew(t *testing.T) {
+	scenarios := testScenarios(6)
+	_, srv := startCoord(t, CoordConfig{
+		Scenarios: scenarios, Shards: 1,
+		LeaseTTL: chaosTTL, StealAfter: chaosSteal,
+	})
+	skewed := testScenarios(6)
+	skewed[2].Faults[0].Param = 0.5
+	w := newChaosWorker(t, "skew", srv.URL, resolver(skewed, testRun(nil)))
+	if err := w.Run(context.Background()); err == nil {
+		t.Fatal("worker accepted a skewed universe")
+	}
+}

@@ -1,0 +1,147 @@
+// Package fabric distributes a fault-injection campaign across
+// machines: one coordinator partitions the scenario universe into
+// shard leases and N workers execute them, streaming journal entries
+// back over HTTP. The protocol is leases-over-journals:
+//
+//   - A worker POSTs /leases and receives one shard to run, together
+//     with every entry already recorded for it — the lease IS a resume
+//     journal, so whoever picks a shard up continues from its last
+//     flushed entry, never from scratch.
+//   - The worker runs the shard through the ordinary stressor.Campaign
+//     engine and flushes completed entries to
+//     POST /leases/{shard}/flush on a heartbeat cadence. Each flush
+//     extends the lease deadline.
+//   - A lease whose deadline passes (the worker died) returns to the
+//     pool; a lease whose holder keeps heartbeating but records no new
+//     entries for StealAfter (the worker is stuck or pathologically
+//     slow) can be stolen by an idle worker. Stealing bumps the
+//     attempt counter: flushes from the superseded holder are answered
+//     409 and it halts.
+//   - When every shard is done the coordinator merges the shard
+//     journals with stressor.Merge into the Result the unsharded
+//     sequential run would have produced, byte for byte.
+//
+// Work-stealing is determinism-safe because scenario outcomes are
+// deterministic: a stale holder and the thief can only ever record
+// identical entries for the same index, the coordinator dedups them by
+// index, and stressor.Merge independently refuses conflicting
+// duplicates — a nondeterministic prototype fails loudly instead of
+// merging silently.
+//
+// Everything is stdlib HTTP/JSON. The coordinator keeps no background
+// timers: lease expiry is swept inside request handlers against an
+// injectable clock, which is what makes the chaos tests deterministic.
+package fabric
+
+import (
+	"encoding/json"
+
+	"repro/internal/journal"
+)
+
+// Lease statuses returned by POST /leases.
+const (
+	// StatusGranted carries a shard to run.
+	StatusGranted = "granted"
+	// StatusWait means every shard is currently leased and progressing;
+	// poll again.
+	StatusWait = "wait"
+	// StatusDone means the campaign is complete; the worker can exit.
+	StatusDone = "done"
+)
+
+// RegisterRequest is the body of POST /workers.
+type RegisterRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseRequest is the body of POST /leases.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// Lease is the response of POST /leases. With StatusGranted it fully
+// describes one shard assignment: the campaign identity the worker
+// must reproduce (and cross-check via the universe hash), the opaque
+// spec its resolver materializes scenarios from, and the entries
+// already recorded for the shard, which the worker replays as a resume
+// journal.
+type Lease struct {
+	Status      string          `json:"status"`
+	Campaign    string          `json:"campaign,omitempty"`
+	Shard       int             `json:"shard"`
+	Shards      int             `json:"shards,omitempty"`
+	Attempt     int             `json:"attempt,omitempty"`
+	Total       int             `json:"total,omitempty"`
+	Universe    string          `json:"universe,omitempty"`
+	Dedup       bool            `json:"dedup,omitempty"`
+	StopOnFirst bool            `json:"stop_on_first,omitempty"`
+	// TTLMillis tells the worker how often it must flush to keep the
+	// lease (it flushes at a fraction of this).
+	TTLMillis int64           `json:"ttl_ms,omitempty"`
+	Spec      json.RawMessage `json:"spec,omitempty"`
+	Entries   []journal.Entry `json:"entries,omitempty"`
+}
+
+// FlushRequest is the body of POST /leases/{shard}/flush: a heartbeat
+// carrying zero or more newly completed entries. Done marks the shard
+// finished.
+type FlushRequest struct {
+	Worker  string          `json:"worker"`
+	Attempt int             `json:"attempt"`
+	Entries []journal.Entry `json:"entries,omitempty"`
+	Done    bool            `json:"done,omitempty"`
+}
+
+// FlushResponse acknowledges a flush.
+type FlushResponse struct {
+	OK bool `json:"ok"`
+	// Recorded is the shard's total recorded-entry count after this
+	// flush (duplicates folded).
+	Recorded int `json:"recorded"`
+	// CampaignDone reports that this flush completed the whole campaign:
+	// the worker can exit without polling for another lease (a -oneshot
+	// coordinator may be gone by then).
+	CampaignDone bool `json:"campaign_done,omitempty"`
+}
+
+// ShardStatus is one shard's row in GET /status.
+type ShardStatus struct {
+	Shard    int    `json:"shard"`
+	State    string `json:"state"` // pending | leased | done
+	Worker   string `json:"worker,omitempty"`
+	Attempt  int    `json:"attempt,omitempty"`
+	Recorded int    `json:"recorded"`
+	Owned    int    `json:"owned"`
+}
+
+// StatusDoc is the response of GET /status.
+type StatusDoc struct {
+	Campaign  string        `json:"campaign"`
+	Shards    []ShardStatus `json:"shards"`
+	Completed int           `json:"completed"`
+	Total     int           `json:"total"`
+	Workers   []string      `json:"workers,omitempty"`
+	Done      bool          `json:"done"`
+	// MergeError reports a failed final merge (conflicting duplicate
+	// entries, incomplete coverage) — the distributed analogue of a
+	// campaign crash.
+	MergeError string `json:"merge_error,omitempty"`
+}
+
+// Event is one NDJSON line of GET /events: incremental merged progress
+// while shards execute, then a final line when the campaign merges.
+type Event struct {
+	Type       string `json:"type"` // progress | done | error
+	Completed  int    `json:"completed"`
+	Total      int    `json:"total"`
+	ShardsDone int    `json:"shards_done"`
+	Tally      string `json:"tally,omitempty"`
+	Error      string `json:"error,omitempty"`
+	Final      bool   `json:"final,omitempty"`
+}
+
+// errorDoc is the structured error body every non-2xx response carries.
+type errorDoc struct {
+	Error string `json:"error"`
+}

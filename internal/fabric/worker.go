@@ -1,0 +1,321 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/journal"
+	"repro/internal/stressor"
+)
+
+// Resolved is a materialized lease: the scenario universe the opaque
+// spec describes, and a campaign template carrying everything
+// prototype-shaped — RunFunc, inner worker pool, checkpoint knobs.
+// The fabric worker overwrites the identity fields (Name, Shard,
+// Dedup, StopOnFirst, Journal, Resume, Halt) from the lease.
+type Resolved struct {
+	Scenarios []fault.Scenario
+	Campaign  *stressor.Campaign
+}
+
+// Resolver turns a coordinator's opaque spec into runnable form. It is
+// called once per granted lease; implementations should cache the
+// expensive parts (kernels, slot pools) across calls.
+type Resolver func(spec json.RawMessage) (*Resolved, error)
+
+// WorkerConfig configures a Worker.
+type WorkerConfig struct {
+	// Name identifies this worker to the coordinator.
+	Name string
+	// Coordinator is the coordinator's base URL.
+	Coordinator string
+	// Resolve materializes lease specs.
+	Resolve Resolver
+	// Heartbeat is the flush cadence while holding a lease. Default
+	// (and maximum) is a third of the lease TTL.
+	Heartbeat time.Duration
+	// Poll is the retry interval when no lease is available. Defaults
+	// to Heartbeat.
+	Poll time.Duration
+	// Client is the HTTP client (default http.DefaultClient).
+	Client *http.Client
+	// Log receives worker events.
+	Log *slog.Logger
+}
+
+// Worker leases shards from a coordinator and executes them.
+type Worker struct {
+	cfg    WorkerConfig
+	killed atomic.Bool
+
+	mu  sync.Mutex
+	buf []journal.Entry // completed entries awaiting flush
+}
+
+// NewWorker validates cfg.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("fabric: worker needs a name")
+	}
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("fabric: worker needs a coordinator URL")
+	}
+	if cfg.Resolve == nil {
+		return nil, fmt.Errorf("fabric: worker needs a resolver")
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 500 * time.Millisecond
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = cfg.Heartbeat
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	return &Worker{cfg: cfg}, nil
+}
+
+// Kill simulates a SIGKILL for chaos tests: the worker halts its
+// current campaign, stops heartbeating and never flushes again — from
+// the coordinator's side it simply goes silent mid-lease, exactly like
+// a dead process, and the lease expires and moves on.
+func (w *Worker) Kill() { w.killed.Store(true) }
+
+func (w *Worker) logInfo(msg string, args ...any) {
+	if w.cfg.Log != nil {
+		w.cfg.Log.Info(msg, append([]any{"worker", w.cfg.Name}, args...)...)
+	}
+}
+
+// post sends one JSON request and decodes the response into out (when
+// non-nil). It returns the HTTP status and the response error body, if
+// any.
+func (w *Worker) post(ctx context.Context, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.cfg.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode/100 != 2 {
+		var ed errorDoc
+		if json.Unmarshal(data, &ed) == nil && ed.Error != "" {
+			return resp.StatusCode, fmt.Errorf("fabric: %s: %s", path, ed.Error)
+		}
+		return resp.StatusCode, fmt.Errorf("fabric: %s: HTTP %d", path, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("fabric: %s: bad response: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Run registers the worker and processes leases until the campaign
+// completes, the context is cancelled, or the worker is killed.
+func (w *Worker) Run(ctx context.Context) error {
+	if _, err := w.post(ctx, "/workers", RegisterRequest{Worker: w.cfg.Name}, nil); err != nil {
+		return err
+	}
+	for {
+		if w.killed.Load() {
+			return nil
+		}
+		var lease Lease
+		if code, err := w.post(ctx, "/leases", LeaseRequest{Worker: w.cfg.Name}, &lease); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if code == 0 {
+				// Transport failure against a coordinator we successfully
+				// registered with: it has gone away — typically a -oneshot
+				// coordinator that merged and exited while we were polling.
+				// There is nothing left to work on.
+				w.logInfo("coordinator gone", "err", err.Error())
+				return nil
+			}
+			return err
+		}
+		switch lease.Status {
+		case StatusDone:
+			w.logInfo("campaign done")
+			return nil
+		case StatusWait:
+			select {
+			case <-time.After(w.cfg.Poll):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		case StatusGranted:
+			campaignDone, err := w.runLease(ctx, lease)
+			if err != nil {
+				return err
+			}
+			if campaignDone {
+				// Our final flush completed the whole campaign; skip the
+				// next poll — a -oneshot coordinator exits at this point.
+				w.logInfo("campaign done")
+				return nil
+			}
+		default:
+			return fmt.Errorf("fabric: unknown lease status %q", lease.Status)
+		}
+	}
+}
+
+// runLease executes one granted shard through the campaign engine,
+// streaming completed entries back on the heartbeat cadence. It
+// reports whether its final flush completed the whole campaign.
+func (w *Worker) runLease(ctx context.Context, lease Lease) (bool, error) {
+	resolved, err := w.cfg.Resolve(lease.Spec)
+	if err != nil {
+		return false, fmt.Errorf("fabric: resolving lease spec: %w", err)
+	}
+	if len(resolved.Scenarios) != lease.Total {
+		return false, fmt.Errorf("fabric: resolved %d scenarios, lease says %d", len(resolved.Scenarios), lease.Total)
+	}
+	if uh := stressor.UniverseHash(resolved.Scenarios); uh != lease.Universe {
+		// The worker would run a different universe than the coordinator
+		// merges: a version or configuration skew that must stop the
+		// worker, not poison the campaign.
+		return false, fmt.Errorf("fabric: resolved universe %s does not match lease universe %s", uh, lease.Universe)
+	}
+	w.logInfo("lease granted", "shard", lease.Shard, "attempt", lease.Attempt, "resume", len(lease.Entries))
+
+	// Drop anything a previous revoked lease left unflushed: those
+	// entries belong to a shard someone else owns now.
+	w.mu.Lock()
+	w.buf = nil
+	w.mu.Unlock()
+
+	shards := lease.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	var resume *journal.Journal
+	if len(lease.Entries) > 0 {
+		resume = &journal.Journal{
+			Header: journal.Header{
+				FormatMarker: journal.Format, Campaign: lease.Campaign,
+				Shard: lease.Shard, Shards: shards,
+				Total: lease.Total, Universe: lease.Universe,
+			},
+			Entries: lease.Entries,
+		}
+	}
+
+	var revoked, campaignDone atomic.Bool
+	flushPath := fmt.Sprintf("/leases/%d/flush", lease.Shard)
+	flush := func(done bool) {
+		w.mu.Lock()
+		entries := w.buf
+		w.buf = nil
+		w.mu.Unlock()
+		if w.killed.Load() || revoked.Load() {
+			return
+		}
+		var fr FlushResponse
+		code, err := w.post(ctx, flushPath, FlushRequest{
+			Worker: w.cfg.Name, Attempt: lease.Attempt, Entries: entries, Done: done,
+		}, &fr)
+		if err == nil && fr.CampaignDone {
+			campaignDone.Store(true)
+		}
+		switch {
+		case code == http.StatusConflict:
+			// Superseded: someone stole the lease (or it expired and was
+			// regranted). Halt; the thief re-runs whatever we did not get
+			// flushed in time.
+			w.logInfo("lease revoked", "shard", lease.Shard, "attempt", lease.Attempt)
+			revoked.Store(true)
+		case err != nil:
+			// Transient failure: requeue and retry next heartbeat. The
+			// lease survives as long as one flush lands within the TTL.
+			w.mu.Lock()
+			w.buf = append(entries, w.buf...)
+			w.mu.Unlock()
+			w.logInfo("flush failed", "shard", lease.Shard, "err", err.Error())
+		}
+	}
+
+	c := *resolved.Campaign
+	c.Name = lease.Campaign
+	c.Dedup = lease.Dedup
+	c.StopOnFirst = lease.StopOnFirst
+	if shards > 1 {
+		c.Shard = stressor.Shard{Index: lease.Shard, Count: shards}
+	} else {
+		c.Shard = stressor.Shard{}
+	}
+	c.Journal = &bufSink{w: w}
+	c.Resume = resume
+	c.Halt = func(int) bool { return w.killed.Load() || revoked.Load() }
+
+	hb := w.cfg.Heartbeat
+	if ttl := time.Duration(lease.TTLMillis) * time.Millisecond; ttl > 0 && hb > ttl/3 {
+		hb = ttl / 3
+	}
+	stop := make(chan struct{})
+	var hbDone sync.WaitGroup
+	hbDone.Add(1)
+	go func() {
+		defer hbDone.Done()
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				flush(false)
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	_, err = c.Execute(resolved.Scenarios)
+	close(stop)
+	hbDone.Wait()
+	if err != nil {
+		return false, fmt.Errorf("fabric: shard %d: %w", lease.Shard, err)
+	}
+	if w.killed.Load() || revoked.Load() {
+		// Killed: go silent. Revoked: the thief owns the shard now.
+		return false, nil
+	}
+	flush(true)
+	w.logInfo("lease done", "shard", lease.Shard, "attempt", lease.Attempt)
+	return campaignDone.Load(), nil
+}
+
+// bufSink is the engine's JournalSink: completed entries accumulate in
+// the worker's buffer until the next heartbeat flush.
+type bufSink struct{ w *Worker }
+
+func (s *bufSink) Append(e journal.Entry) error {
+	s.w.mu.Lock()
+	s.w.buf = append(s.w.buf, e)
+	s.w.mu.Unlock()
+	return nil
+}

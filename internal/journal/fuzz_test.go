@@ -28,6 +28,114 @@ func fuzzSeedJournal() []byte {
 // bytes than it was given. Truncated and corrupt inputs are detected —
 // a journal that decodes cleanly round-trips bit-exact through
 // re-encoding, so nothing corrupt can ever be silently merged.
+// fuzzSeedBinaryJournal builds a small valid binary journal for the
+// FuzzJournalBinary seed corpus.
+func fuzzSeedBinaryJournal() []byte {
+	h := Header{FormatMarker: Format, Campaign: "fz", Shard: 1, Shards: 4, Total: 8, Universe: "cafe0000cafe0000"}
+	data, _ := encodeBinaryHeader(h)
+	for _, e := range []Entry{
+		{Index: 1, ID: "a", Class: "masked"},
+		{Index: 5, ID: "b", Class: "sdc", Detail: "x\ny", Panicked: true},
+	} {
+		data = appendFrame(data, appendEntryPayload(nil, e))
+	}
+	return data
+}
+
+// FuzzJournalBinary extends the FuzzJournalReplay contract to the
+// binary codec: DecodeBytes must never panic on arbitrary bytes
+// carrying the binary magic, truncation/bit-flip recovery must obey
+// the same ValidBytes/Truncated invariants, and anything accepted must
+// round-trip bit-exact through a binary re-encode AND decode to the
+// same journal through a JSONL re-encode — the two codecs are one
+// format with two spellings.
+func FuzzJournalBinary(f *testing.F) {
+	valid := fuzzSeedBinaryJournal()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])     // truncated mid-frame
+	f.Add(valid[:len(binaryMagic)]) // magic only
+	f.Add(valid[:len(binaryMagic)+6])
+	f.Add(append([]byte{}, binaryMagic...))
+	flipped := append([]byte{}, valid...)
+	flipped[len(flipped)/2] ^= 0x10
+	f.Add(flipped)
+	torn := append([]byte{}, valid...)
+	torn[len(torn)-1] ^= 0xff
+	f.Add(torn)
+	// Oversized length word after a valid header.
+	hdr := fuzzSeedBinaryJournal()[:len(binaryMagic)]
+	f.Add(append(append([]byte{}, hdr...), 0xff, 0xff, 0xff, 0x7f))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Force the binary decode path: graft the magic onto arbitrary
+		// fuzz bytes so mutation explores frames, not JSONL.
+		if SniffCodec(data) != Binary {
+			data = append(append([]byte{}, binaryMagic...), data...)
+		}
+		j, err := DecodeBytes(data)
+		if err != nil {
+			return // detected: corrupt input refused
+		}
+		if j.Codec != Binary {
+			t.Fatalf("sniffed codec %q for magic-prefixed input", j.Codec)
+		}
+		if j.ValidBytes > int64(len(data)) {
+			t.Fatalf("ValidBytes %d > input %d", j.ValidBytes, len(data))
+		}
+		if j.Truncated != (j.ValidBytes < int64(len(data))) {
+			t.Fatalf("Truncated=%v but ValidBytes=%d of %d", j.Truncated, j.ValidBytes, len(data))
+		}
+		if err := j.Header.Validate(); err != nil {
+			t.Fatalf("accepted invalid header: %v", err)
+		}
+		for _, e := range j.Entries {
+			if err := e.validate(j.Header); err != nil {
+				t.Fatalf("accepted invalid entry: %v", err)
+			}
+		}
+		// Binary re-encode: the accepted prefix must reproduce exactly.
+		re, err := encodeBinaryHeader(j.Header)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range j.Entries {
+			re = appendFrame(re, appendEntryPayload(nil, e))
+		}
+		j2, err := DecodeBytes(re)
+		if err != nil {
+			t.Fatalf("binary re-encode does not decode: %v", err)
+		}
+		if j2.Header != j.Header || len(j2.Entries) != len(j.Entries) || j2.Truncated {
+			t.Fatalf("binary re-encode changed the journal: %+v vs %+v", j2, j)
+		}
+		for i := range j.Entries {
+			if j2.Entries[i] != j.Entries[i] {
+				t.Fatalf("entry %d changed across binary re-encode: %+v vs %+v", i, j2.Entries[i], j.Entries[i])
+			}
+		}
+		// Cross-codec: the same content spelled as JSONL decodes to the
+		// same journal (Merge/resume semantics cannot depend on codec).
+		var buf bytes.Buffer
+		line, _ := json.Marshal(j.Header)
+		buf.Write(append(line, '\n'))
+		for _, e := range j.Entries {
+			line, _ := json.Marshal(e)
+			buf.Write(append(line, '\n'))
+		}
+		j3, err := DecodeBytes(buf.Bytes())
+		if err != nil {
+			t.Fatalf("JSONL re-spelling does not decode: %v", err)
+		}
+		if j3.Header != j.Header || len(j3.Entries) != len(j.Entries) {
+			t.Fatalf("JSONL re-spelling changed the journal")
+		}
+		for i := range j.Entries {
+			if j3.Entries[i] != j.Entries[i] {
+				t.Fatalf("entry %d differs across codecs: %+v vs %+v", i, j3.Entries[i], j.Entries[i])
+			}
+		}
+	})
+}
+
 func FuzzJournalReplay(f *testing.F) {
 	valid := fuzzSeedJournal()
 	f.Add(valid)

@@ -96,6 +96,9 @@ func (e Entry) validate(h Header) error {
 type Journal struct {
 	Header  Header
 	Entries []Entry
+	// Codec is the encoding the file used (sniffed by DecodeBytes).
+	// AppendTo keeps appending in the same codec.
+	Codec Codec
 	// Truncated reports that a partial trailing line (an append cut
 	// short by a crash) was dropped. A truncated journal is valid to
 	// resume from — AppendTo trims the tail first — but refuses to
@@ -118,14 +121,22 @@ func (j *Journal) ByIndex() map[int]Entry {
 	return m
 }
 
-// DecodeBytes parses journal bytes. Every complete line ends in '\n';
-// an unterminated final line — the footprint of an append cut short by
-// a crash — sets Truncated and is dropped, even if it happens to parse
-// (a later append must never concatenate onto it). A malformed
-// terminated line, a missing or invalid header, or a structurally
-// invalid entry is an error: corruption is detected, never merged.
+// DecodeBytes parses journal bytes, sniffing the codec: data starting
+// with the binary magic decodes as length-prefixed frames, everything
+// else as JSONL lines.
+//
+// For JSONL, every complete line ends in '\n'; an unterminated final
+// line — the footprint of an append cut short by a crash — sets
+// Truncated and is dropped, even if it happens to parse (a later
+// append must never concatenate onto it). A malformed terminated line,
+// a missing or invalid header, or a structurally invalid entry is an
+// error: corruption is detected, never merged. The binary decoder
+// applies the same policy to frames (see decodeBinary).
 func DecodeBytes(data []byte) (*Journal, error) {
-	j := &Journal{}
+	if SniffCodec(data) == Binary {
+		return decodeBinary(data)
+	}
+	j := &Journal{Codec: JSONL}
 	headerDone := false
 	off := int64(0)
 	for len(data) > 0 {
@@ -195,43 +206,61 @@ func Read(path string) (*Journal, error) {
 	return j, nil
 }
 
-// Writer appends entries to a journal file. It is safe for concurrent
-// use by the workers of a parallel campaign.
+// Writer appends entries to a journal file in a fixed codec. It is
+// safe for concurrent use by the workers of a parallel campaign.
 type Writer struct {
 	mu      sync.Mutex
 	f       *os.File
+	codec   Codec
 	appends int
 }
 
-// Create starts a new journal at path, writing the header. It refuses
-// to overwrite an existing file: journals are resumable state, so a
-// stale one must be resumed (AppendTo) or deleted explicitly.
+// Create starts a new JSONL journal at path, writing the header. It
+// refuses to overwrite an existing file: journals are resumable state,
+// so a stale one must be resumed (AppendTo) or deleted explicitly.
 func Create(path string, h Header) (*Writer, error) {
+	return CreateCodec(path, h, JSONL)
+}
+
+// CreateCodec is Create with an explicit on-disk encoding.
+func CreateCodec(path string, h Header, codec Codec) (*Writer, error) {
 	h.FormatMarker = Format
 	if err := h.Validate(); err != nil {
 		return nil, err
+	}
+	var head []byte
+	switch codec {
+	case JSONL:
+		line, err := json.Marshal(h)
+		if err != nil {
+			return nil, err
+		}
+		head = append(line, '\n')
+	case Binary:
+		var err error
+		if head, err = encodeBinaryHeader(h); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("journal: unknown codec %q", codec)
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w (resume an existing journal with AppendTo, or delete it)", err)
 	}
-	line, err := json.Marshal(h)
-	if err != nil {
+	if _, err := f.Write(head); err != nil {
 		f.Close()
 		return nil, err
 	}
-	if _, err := f.Write(append(line, '\n')); err != nil {
-		f.Close()
-		return nil, err
-	}
-	return &Writer{f: f}, nil
+	return &Writer{f: f, codec: codec}, nil
 }
 
-// AppendTo reopens an existing journal for appending. The on-disk
-// header must match h exactly (same campaign, shard layout and
-// universe); a partial trailing line left by a crash is trimmed first.
-// It returns the decoded journal alongside the writer so the caller
-// can replay the recorded entries.
+// AppendTo reopens an existing journal for appending, adopting
+// whatever codec the file already uses. The on-disk header must match
+// h exactly (same campaign, shard layout and universe); a partial
+// trailing line or frame left by a crash is trimmed first. It returns
+// the decoded journal alongside the writer so the caller can replay
+// the recorded entries.
 func AppendTo(path string, h Header) (*Journal, *Writer, error) {
 	h.FormatMarker = Format
 	if err := h.Validate(); err != nil {
@@ -254,8 +283,10 @@ func AppendTo(path string, h Header) (*Journal, *Writer, error) {
 			return nil, nil, fmt.Errorf("journal: trimming partial tail of %s: %w", path, err)
 		}
 		if j.ValidBytes == 0 {
-			// The partial line was the header itself: rewrite it so the
-			// trimmed file is a well-formed zero-entry journal again.
+			// The partial line was the header itself (JSONL only — a
+			// binary journal is unidentifiable without a complete header
+			// frame): rewrite it so the trimmed file is a well-formed
+			// zero-entry journal again.
 			line, err := json.Marshal(h)
 			if err == nil {
 				_, err = f.Write(append(line, '\n'))
@@ -266,18 +297,24 @@ func AppendTo(path string, h Header) (*Journal, *Writer, error) {
 			}
 		}
 	}
-	return j, &Writer{f: f}, nil
+	return j, &Writer{f: f, codec: j.Codec}, nil
 }
 
-// Append writes one entry as a single line.
+// Append writes one entry as a single line (JSONL) or frame (binary).
 func (w *Writer) Append(e Entry) error {
-	line, err := json.Marshal(e)
-	if err != nil {
-		return err
+	var rec []byte
+	if w.codec == Binary {
+		rec = appendFrame(nil, appendEntryPayload(nil, e))
+	} else {
+		line, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		rec = append(line, '\n')
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if _, err := w.f.Write(append(line, '\n')); err != nil {
+	if _, err := w.f.Write(rec); err != nil {
 		return fmt.Errorf("journal: append: %w", err)
 	}
 	w.appends++

@@ -1,0 +1,141 @@
+package stressor
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/journal"
+)
+
+// distinctScenarios builds n scenarios with distinct fault content
+// (makeScenarios varies only the Name, which dedup ignores).
+func distinctScenarios(n int) []fault.Scenario {
+	out := make([]fault.Scenario, n)
+	for i := range out {
+		out[i] = fault.Single(fault.Descriptor{
+			Name: fmt.Sprintf("s%d", i), Model: fault.BitFlip, Target: "m", Bit: uint(i),
+		})
+	}
+	return out
+}
+
+// TestOwnedIndices pins the exported shard-ownership helper against
+// the engine's own partition: the indices it reports are exactly the
+// entries each shard journals.
+func TestOwnedIndices(t *testing.T) {
+	scenarios := distinctScenarios(11)
+	// Make s3/s7 duplicates of s1 so dedup collapses them.
+	scenarios[3].Faults = scenarios[1].Faults
+	scenarios[7].Faults = scenarios[1].Faults
+	for _, dedup := range []bool{false, true} {
+		for _, shards := range []int{1, 2, 3} {
+			var all []int
+			for i := 0; i < shards; i++ {
+				sh := Shard{Index: i, Count: shards}
+				owned := OwnedIndices(scenarios, dedup, sh)
+				all = append(all, owned...)
+				// Cross-check against the journal the engine writes.
+				path := filepath.Join(t.TempDir(), "j.jsonl")
+				w, err := journal.Create(path, shardHeader("own", sh, scenarios))
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := Campaign{Name: "own", Run: classRunFunc(pattern(len(scenarios), nil)), Dedup: dedup, Shard: sh, Journal: w}
+				if _, err := c.Execute(scenarios); err != nil {
+					t.Fatal(err)
+				}
+				w.Close()
+				j, err := journal.Read(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var journaled []int
+				for _, e := range j.Entries {
+					journaled = append(journaled, e.Index)
+				}
+				if !reflect.DeepEqual(owned, journaled) {
+					t.Fatalf("dedup=%v shard %d/%d: OwnedIndices %v, journal has %v", dedup, i, shards, owned, journaled)
+				}
+			}
+			wantTotal := len(scenarios)
+			if dedup {
+				wantTotal -= 2
+			}
+			if len(all) != wantTotal {
+				t.Fatalf("dedup=%v shards=%d: %d indices across shards, want %d", dedup, shards, len(all), wantTotal)
+			}
+		}
+	}
+	// The zero shard lists every representative.
+	if got := OwnedIndices(scenarios, false, Shard{}); len(got) != len(scenarios) {
+		t.Fatalf("zero shard owns %d of %d", len(got), len(scenarios))
+	}
+}
+
+// TestMergeMixedCodecs is the heterogeneous-encoding contract: a merge
+// set where one shard journaled binary and the other JSONL produces a
+// Result identical to the all-JSONL merge and to the unsharded run —
+// the codec is a file-format fact, never a semantic one.
+func TestMergeMixedCodecs(t *testing.T) {
+	const n, shards = 20, 2
+	scenarios := distinctScenarios(n)
+	scenarios[9].Faults = scenarios[2].Faults // dedup fold crossing shards
+	tmpl := Campaign{
+		Name: "mixed", Dedup: true,
+		Run: classRunFunc(pattern(n, map[int]fault.Classification{11: fault.SDC})),
+	}
+	baseline, err := (&Campaign{Name: tmpl.Name, Dedup: tmpl.Dedup, Run: tmpl.Run}).Execute(scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runShards := func(codecs []journal.Codec) []*journal.Journal {
+		dir := t.TempDir()
+		js := make([]*journal.Journal, shards)
+		for s := 0; s < shards; s++ {
+			sh := Shard{Index: s, Count: shards}
+			path := filepath.Join(dir, fmt.Sprintf("shard%d.j", s))
+			w, err := journal.CreateCodec(path, shardHeader(tmpl.Name, sh, scenarios), codecs[s])
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := tmpl
+			c.Shard = sh
+			c.Journal = w
+			if _, err := c.Execute(scenarios); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if js[s], err = journal.Read(path); err != nil {
+				t.Fatal(err)
+			}
+			if js[s].Codec != codecs[s] {
+				t.Fatalf("shard %d sniffed as %q, wrote %q", s, js[s].Codec, codecs[s])
+			}
+		}
+		return js
+	}
+
+	jsonlOnly := runShards([]journal.Codec{journal.JSONL, journal.JSONL})
+	mixed := runShards([]journal.Codec{journal.Binary, journal.JSONL})
+	spec := MergeSpec{Dedup: tmpl.Dedup}
+	ref, err := Merge(spec, scenarios, jsonlOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Merge(spec, scenarios, mixed)
+	if err != nil {
+		t.Fatalf("mixed-codec merge: %v", err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatalf("mixed-codec merge differs from all-JSONL merge:\n%+v\n%+v", got, ref)
+	}
+	if !reflect.DeepEqual(got, baseline) {
+		t.Fatalf("mixed-codec merge differs from unsharded run:\n%+v\n%+v", got, baseline)
+	}
+}

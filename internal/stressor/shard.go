@@ -78,6 +78,40 @@ func ParseShard(s string) (Shard, error) {
 	return sh, nil
 }
 
+// OwnedIndices returns the scenario indices (into the full, pre-dedup
+// universe) of the unique-run positions shard sh owns under the given
+// dedup setting — the exact set of runs that shard executes and
+// journals. With the zero Shard it lists every unique-run
+// representative. Distributed coordinators use it to size shard
+// progress totals and validate streamed journal entries without
+// re-deriving the engine's partition rules.
+func OwnedIndices(scenarios []fault.Scenario, dedup bool, sh Shard) []int {
+	var uniq []int
+	if dedup {
+		// Mirror Execute/Merge: a plan that saves nothing is discarded,
+		// so positions stay the plain scenario indices.
+		if u, _ := dedupPlan(scenarios); len(u) < len(scenarios) {
+			uniq = u
+		}
+	}
+	total := len(scenarios)
+	if uniq != nil {
+		total = len(uniq)
+	}
+	var out []int
+	for u := 0; u < total; u++ {
+		if !sh.owns(u) {
+			continue
+		}
+		if uniq != nil {
+			out = append(out, uniq[u])
+		} else {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
 // UniverseHash fingerprints a scenario universe: IDs, fault names and
 // the full fault content of every scenario, in order. Journals carry
 // it so a journal can never be resumed or merged against a different

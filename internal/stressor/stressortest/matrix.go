@@ -3,9 +3,11 @@
 // asserting that a campaign's Result is byte-identical across
 // {sequential, parallel} × {rebuild, reuse, checkpointed, tree,
 // tree+early-exit, early-exit-only} × {unsharded, N-shard merged} ×
-// {fresh, resumed-after-simulated-interrupt}. The CAPS and ECU runners
-// both run it against their real prototypes, replacing per-package
-// ad-hoc pairwise checks.
+// {fresh, resumed-after-simulated-interrupt}, plus a distributed axis
+// running the campaign through the fabric coordinator with two real
+// workers — once cleanly and once with a worker killed mid-lease. The
+// CAPS and ECU runners both run it against their real prototypes,
+// replacing per-package ad-hoc pairwise checks.
 package stressortest
 
 import (
@@ -68,6 +70,7 @@ func Run(t *testing.T, cfg Config) {
 	if len(ref.Outcomes) == 0 {
 		t.Fatal("reference campaign produced no outcomes — matrix would pass vacuously")
 	}
+	runDistributed(t, cfg, ref)
 	for _, reuseOff := range []bool{true, false} {
 		for _, mode := range cellModes {
 			if mode.checkpoints && reuseOff {
