@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race tier1 bench bench-smoke bench-campaign bench-json bench-reuse bench-sharded bench-checkpoint bench-tree bench-daemon bench-obs bench-fabric fuzz-smoke daemon-e2e fabric-e2e
+.PHONY: all build vet test race tier1 bench bench-smoke bench-campaign bench-json bench-reuse bench-sharded bench-checkpoint bench-tree bench-adaptive bench-daemon bench-obs bench-fabric fuzz-smoke daemon-e2e fabric-e2e
 
 all: tier1
 
@@ -59,6 +59,13 @@ bench-checkpoint:
 # the committed BENCH_PR8.json snapshot.
 bench-tree:
 	$(GO) run ./cmd/benchjson -bench BenchmarkCampaignTree -benchtime 10x -o BENCH_PR8.json .
+
+# Adaptive (signature-novelty) campaign vs blind Monte-Carlo at an
+# equal simulated-run budget on the E8-derived CAPS universe (the
+# PR 10 tentpole). The bench itself asserts the >=2x unique-outcome
+# yield; this target regenerates the committed BENCH_PR10.json.
+bench-adaptive:
+	$(GO) run ./cmd/benchjson -bench BenchmarkCampaignAdaptive -benchtime 10x -o BENCH_PR10.json .
 
 # Native fuzzing smoke: run each fuzz target for FUZZTIME (~30s total
 # at the default). The seed corpora alone run under `go test`; this

@@ -14,6 +14,7 @@
 //	capsim -campaign e8 -progress -metrics m.json -trace-events t.json
 //	capsim -campaign e8 -shard 0/4 -journal shard0.jsonl   # one shard of four
 //	capsim -campaign e8 -shard 0/4 -journal shard0.jsonl -resume
+//	capsim -campaign nv -adaptive -novelty-budget 100 -workers -1   # signature-novelty feedback loop
 //
 // An optional positional argument after -campaign names the campaign
 // (it labels the metrics and trace spans). -metrics writes the final
@@ -30,14 +31,25 @@
 // campaign cleanly after the in-flight scenarios finish, leaving the
 // journal resumable. Completed shard journals merge with campmerge,
 // mixed encodings included.
+//
+// -adaptive swaps the exhaustive scenario list for the
+// signature-novelty feedback loop (DESIGN §16): -novelty-budget
+// simulated runs are spent sweeping the universe and then mutating
+// whatever produced a never-seen outcome signature, with
+// equivalence-duplicate proposals pruned for free. It composes with
+// -journal/-resume and -workers (the outcome stream is deterministic
+// at any worker count) but rejects the fixed-list knobs (-shard,
+// -checkpoints, -dedup, ...).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"math/rand"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -47,9 +59,12 @@ import (
 	"repro/internal/caps"
 	"repro/internal/fault"
 	"repro/internal/journal"
+	"repro/internal/mdl"
 	"repro/internal/obs"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stressor"
+	"repro/internal/symex"
 )
 
 // failingJournal is a testing aid: it fails every Append past a
@@ -88,6 +103,9 @@ func main() {
 	earlyExit := flag.Bool("early-exit", false, "terminate a run the moment its state hash re-converges with the golden trajectory (implies -checkpoints)")
 	hashStride := flag.String("hash-stride", "", "golden-trajectory hashing interval for -early-exit (e.g. 5ms; default horizon/16)")
 	dedup := flag.Bool("dedup", false, "collapse campaign scenarios with identical fault content into one run")
+	adaptive := flag.Bool("adaptive", false, "drive the campaign with the novelty-adaptive strategy (outcome signatures steer scenario generation) instead of the fixed universe")
+	noveltyBudget := flag.Int("novelty-budget", 64, "simulated-run budget for -adaptive")
+	noveltySeed := flag.Int64("novelty-seed", 1, "RNG seed for the -adaptive strategy")
 	metricsPath := flag.String("metrics", "", "write the metrics snapshot (JSON) to this file")
 	tracePath := flag.String("trace-events", "", "write Chrome trace-event JSON to this file")
 	progress := flag.Bool("progress", false, "stream live campaign progress to stderr")
@@ -187,6 +205,24 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
 			}
+		}
+		if *adaptive {
+			runAdaptive(runner, campaignName, adaptiveOpts{
+				world: *world, protected: !*unprotected, horizon: horizon,
+				workers: *workers, budget: *noveltyBudget, seed: *noveltySeed,
+				journalPath: *journalPath, journalCodec: *journalCodec,
+				resume: *resume, interruptAfter: *interruptAfter,
+				progress: *progress, metrics: reg, log: campaignLog,
+				writeObs: writeObs,
+				incompatible: map[string]bool{
+					"-checkpoints": *checkpoints, "-checkpoint-tree": *checkpointTree,
+					"-early-exit": *earlyExit, "-hash-stride": *hashStride != "",
+					"-dedup": *dedup, "-shard": *shardFlag != "",
+					"-scenario-timeout": *scenarioTimeout != 0,
+					"-trace-events":     *tracePath != "",
+				},
+			})
+			return
 		}
 		c := &stressor.Campaign{
 			Name: campaignName, Run: runner.RunFunc(), Workers: *workers,
@@ -349,6 +385,186 @@ func main() {
 		fmt.Printf("detail:    %s\n", o.Detail)
 	}
 	if o.Class == fault.SafetyCritical {
+		os.Exit(1)
+	}
+}
+
+// adaptiveOpts carries the flag surface of the -adaptive campaign
+// path into runAdaptive.
+type adaptiveOpts struct {
+	world          string
+	protected      bool
+	horizon        sim.Time
+	workers        int
+	budget         int
+	seed           int64
+	journalPath    string
+	journalCodec   string
+	resume         bool
+	interruptAfter int
+	progress       bool
+	metrics        *obs.Registry
+	log            *slog.Logger
+	writeObs       func()
+	// incompatible maps flag names to "the user set it": the adaptive
+	// engine deliberately does not compose with the fixed-universe
+	// optimizations (dedup, sharding, checkpoints, early exit), so
+	// setting any of them alongside -adaptive is a usage error rather
+	// than a silent no-op.
+	incompatible map[string]bool
+}
+
+// concolicStarts derives extra mutation start times for the adaptive
+// strategy from a concolic exploration of a small MDL guard model:
+// symex negates the model's branches to produce a corpus of input
+// vectors, and StartsFromCorpus folds those vectors into injection
+// times inside the horizon. This is the paper's ATPG link — test
+// vectors from symbolic execution seeding the fault campaign.
+func concolicStarts(horizon sim.Time) []sim.Time {
+	guard := mdl.MustParse(`
+func clamp(v) {
+  if v > 12 {
+    return 12
+  }
+  return v
+}
+func guard(a, t) {
+  if clamp(a) * 3 - t == 17 {
+    return 1
+  }
+  if a - t > 9 {
+    return 2
+  }
+  return 0
+}`)
+	ex, err := symex.Explore(guard, "guard", []int64{0, 0}, 32)
+	if err != nil {
+		return nil
+	}
+	return scenario.StartsFromCorpus(ex.Corpus, horizon)
+}
+
+// runAdaptive is the -adaptive campaign path: a Novelty strategy over
+// the runner's fault universe, driven through stressor.AdaptiveCampaign
+// with the signed RunFunc so outcome signatures reflect real prototype
+// state.
+func runAdaptive(runner *caps.Runner, name string, o adaptiveOpts) {
+	var set []string
+	for f, on := range o.incompatible {
+		if on {
+			set = append(set, f)
+		}
+	}
+	if len(set) > 0 {
+		sort.Strings(set)
+		fmt.Fprintf(os.Stderr, "%s cannot be combined with -adaptive\n", strings.Join(set, ", "))
+		os.Exit(2)
+	}
+	if o.budget < 1 {
+		fmt.Fprintln(os.Stderr, "-novelty-budget must be >= 1")
+		os.Exit(2)
+	}
+
+	universe := runner.Universe(sim.MS(10))
+	fingerprint := stressor.UniverseHash(fault.Singles(universe))
+	src := scenario.NewNovelty(universe, 4*o.budget, rand.New(rand.NewSource(o.seed)))
+	src.Mutator().Window = o.horizon
+	if starts := concolicStarts(o.horizon); len(starts) > 0 {
+		src.Mutator().Starts = starts
+	}
+
+	c := &stressor.AdaptiveCampaign{
+		Name: name, Run: runner.SignedRunFunc(), Source: src,
+		Workers: o.workers, MaxRuns: o.budget, Prune: true,
+		Fingerprint: fingerprint, Metrics: o.metrics, Log: o.log,
+	}
+
+	var jw *journal.Writer
+	if o.journalPath != "" {
+		codec, err := journal.ParseCodec(o.journalCodec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		h := journal.Header{
+			Campaign: name, Shards: 1,
+			Total: o.budget, Universe: fingerprint, Adaptive: true,
+		}
+		if o.resume {
+			if _, statErr := os.Stat(o.journalPath); statErr == nil {
+				j, w, err := journal.AppendTo(o.journalPath, h)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				c.Resume, jw = j, w
+			} else if jw, err = journal.CreateCodec(o.journalPath, h, codec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else if jw, err = journal.CreateCodec(o.journalPath, h, codec); err != nil {
+			fmt.Fprintf(os.Stderr, "%v (use -resume to continue an interrupted journal)\n", err)
+			os.Exit(1)
+		}
+		c.Journal = jw
+		if n, err := strconv.Atoi(os.Getenv("CAPSIM_FAIL_JOURNAL_AFTER")); err == nil && n >= 0 {
+			c.Journal = &failingJournal{w: jw, left: n}
+		}
+	} else if o.resume {
+		fmt.Fprintln(os.Stderr, "-resume requires -journal")
+		os.Exit(2)
+	}
+
+	// Same clean-interrupt contract as the fixed-universe path: Ctrl-C
+	// (or -interrupt-after) stops the loop between proposals and the
+	// journal stays resumable.
+	var interrupted, halted atomic.Bool
+	stopSignals := func() {}
+	if o.journalPath != "" || o.interruptAfter > 0 {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for range ch {
+				interrupted.Store(true)
+			}
+		}()
+		stopSignals = func() {
+			signal.Stop(ch)
+			close(ch)
+			<-done
+		}
+		limit := o.interruptAfter
+		c.Halt = func(completed int) bool {
+			stop := interrupted.Load() || (limit > 0 && completed >= limit)
+			if stop {
+				halted.Store(true)
+			}
+			return stop
+		}
+	}
+	res, err := c.Execute()
+	stopSignals()
+	if jw != nil {
+		if cerr := jw.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	o.writeObs()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	campaignd.Summary{
+		World: o.world, Protected: o.protected,
+		Scenarios: res.Proposed, Workers: o.workers,
+		Halted: halted.Load(), Result: res.Result(),
+	}.WriteText(os.Stdout)
+	fmt.Printf("proposed:  %d (%d simulated, %d pruned, %d resumed)\n",
+		res.Proposed, res.Simulated, res.PrunedEquiv, res.ResumedSkips)
+	fmt.Printf("unique:    %d outcome signatures\n", res.UniqueSignatures)
+	if res.Tally[fault.SafetyCritical] > 0 {
 		os.Exit(1)
 	}
 }

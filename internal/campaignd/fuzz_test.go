@@ -21,6 +21,13 @@ func FuzzCampaignSpec(f *testing.F) {
 	f.Add([]byte(`{"universe":{},"scenario_timeout":"2s","stop_on_first":true}`))
 	f.Add([]byte(`{"workers":9999999}`))
 	f.Add([]byte(`{"universe":{"kind":"inline","scenarios":[{"id":"a","faults":"gibberish"}]}}`))
+	f.Add([]byte(`{"universe":{},"adaptive":true}`))
+	f.Add([]byte(`{"universe":{},"adaptive":true,"novelty_budget":128,"novelty_seed":7}`))
+	f.Add([]byte(`{"universe":{},"adaptive":true,"dedup":true}`))
+	f.Add([]byte(`{"universe":{},"adaptive":true,"shard":"0/2"}`))
+	f.Add([]byte(`{"universe":{},"novelty_budget":9}`))
+	f.Add([]byte(`{"universe":{},"adaptive":true,"novelty_budget":99999999}`))
+	f.Add([]byte(`{"universe":{"kind":"inline","scenarios":[{"id":"a","faults":"open @caps.accel0.harness from 1ms"}]},"adaptive":true}`))
 	f.Add([]byte(`not json at all`))
 	f.Add([]byte(`{"universe":{}} {"universe":{}}`))
 	f.Add([]byte(`{"campaign":"` + strings.Repeat("й", 100) + `","universe":{}}`))
@@ -58,6 +65,20 @@ func FuzzCampaignSpec(f *testing.F) {
 		if spec.HashStride != "" && !spec.EarlyExit {
 			t.Fatal("accepted hash_stride without early_exit")
 		}
+		if spec.Adaptive {
+			if spec.NoveltyBudget < 1 || spec.NoveltyBudget > MaxNoveltyBudget {
+				t.Fatalf("accepted novelty budget %d outside bounds", spec.NoveltyBudget)
+			}
+			if spec.Dedup || spec.Checkpoints || spec.StopOnFirst || spec.Trace ||
+				spec.Shard != "" || spec.ScenarioTimeout != "" {
+				t.Fatal("accepted adaptive spec combined with fixed-universe knobs")
+			}
+			if spec.Inline() {
+				t.Fatal("accepted adaptive spec over an inline universe")
+			}
+		} else if spec.NoveltyBudget != 0 || spec.NoveltySeed != 0 {
+			t.Fatal("accepted novelty knobs without adaptive")
+		}
 		// RunnerKey must be total on accepted specs.
 		if spec.RunnerKey() == "" {
 			t.Fatal("empty runner key for accepted spec")
@@ -75,7 +96,8 @@ func FuzzCampaignSpec(f *testing.F) {
 		if again.RunnerKey() != spec.RunnerKey() || again.Horizon() != spec.Horizon() ||
 			again.ShardSpec() != spec.ShardSpec() || again.Timeout() != spec.Timeout() ||
 			again.Stride() != spec.Stride() || again.CheckpointTree != spec.CheckpointTree ||
-			again.EarlyExit != spec.EarlyExit {
+			again.EarlyExit != spec.EarlyExit || again.Adaptive != spec.Adaptive ||
+			again.NoveltyBudget != spec.NoveltyBudget || again.NoveltySeed != spec.NoveltySeed {
 			t.Fatalf("round trip changed the spec: %s", remarshaled)
 		}
 	})

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/journal"
 	"repro/internal/obs"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stressor"
 )
@@ -362,6 +364,10 @@ func (s *Scheduler) execute(id string) {
 		fail(err)
 		return
 	}
+	if spec.Adaptive {
+		s.executeAdaptive(id, spec, ent, fail)
+		return
+	}
 
 	shard := spec.ShardSpec()
 	shards := shard.Count
@@ -478,6 +484,98 @@ func (s *Scheduler) execute(id string) {
 	s.flight.Recordf("run.done", id, "%s", res.Tally)
 	s.logInfo("run done", "run", id, "tally", res.Tally.String())
 }
+
+// executeAdaptive is the adaptive leg of execute: the Novelty
+// strategy over the spec's fault universe, driven through
+// stressor.AdaptiveCampaign on the warm runner's signed RunFunc. The
+// same durability contract holds — a daemon shutdown mid-loop leaves
+// the adaptive journal resumable, and the restarted daemon replays it
+// into an identically-seeded strategy for the byte-identical result.
+func (s *Scheduler) executeAdaptive(id string, spec *Spec, ent *cacheEntry, fail func(error)) {
+	universe := ent.runner.Universe(s.injectTime(spec))
+	fingerprint := stressor.UniverseHash(fault.Singles(universe))
+	src := scenario.NewNovelty(universe, 4*spec.NoveltyBudget, rand.New(rand.NewSource(spec.NoveltySeed)))
+	src.Mutator().Window = spec.Horizon()
+
+	header := journal.Header{
+		Campaign: spec.Campaign, Shards: 1,
+		Total: spec.NoveltyBudget, Universe: fingerprint, Adaptive: true,
+	}
+	var resume *journal.Journal
+	var jw *journal.Writer
+	var err error
+	jpath := s.store.JournalPath(id)
+	if _, statErr := os.Stat(jpath); statErr == nil {
+		if resume, jw, err = journal.AppendTo(jpath, header); err != nil {
+			fail(err)
+			return
+		}
+	} else if jw, err = journal.Create(jpath, header); err != nil {
+		fail(err)
+		return
+	}
+
+	reg := obs.NewRegistry()
+	s.setLive(id, reg, nil)
+	var logger *slog.Logger
+	if s.cfg.Logger != nil {
+		logger = s.cfg.Logger.With("run", id)
+	}
+	var halted atomic.Bool
+	c := &stressor.AdaptiveCampaign{
+		Name: spec.Campaign, Run: ent.runner.SignedRunFunc(), Source: src,
+		Workers: spec.Workers, MaxRuns: spec.NoveltyBudget, Prune: true,
+		Journal: jw, Resume: resume, Fingerprint: fingerprint,
+		Metrics: reg, Log: logger,
+		Halt: func(int) bool {
+			stop := s.halt.Load()
+			if stop {
+				halted.Store(true)
+			}
+			return stop
+		},
+	}
+	ares, err := c.Execute()
+	if cerr := jw.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fail(err)
+		return
+	}
+	if halted.Load() {
+		s.publish(Event{Type: "state", Run: id, State: "interrupted", Final: true})
+		s.agg.Counter("campaignd.runs", obs.L("state", "interrupted")).Inc()
+		s.flight.Recordf("run.interrupted", id, "%d outcomes journaled", len(ares.Outcomes))
+		s.logInfo("run interrupted by shutdown", "run", id, "journaled", len(ares.Outcomes))
+		return
+	}
+
+	res := ares.Result()
+	doc := BuildResultDoc(id, ares.Proposed, res, Summary{
+		World: spec.Universe.World, Protected: !spec.Universe.Unprotected,
+		Scenarios: ares.Proposed, Workers: spec.Workers,
+		Result: res,
+	})
+	if err := s.store.WriteResult(id, doc); err != nil {
+		fail(err)
+		return
+	}
+	var mbuf bytes.Buffer
+	if err := reg.WriteJSON(&mbuf); err == nil {
+		if werr := s.store.WriteMetrics(id, mbuf.Bytes()); werr != nil {
+			s.logError("writing metrics", "run", id, "err", werr)
+		}
+	}
+	s.publish(Event{Type: "state", Run: id, State: StateDone, Final: true})
+	s.agg.Counter("campaignd.runs", obs.L("state", StateDone)).Inc()
+	s.flight.Recordf("run.done", id, "%s", ares.Tally)
+	s.logInfo("run done", "run", id, "tally", ares.Tally.String(),
+		"unique_signatures", ares.UniqueSignatures, "pruned", ares.PrunedEquiv)
+}
+
+// injectTime exposes the parsed inject time to the adaptive path.
+func (s *Scheduler) injectTime(spec *Spec) sim.Time { return spec.inject }
 
 // MergeRuns reassembles the shard journals of the given completed
 // runs into the result the unsharded campaign would have produced

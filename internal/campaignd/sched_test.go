@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -331,5 +332,41 @@ func TestRunnerCacheHitAllocs(t *testing.T) {
 	})
 	if allocs > 8 {
 		t.Errorf("runner cache hit allocates %.0f times per lookup, want <= 8", allocs)
+	}
+}
+
+// TestSchedulerAdaptiveRun drives an adaptive spec through the daemon:
+// the run completes, its result doc carries every delivered proposal,
+// and resubmitting the identical spec (same seed) on a warm runner
+// reproduces the identical outcome stream — the daemon-level face of
+// the adaptive determinism contract.
+func TestSchedulerAdaptiveRun(t *testing.T) {
+	raw := `{"campaign":"ad","universe":{"horizon":"30ms","inject":"5ms"},"adaptive":true,"novelty_budget":16,"novelty_seed":3,"workers":-1}`
+	sched, err := NewScheduler(Config{DataDir: t.TempDir(), ProgressInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Start()
+	defer sched.Stop()
+	id1 := runToCompletion(t, sched, raw)
+	id2 := runToCompletion(t, sched, raw)
+
+	var docs [2]ResultDoc
+	for i, id := range []string{id1, id2} {
+		b, err := sched.Store().ReadResult(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(b, &docs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if docs[0].Scenarios != 16 || len(docs[0].Outcomes) != 16 {
+		t.Fatalf("adaptive run delivered %d/%d proposals, want 16", docs[0].Scenarios, len(docs[0].Outcomes))
+	}
+	docs[1].ID = docs[0].ID
+	docs[1].Text = strings.Replace(docs[1].Text, id2, id1, 1)
+	if !reflect.DeepEqual(docs[0], docs[1]) {
+		t.Fatalf("identical adaptive specs diverged:\n%+v\n%+v", docs[0], docs[1])
 	}
 }

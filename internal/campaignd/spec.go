@@ -50,6 +50,8 @@ const (
 	MaxHorizon = 10 * sim.Second
 	// MaxScenarioTimeout bounds the per-scenario wall-clock budget.
 	MaxScenarioTimeout = time.Hour
+	// MaxNoveltyBudget bounds the adaptive simulated-run budget.
+	MaxNoveltyBudget = 1 << 16
 	// maxNameLen bounds the campaign label.
 	maxNameLen = 128
 )
@@ -96,6 +98,19 @@ type Spec struct {
 	// GET /runs/{id}/trace once the run completes — and streamable
 	// live while it executes.
 	Trace bool `json:"trace,omitempty"`
+	// Adaptive drives the run with the novelty-adaptive strategy
+	// instead of the fixed universe (capsim -adaptive). The universe
+	// kind must generate fault descriptors (KindCAPSSingleFault), and
+	// the fixed-universe optimizations — dedup, sharding, checkpoints,
+	// early exit, stop-on-first, per-scenario timeouts, tracing — do
+	// not compose with the feedback loop and are rejected.
+	Adaptive bool `json:"adaptive,omitempty"`
+	// NoveltyBudget is the adaptive simulated-run budget
+	// (capsim -novelty-budget; default 64).
+	NoveltyBudget int `json:"novelty_budget,omitempty"`
+	// NoveltySeed seeds the adaptive strategy's RNG
+	// (capsim -novelty-seed; default 1).
+	NoveltySeed int64 `json:"novelty_seed,omitempty"`
 
 	// Parsed forms, populated by Validate.
 	horizon sim.Time
@@ -266,6 +281,37 @@ func (s *Spec) Validate() error {
 		s.stride = stride
 	} else {
 		s.stride = 0
+	}
+	if s.Adaptive {
+		incompatible := []struct {
+			name string
+			on   bool
+		}{
+			{"dedup", s.Dedup}, {"checkpoints", s.Checkpoints},
+			{"checkpoint_tree", s.CheckpointTree}, {"early_exit", s.EarlyExit},
+			{"hash_stride", s.HashStride != ""}, {"stop_on_first", s.StopOnFirst},
+			{"shard", s.Shard != ""}, {"scenario_timeout", s.ScenarioTimeout != ""},
+			{"trace", s.Trace},
+		}
+		for _, f := range incompatible {
+			if f.on {
+				return fmt.Errorf("campaignd: %s cannot be combined with adaptive", f.name)
+			}
+		}
+		if u.Kind != KindCAPSSingleFault {
+			return fmt.Errorf("campaignd: adaptive requires universe kind %q", KindCAPSSingleFault)
+		}
+		if s.NoveltyBudget == 0 {
+			s.NoveltyBudget = 64
+		}
+		if s.NoveltyBudget < 1 || s.NoveltyBudget > MaxNoveltyBudget {
+			return fmt.Errorf("campaignd: novelty_budget %d out of range 1..%d", s.NoveltyBudget, MaxNoveltyBudget)
+		}
+		if s.NoveltySeed == 0 {
+			s.NoveltySeed = 1
+		}
+	} else if s.NoveltyBudget != 0 || s.NoveltySeed != 0 {
+		return fmt.Errorf("campaignd: novelty_budget/novelty_seed only apply with adaptive")
 	}
 	if s.ScenarioTimeout != "" {
 		d, err := time.ParseDuration(s.ScenarioTimeout)

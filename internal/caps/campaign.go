@@ -324,6 +324,52 @@ func (r *Runner) RunFunc() stressor.RunFunc {
 	return func(sc fault.Scenario) fault.Outcome { return r.RunScenario(sc) }
 }
 
+// RunScenarioSigned is RunScenario plus the outcome's equivalence
+// signature: the prototype's final-state digest (System.HashState —
+// the same digest convergence early-exit trusts) folded with the
+// classification. Two runs with equal signatures ended behaviorally
+// indistinguishable; adaptive campaigns prune and explore on exactly
+// this. A run that errors out carries no signature (the engine
+// substitutes its class+detail fallback).
+func (r *Runner) RunScenarioSigned(sc fault.Scenario) fault.Outcome {
+	if r.ReuseOff {
+		k := sim.NewKernel()
+		defer k.Shutdown()
+		if r.metrics != nil || r.trace != nil {
+			k.SetInstrument(&sim.Instrument{Metrics: r.metrics, Trace: r.trace})
+		}
+		sys, reg := Build(k, r.cfg, r.world)
+		ob, _, err := r.runOn(k, sys, reg, nil, sc)
+		return r.classifySigned(sc, ob, sys, err)
+	}
+	s := r.acquireSlot()
+	defer r.releaseSlot(s)
+	ob, _, err := r.runOn(s.k, s.sys, s.reg, s, sc)
+	return r.classifySigned(sc, ob, s.sys, err)
+}
+
+// classifySigned folds an observation into a signed outcome while the
+// run's system is still checked out (the state digest must be taken
+// before the slot re-arms for another scenario).
+func (r *Runner) classifySigned(sc fault.Scenario, ob analysis.Observation, sys *System, err error) fault.Outcome {
+	if err != nil {
+		return fault.Outcome{Scenario: sc, Class: fault.DetectedSafe, Detail: "campaign error: " + err.Error()}
+	}
+	ob.Activated = len(sc.Faults) > 0
+	class := analysis.Classify(r.golden, ob)
+	return fault.Outcome{
+		Scenario: sc, Class: class, Detail: analysis.Describe(ob),
+		Signature: sim.MixSignature(sim.StateSignature(sys), uint64(class)),
+	}
+}
+
+// SignedRunFunc adapts the signed path to the adaptive campaign
+// engine. Outcomes are identical to RunFunc's except for Signature, so
+// plain campaigns keep byte-stable results by using RunFunc.
+func (r *Runner) SignedRunFunc() stressor.RunFunc {
+	return func(sc fault.Scenario) fault.Outcome { return r.RunScenarioSigned(sc) }
+}
+
 // NewCampaign builds a campaign over this runner for one shard of the
 // scenario universe (pass the zero Shard for an unsharded campaign).
 // The caller layers on workers, journaling, StopOnFirst and

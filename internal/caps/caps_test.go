@@ -394,3 +394,31 @@ func TestRunnerNewCampaignShard(t *testing.T) {
 		}
 	}
 }
+
+// TestCampaignAdaptiveDeterminismMatrix runs the closed adaptive loop
+// — Novelty strategy feeding on real CAPS state signatures — through
+// the shared adaptive matrix: {sequential, 4 workers} × {rebuild,
+// reuse} × {fresh, interrupted+resumed} must all reproduce the
+// sequential reference exactly. This pins the engine's ordered-
+// delivery guarantee against a real prototype, where run latencies
+// genuinely vary.
+func TestCampaignAdaptiveDeterminismMatrix(t *testing.T) {
+	r, err := NewRunner(Protected(), NormalDriving(), sim.MS(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	universe := r.Universe(sim.MS(5))
+	r.Close()
+	stressortest.RunAdaptive(t, stressortest.AdaptiveConfig{
+		Name:     "caps-e8-adaptive",
+		Universe: universe,
+		NewRun: func(t *testing.T, reuseOff bool) (stressor.RunFunc, func()) {
+			r, err := NewRunner(Protected(), NormalDriving(), sim.MS(30))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.ReuseOff = reuseOff
+			return r.SignedRunFunc(), r.Close
+		},
+	})
+}

@@ -13,14 +13,25 @@ import (
 	"sort"
 )
 
-// Bin is one value range of a coverpoint ([Lo, Hi], inclusive).
+// Bin is one value range of a coverpoint — [Lo, Hi] inclusive by
+// default, [Lo, Hi) when ExclusiveHi is set.
 type Bin struct {
 	Name   string
 	Lo, Hi float64
+	// ExclusiveHi makes the upper edge exclusive. UniformBins sets it
+	// on every interior bin so a sample landing exactly on a shared
+	// edge counts in one bin, not two; hand-declared bins keep the
+	// historical inclusive-both-ends behavior.
+	ExclusiveHi bool
 }
 
 // Contains reports whether v falls into the bin.
-func (b Bin) Contains(v float64) bool { return v >= b.Lo && v <= b.Hi }
+func (b Bin) Contains(v float64) bool {
+	if b.ExclusiveHi {
+		return v >= b.Lo && v < b.Hi
+	}
+	return v >= b.Lo && v <= b.Hi
+}
 
 // Coverpoint tracks hit counts over its bins.
 type Coverpoint struct {
@@ -36,17 +47,21 @@ func NewCoverpoint(name string, bins ...Bin) *Coverpoint {
 	return &Coverpoint{name: name, bins: bins, hits: make([]uint64, len(bins))}
 }
 
-// UniformBins builds n equal-width bins spanning [lo, hi].
+// UniformBins builds n equal-width bins spanning [lo, hi]. Interior
+// edges are half-open — bin i covers [lo+i·w, lo+(i+1)·w) and only the
+// last bin closes at hi — so a sample landing exactly on a shared edge
+// is counted once instead of inflating two adjacent bins' hit counts.
 func UniformBins(n int, lo, hi float64) []Bin {
 	bins := make([]Bin, n)
 	w := (hi - lo) / float64(n)
 	for i := range bins {
 		bLo := lo + float64(i)*w
 		bHi := bLo + w
-		if i == n-1 {
+		last := i == n-1
+		if last {
 			bHi = hi
 		}
-		bins[i] = Bin{Name: fmt.Sprintf("bin%d", i), Lo: bLo, Hi: bHi}
+		bins[i] = Bin{Name: fmt.Sprintf("bin%d", i), Lo: bLo, Hi: bHi, ExclusiveHi: !last}
 	}
 	return bins
 }

@@ -186,3 +186,34 @@ func TestPropertyFaultSpaceClosure(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression: adjacent uniform bins share an edge value; an edge
+// sample must land in exactly one bin (the upper neighbor), not
+// double-count, and hi itself stays in the closed last bin.
+func TestUniformBinsEdgeSamplesCountOnce(t *testing.T) {
+	bins := UniformBins(4, 0, 100)
+	for _, edge := range []float64{0, 25, 50, 75, 100} {
+		n := 0
+		for _, b := range bins {
+			if b.Contains(edge) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("edge sample %v contained by %d bins, want exactly 1", edge, n)
+		}
+	}
+	cp := NewCoverpoint("edges", UniformBins(4, 0, 100)...)
+	cp.Sample(25) // exactly the bin0/bin1 edge
+	if cp.Coverage() != 0.25 {
+		t.Errorf("one edge sample covered %v of bins, want 0.25", cp.Coverage())
+	}
+	cp.Sample(100) // hi belongs to the last bin
+	if cp.Misses() != 0 {
+		t.Errorf("hi sample missed: %d", cp.Misses())
+	}
+	// Hand-declared bins keep inclusive-both-ends semantics.
+	if b := (Bin{Lo: 10, Hi: 20}); !b.Contains(20) {
+		t.Error("explicit bin lost its inclusive upper bound")
+	}
+}

@@ -464,6 +464,41 @@ func (r *Runner) RunFunc() stressor.RunFunc {
 	return func(sc fault.Scenario) fault.Outcome { return r.RunScenario(sc) }
 }
 
+// RunScenarioSigned is RunScenario plus the outcome's equivalence
+// signature: the slot's final-state digest (ecuSlot.HashState — the
+// digest convergence early-exit trusts) folded with the
+// classification. A run that errors out carries no signature (the
+// adaptive engine substitutes its class+detail fallback).
+func (r *Runner) RunScenarioSigned(sc fault.Scenario) fault.Outcome {
+	var s *ecuSlot
+	if r.ReuseOff {
+		s = r.buildSlot()
+		defer s.k.Shutdown()
+	} else {
+		s = r.acquireSlot()
+		defer r.releaseSlot(s)
+	}
+	ob, _, _, err := r.runOn(s, sc)
+	if err != nil {
+		return fault.Outcome{Scenario: sc, Class: fault.DetectedSafe, Detail: "campaign error: " + err.Error()}
+	}
+	// Digest while the slot is still checked out — it re-arms for
+	// another scenario the moment it returns to the pool.
+	sig := sim.StateSignature(s)
+	ob.Activated = len(sc.Faults) > 0
+	class := analysis.Classify(r.golden, ob)
+	return fault.Outcome{
+		Scenario: sc, Class: class, Detail: analysis.Describe(ob),
+		Signature: sim.MixSignature(sig, uint64(class)),
+	}
+}
+
+// SignedRunFunc adapts the signed path to the adaptive campaign
+// engine. Outcomes are identical to RunFunc's except for Signature.
+func (r *Runner) SignedRunFunc() stressor.RunFunc {
+	return func(sc fault.Scenario) fault.Outcome { return r.RunScenarioSigned(sc) }
+}
+
 // NewCampaign builds a campaign over this runner for one shard of the
 // scenario universe (pass the zero Shard for an unsharded campaign).
 // The caller layers on workers, journaling, StopOnFirst and

@@ -162,3 +162,29 @@ func TestRunnerSEUDetections(t *testing.T) {
 		t.Fatalf("no detections in SEU universe: %v", res.Tally)
 	}
 }
+
+// TestRunnerAdaptiveDeterminismMatrix drives the adaptive campaign
+// loop against the ECU prototype: the Novelty strategy mutates on
+// real snapshot-state signatures, and every {workers} × {rebuild,
+// reuse} × {fresh, resumed} cell must match the sequential reference.
+func TestRunnerAdaptiveDeterminismMatrix(t *testing.T) {
+	r, err := NewRunner(DefaultRunnerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	universe := r.Universe(0)
+	r.Close()
+	stressortest.RunAdaptive(t, stressortest.AdaptiveConfig{
+		Name:     "ecu-seu-adaptive",
+		Universe: universe,
+		Budget:   16,
+		NewRun: func(t *testing.T, reuseOff bool) (stressor.RunFunc, func()) {
+			r, err := NewRunner(DefaultRunnerConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.ReuseOff = reuseOff
+			return r.SignedRunFunc(), r.Close
+		},
+	})
+}

@@ -115,6 +115,14 @@ type Outcome struct {
 	// Detail is a human-readable explanation (first detection site,
 	// mismatching output, violated goal).
 	Detail string
+	// Signature is the outcome's 64-bit equivalence-class fingerprint:
+	// the final-state digest of the run (sim.StateSignature at the
+	// horizon) folded with the classification. Zero means "not
+	// computed" — plain RunFuncs leave it unset; the signature-aware
+	// runners and the adaptive campaign engine populate it. Two
+	// outcomes with equal non-zero signatures are behaviorally
+	// equivalent: same classification, same final state.
+	Signature uint64
 }
 
 // Tally counts outcomes per classification — the row format of most

@@ -48,7 +48,8 @@ func ParseCodec(s string) (Codec, error) {
 //	uvarint len(id)     | id bytes
 //	uvarint len(class)  | class bytes
 //	uvarint len(detail) | detail bytes
-//	flags byte          (bit 0: panicked)
+//	flags byte          (bit 0: panicked, bit 1: signature follows)
+//	uvarint signature   (present iff flags bit 1; always non-zero)
 //
 // The CRC failing on a frame that runs to end-of-file is the footprint
 // of an append cut short by a crash: the frame is dropped and the
@@ -105,7 +106,14 @@ func appendEntryPayload(dst []byte, e Entry) []byte {
 	if e.Panicked {
 		flags |= 1
 	}
-	return append(dst, flags)
+	if e.Sig != 0 {
+		flags |= 2
+	}
+	dst = append(dst, flags)
+	if e.Sig != 0 {
+		dst = appendUvarint(dst, e.Sig)
+	}
+	return dst
 }
 
 // binReader walks an entry payload.
@@ -163,14 +171,31 @@ func decodeEntryPayload(p []byte) (Entry, error) {
 	if e.Detail, err = r.str(); err != nil {
 		return e, err
 	}
-	if len(r.p) != 1 {
-		return e, fmt.Errorf("journal: entry frame has %d trailing bytes, want 1 flags byte", len(r.p))
+	if len(r.p) < 1 {
+		return e, fmt.Errorf("journal: entry frame missing flags byte")
 	}
 	flags := r.p[0]
-	if flags > 1 {
+	r.p = r.p[1:]
+	if flags > 3 {
 		return e, fmt.Errorf("journal: unknown entry flags %#x", flags)
 	}
 	e.Panicked = flags&1 != 0
+	if flags&2 != 0 {
+		sig, err := r.uvarint()
+		if err != nil {
+			return e, err
+		}
+		if sig == 0 {
+			// A signature flag over a zero value would re-encode without
+			// the flag — refuse the non-canonical spelling so accepted
+			// frames always round-trip bit-exact.
+			return e, fmt.Errorf("journal: entry signature flag with zero signature")
+		}
+		e.Sig = sig
+	}
+	if len(r.p) != 0 {
+		return e, fmt.Errorf("journal: entry frame has %d trailing bytes", len(r.p))
+	}
 	return e, nil
 }
 

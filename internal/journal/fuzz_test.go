@@ -42,6 +42,22 @@ func fuzzSeedBinaryJournal() []byte {
 	return data
 }
 
+// fuzzSeedAdaptiveBinaryJournal is the adaptive-campaign spelling:
+// gappy proposal-sequence indices past Total, signature uvarints
+// behind flags bit 1.
+func fuzzSeedAdaptiveBinaryJournal() []byte {
+	h := Header{FormatMarker: Format, Campaign: "fz-ad", Shard: 0, Shards: 1, Total: 4, Universe: "feed0000feed0000", Adaptive: true}
+	data, _ := encodeBinaryHeader(h)
+	for _, e := range []Entry{
+		{Index: 0, ID: "p0", Class: "masked", Sig: 0xdeadbeefcafe},
+		{Index: 3, ID: "p3", Class: "sdc", Sig: 1},
+		{Index: 9, ID: "p9", Class: "no-effect", Panicked: true, Sig: 1<<63 + 7},
+	} {
+		data = appendFrame(data, appendEntryPayload(nil, e))
+	}
+	return data
+}
+
 // FuzzJournalBinary extends the FuzzJournalReplay contract to the
 // binary codec: DecodeBytes must never panic on arbitrary bytes
 // carrying the binary magic, truncation/bit-flip recovery must obey
@@ -65,6 +81,10 @@ func FuzzJournalBinary(f *testing.F) {
 	// Oversized length word after a valid header.
 	hdr := fuzzSeedBinaryJournal()[:len(binaryMagic)]
 	f.Add(append(append([]byte{}, hdr...), 0xff, 0xff, 0xff, 0x7f))
+	// Adaptive journal: signature uvarints, indices past Total.
+	adaptive := fuzzSeedAdaptiveBinaryJournal()
+	f.Add(adaptive)
+	f.Add(adaptive[:len(adaptive)-3]) // truncated mid-signature
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Force the binary decode path: graft the magic onto arbitrary
 		// fuzz bytes so mutation explores frames, not JSONL.
@@ -150,6 +170,10 @@ func FuzzJournalReplay(f *testing.F) {
 	// Unterminated tail that is a valid JSON object plus garbage — two
 	// appends interleaved by a crash; must drop as truncated, not parse.
 	f.Add(append(append([]byte{}, valid...), []byte(`{"i":3,"id":"c","class":"masked"}{"i":4,"id`)...))
+	// Adaptive JSONL journal: sig fields, indices past Total.
+	f.Add([]byte(`{"journal":"govp-campaign-journal/1","campaign":"ad","shard":0,"shards":1,"total":2,"universe":"feedfeed","adaptive":true}` + "\n" +
+		`{"i":0,"id":"p0","class":"masked","sig":7}` + "\n" +
+		`{"i":5,"id":"p5","class":"sdc","sig":18446744073709551615}` + "\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		j, err := DecodeBytes(data)
 		if err != nil {

@@ -43,6 +43,13 @@ type Header struct {
 	Total int `json:"total"`
 	// Universe fingerprints the scenario universe (stressor.UniverseHash).
 	Universe string `json:"universe"`
+	// Adaptive marks journals written by an adaptive campaign: entry
+	// indices are strategy proposal sequence numbers (gappy where
+	// equivalence pruning skipped a simulation), not positions in a
+	// pre-enumerated universe, so they may exceed Total — Total then
+	// records the simulated-run budget, and Universe fingerprints the
+	// strategy configuration instead of a scenario list.
+	Adaptive bool `json:"adaptive,omitempty"`
 }
 
 // Validate reports structural problems with the header.
@@ -77,12 +84,17 @@ type Entry struct {
 	Detail string `json:"detail,omitempty"`
 	// Panicked marks runs whose RunFunc panicked and was recovered.
 	Panicked bool `json:"panicked,omitempty"`
+	// Sig is the outcome's equivalence-class signature
+	// (fault.Outcome.Signature); 0 when the run had none. Adaptive
+	// campaigns persist it so a resumed run can rebuild its strategy's
+	// novelty state from the journal alone.
+	Sig uint64 `json:"sig,omitempty"`
 }
 
 // validate checks an entry against its journal's header.
 func (e Entry) validate(h Header) error {
 	switch {
-	case e.Index < 0 || e.Index >= h.Total:
+	case e.Index < 0 || (!h.Adaptive && e.Index >= h.Total):
 		return fmt.Errorf("journal: entry index %d out of range 0..%d", e.Index, h.Total-1)
 	case e.ID == "":
 		return fmt.Errorf("journal: entry %d without scenario ID", e.Index)

@@ -70,6 +70,12 @@ func NewMonteCarlo(universe []fault.Descriptor, budget int, rng *rand.Rand) *Mon
 	return &MonteCarlo{universe: universe, budget: budget, rng: rng, MultiFault: 1}
 }
 
+// mcResampleRetries bounds how often MonteCarlo redraws a fault that
+// duplicates one already in the scenario under construction. On a tiny
+// universe every draw may collide; after the retries run out the
+// duplicate is kept so Next stays total.
+const mcResampleRetries = 8
+
 // Next implements Strategy.
 func (m *MonteCarlo) Next() (fault.Scenario, bool) {
 	if m.produced >= m.budget || len(m.universe) == 0 {
@@ -81,12 +87,35 @@ func (m *MonteCarlo) Next() (fault.Scenario, bool) {
 		n = 1
 	}
 	sc := fault.Scenario{ID: fmt.Sprintf("mc-%d", m.produced)}
-	for i := 0; i < n; i++ {
+	sample := func() fault.Descriptor {
 		d := m.universe[m.rng.Intn(len(m.universe))]
 		if m.Window > 0 {
 			d.Start = sim.Time(m.rng.Int63n(int64(m.Window)))
 		}
-		d.Name = fmt.Sprintf("%s#%d", d.Name, i)
+		return d
+	}
+	dup := func(d fault.Descriptor) bool {
+		for _, have := range sc.Faults {
+			if have.Target == d.Target && have.Model == d.Model && have.Start == d.Start {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < n; i++ {
+		d := sample()
+		// A multi-fault scenario injecting the same (target, model,
+		// start) twice is just the single fault with extra bookkeeping —
+		// redraw, bounded.
+		for retry := 0; retry < mcResampleRetries && dup(d); retry++ {
+			d = sample()
+		}
+		if n > 1 {
+			// Disambiguate names only when a scenario really carries
+			// several faults; a single-fault sample keeps its universe
+			// name so outcomes map back to the fault list directly.
+			d.Name = fmt.Sprintf("%s#%d", d.Name, i)
+		}
 		sc.Faults = append(sc.Faults, d)
 	}
 	return sc, true
@@ -191,8 +220,15 @@ func (g *Guided) generatePairs() {
 	}
 	for i := 0; i < len(top); i++ {
 		for j := i; j < len(top); j++ {
-			for _, a := range g.bySite[top[i].site] {
-				for _, b := range g.bySite[top[j].site] {
+			da, db := g.bySite[top[i].site], g.bySite[top[j].site]
+			for ai, a := range da {
+				for bi, b := range db {
+					if i == j && bi <= ai {
+						// Same-site pairs are unordered — {a,b} injects the
+						// same fault set as {b,a} — so emit only the upper
+						// triangle (bi > ai also skips the a==a diagonal).
+						continue
+					}
 					if a.Target == b.Target && a.Model == b.Model {
 						continue
 					}

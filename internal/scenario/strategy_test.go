@@ -231,3 +231,170 @@ func TestPropertyStrategiesProduceValidScenarios(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression: same-site pairs are unordered — {a,b} and {b,a} inject
+// the identical fault set, so generatePairs must emit each set once.
+func TestGuidedPairsDedupeUnordered(t *testing.T) {
+	u := universe(2) // sites a,b × models stuck-at-0/1 = 4 descriptors
+	g := NewGuided(u, 1000)
+	seen := map[string]int{}
+	pairs := 0
+	for {
+		sc, ok := g.Next()
+		if !ok {
+			break
+		}
+		if len(sc.Faults) == 1 {
+			g.Observe(fault.Outcome{Scenario: sc, Class: fault.Masked})
+			continue
+		}
+		pairs++
+		// Canonical unordered fault-set key (names carry +0/+1 suffixes,
+		// so key on target+model).
+		a := sc.Faults[0].Target + "/" + sc.Faults[0].Model.String()
+		b := sc.Faults[1].Target + "/" + sc.Faults[1].Model.String()
+		if b < a {
+			a, b = b, a
+		}
+		seen[a+"|"+b]++
+		g.Observe(fault.Outcome{Scenario: sc, Class: fault.Masked})
+	}
+	for k, n := range seen {
+		if n > 1 {
+			t.Errorf("fault set {%s} emitted %d times", k, n)
+		}
+	}
+	// 2 same-site sets (one per site: the two models paired) + 4
+	// cross-site sets (2×2 between a and b).
+	if pairs != 6 {
+		t.Errorf("pairs = %d, want 6 unique fault sets", pairs)
+	}
+}
+
+// Regression: a single-fault Monte-Carlo sample must keep its universe
+// name (no "#0" mangling) so outcomes map back to the fault list.
+func TestMonteCarloSingleFaultKeepsName(t *testing.T) {
+	u := universe(4)
+	names := map[string]bool{}
+	for _, d := range u {
+		names[d.Name] = true
+	}
+	m := NewMonteCarlo(u, 30, rand.New(rand.NewSource(3)))
+	for {
+		sc, ok := m.Next()
+		if !ok {
+			break
+		}
+		if !names[sc.Faults[0].Name] {
+			t.Fatalf("sampled name %q not in universe", sc.Faults[0].Name)
+		}
+	}
+}
+
+// Regression: a multi-fault scenario must not inject the same
+// (target, model, start) twice — duplicates are resampled.
+func TestMonteCarloMultiFaultResamplesDuplicates(t *testing.T) {
+	u := universe(6)
+	m := NewMonteCarlo(u, 100, rand.New(rand.NewSource(4)))
+	m.MultiFault = 3
+	for {
+		sc, ok := m.Next()
+		if !ok {
+			break
+		}
+		type key struct {
+			t string
+			m fault.Model
+			s sim.Time
+		}
+		seen := map[key]bool{}
+		for _, d := range sc.Faults {
+			k := key{d.Target, d.Model, d.Start}
+			if seen[k] {
+				t.Fatalf("scenario %s injects %s/%s@%v twice", sc.ID, d.Target, d.Model, d.Start)
+			}
+			seen[k] = true
+		}
+		// Multi-fault names still disambiguate per slot.
+		for i, d := range sc.Faults {
+			if want := "#" + string(rune('0'+i)); len(d.Name) < 2 || d.Name[len(d.Name)-2:] != want {
+				t.Fatalf("fault %d name %q lacks %q suffix", i, d.Name, want)
+			}
+		}
+	}
+}
+
+// TestGuidedTopSitesTable drives the severity ranking through the
+// TopSites edge cases: 0 (no phase 2), 1 (worst site only), and a
+// bound past the site count (everything pairs).
+func TestGuidedTopSitesTable(t *testing.T) {
+	cases := []struct {
+		name      string
+		topSites  int
+		wantPairs int
+		onlySite  string // non-empty: every pair fault must hit this site
+	}{
+		// Site "c" is reported SDC below; 2 models per site.
+		{"zero", 0, 0, ""},
+		{"one", 1, 1, "c"}, // the two models of site c paired once
+		// 3 sites, all included: 3 same-site sets + 3 site pairs × 4 = 15.
+		{"past-count", 10, 15, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := universe(3)
+			g := NewGuided(u, 1000)
+			g.TopSites = tc.topSites
+			pairs := 0
+			for {
+				sc, ok := g.Next()
+				if !ok {
+					break
+				}
+				if len(sc.Faults) == 1 {
+					class := fault.Masked
+					if sc.Faults[0].Target == "c" {
+						class = fault.SDC
+					}
+					g.Observe(fault.Outcome{Scenario: sc, Class: class})
+					continue
+				}
+				pairs++
+				if tc.onlySite != "" {
+					for _, d := range sc.Faults {
+						if d.Target != tc.onlySite {
+							t.Errorf("pair fault on %s, want only %s", d.Target, tc.onlySite)
+						}
+					}
+				}
+				g.Observe(fault.Outcome{Scenario: sc, Class: fault.Masked})
+			}
+			if pairs != tc.wantPairs {
+				t.Errorf("pairs = %d, want %d", pairs, tc.wantPairs)
+			}
+		})
+	}
+}
+
+// TestGuidedBudgetExhaustsMidPhase2 pins clean termination when the
+// budget runs out between pair proposals.
+func TestGuidedBudgetExhaustsMidPhase2(t *testing.T) {
+	u := universe(3)
+	budget := len(u) + 2 // phase 1 plus two pairs
+	g := NewGuided(u, budget)
+	n := 0
+	for {
+		sc, ok := g.Next()
+		if !ok {
+			break
+		}
+		n++
+		g.Observe(fault.Outcome{Scenario: sc, Class: fault.SDC})
+	}
+	if n != budget {
+		t.Fatalf("produced %d, want %d", n, budget)
+	}
+	if _, ok := g.Next(); ok {
+		t.Fatal("Next after exhaustion must keep returning false")
+	}
+}

@@ -96,6 +96,33 @@ func (s *StateHash) Str(v string) {
 	s.h = h
 }
 
+// StateSignature digests a model's final state into the 64-bit
+// outcome signature the adaptive campaign plane is keyed by: two runs
+// whose models report equal signatures ended in the same mutable
+// state. Callers fold run-level verdicts (classification, detail) on
+// top with MixSignature — the model digest alone deliberately excludes
+// diagnostics, mirroring the Hashable contract.
+func StateSignature(m Hashable) uint64 {
+	h := NewStateHash()
+	m.HashState(&h)
+	return h.Sum()
+}
+
+// MixSignature folds extra words into a signature (classification
+// bytes, detail hashes), never returning 0 so a computed signature is
+// distinguishable from "not computed".
+func MixSignature(sig uint64, words ...uint64) uint64 {
+	h := StateHash{h: fnvOffset64}
+	h.U64(sig)
+	for _, w := range words {
+		h.U64(w)
+	}
+	if s := h.Sum(); s != 0 {
+		return s
+	}
+	return 1
+}
+
 // Hashable is the convention prototypes implement to support
 // convergence early-exit, companion to Snapshottable: HashState folds
 // every piece of mutable model state that can influence future

@@ -1,0 +1,433 @@
+package stressor
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/journal"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// adaptiveUniverse builds a small multi-site, multi-model universe.
+func adaptiveUniverse(sites int) []fault.Descriptor {
+	var u []fault.Descriptor
+	for i := 0; i < sites; i++ {
+		target := fmt.Sprintf("site%d", i)
+		for _, m := range []fault.Model{fault.BitFlip, fault.StuckAt0} {
+			u = append(u, fault.Descriptor{
+				Name: target + "/" + m.String(), Model: m,
+				Class: fault.Permanent, Target: target, Bit: uint(i % 8),
+			})
+		}
+	}
+	return u
+}
+
+// sigRunFunc is a pure, content-deterministic RunFunc whose outcome
+// (class and signature) is a hash of the scenario's fault content —
+// the synthetic stand-in for a real prototype runner. jitter adds
+// content-dependent wall-clock skew so parallel completions genuinely
+// reorder.
+func sigRunFunc(calls *int32, jitter bool) RunFunc {
+	classes := []fault.Classification{
+		fault.Masked, fault.DetectedSafe, fault.SDC, fault.Latent, fault.NoEffect,
+	}
+	return func(sc fault.Scenario) fault.Outcome {
+		if calls != nil {
+			atomic.AddInt32(calls, 1)
+		}
+		h := sim.NewStateHash()
+		for _, d := range sc.Faults {
+			h.Str(descKey(d))
+		}
+		sig := h.Sum()
+		if jitter {
+			time.Sleep(time.Duration(sig%4) * time.Millisecond)
+		}
+		cls := classes[sig%uint64(len(classes))]
+		return fault.Outcome{
+			Scenario: sc, Class: cls, Detail: "ran " + sc.ID,
+			Signature: sim.MixSignature(sig, uint64(cls)),
+		}
+	}
+}
+
+// newNoveltySource builds the standard deterministic adaptive source
+// used across these tests.
+func newNoveltySource(u []fault.Descriptor, budget int, seed int64) *scenario.Novelty {
+	n := scenario.NewNovelty(u, budget, rand.New(rand.NewSource(seed)))
+	n.Mutator().Window = sim.MS(1)
+	return n
+}
+
+// TestAdaptiveDeterminismAcrossWorkers is the adaptive engine's core
+// contract: with a fixed strategy seed, the AdaptiveResult is
+// byte-identical at every worker count, because Observe delivery is
+// forced into proposal order.
+func TestAdaptiveDeterminismAcrossWorkers(t *testing.T) {
+	u := adaptiveUniverse(4)
+	ref := func(workers int) *AdaptiveResult {
+		c := &AdaptiveCampaign{
+			Name:    "ad-det",
+			Run:     sigRunFunc(nil, workers > 0),
+			Source:  newNoveltySource(u, 60, 42),
+			Workers: workers,
+			MaxRuns: 40,
+			Prune:   true,
+		}
+		res, err := c.Execute()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	want := ref(0)
+	if want.Simulated != 40 {
+		t.Fatalf("Simulated = %d, want the full MaxRuns budget 40", want.Simulated)
+	}
+	for _, workers := range []int{1, 4} {
+		got := ref(workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d diverged from sequential:\n got %+v\nwant %+v", workers, got, want)
+		}
+	}
+}
+
+// listSource proposes a fixed scenario list (no adaptation) and
+// records the Observe order.
+type listSource struct {
+	scs      []fault.Scenario
+	next     int
+	observed []fault.Outcome
+}
+
+func (s *listSource) Next() (fault.Scenario, bool) {
+	if s.next >= len(s.scs) {
+		return fault.Scenario{}, false
+	}
+	sc := s.scs[s.next]
+	s.next++
+	return sc, true
+}
+
+func (s *listSource) Observe(o fault.Outcome) { s.observed = append(s.observed, o) }
+
+// TestAdaptiveObserveOrder pins the determinism rule directly: under
+// parallel execution with completion-order skew, outcomes still reach
+// Observe in exact proposal order.
+func TestAdaptiveObserveOrder(t *testing.T) {
+	var scs []fault.Scenario
+	for i := 0; i < 30; i++ {
+		scs = append(scs, fault.Single(fault.Descriptor{
+			Name: fmt.Sprintf("p%d", i), Model: fault.BitFlip, Target: "t", Bit: uint(i % 60),
+		}))
+	}
+	src := &listSource{scs: scs}
+	c := &AdaptiveCampaign{
+		Name: "ad-order", Run: sigRunFunc(nil, true), Source: src,
+		Workers: 4, Lookahead: 6,
+	}
+	if _, err := c.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if len(src.observed) != len(scs) {
+		t.Fatalf("observed %d outcomes, want %d", len(src.observed), len(scs))
+	}
+	for i, o := range src.observed {
+		if want := fmt.Sprintf("p%d", i); o.Scenario.ID != want {
+			t.Fatalf("Observe %d got %s, want %s — delivery left proposal order", i, o.Scenario.ID, want)
+		}
+		if o.Signature == 0 {
+			t.Fatalf("outcome %d delivered without a signature", i)
+		}
+	}
+}
+
+// TestAdaptivePruneEquivalence: proposals with identical fault content
+// are answered from the memo — one simulation, outcomes fanned out
+// under each proposal's own scenario, budget untouched.
+func TestAdaptivePruneEquivalence(t *testing.T) {
+	base := fault.Descriptor{Name: "orig", Model: fault.BitFlip, Target: "t", Bit: 3}
+	dup1, dup2 := base, base
+	dup1.Name, dup2.Name = "dup-a", "dup-b" // same content, new names
+	other := fault.Descriptor{Name: "other", Model: fault.StuckAt0, Target: "t"}
+	src := &listSource{scs: []fault.Scenario{
+		fault.Single(base), fault.Single(dup1), fault.Single(other), fault.Single(dup2),
+	}}
+	var calls int32
+	c := &AdaptiveCampaign{
+		Name: "ad-prune", Run: sigRunFunc(&calls, false), Source: src,
+		Prune: true, // MaxRuns 0: the 4-proposal source self-budgets
+		// The prune memo holds *delivered* outcomes (that is what keeps
+		// it deterministic), so duplicates must trail their
+		// representative by at least the lookahead window to be caught.
+		Lookahead: 1,
+	}
+	res, err := c.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Errorf("RunFunc called %d times, want 2 (duplicates pruned)", calls)
+	}
+	if res.PrunedEquiv != 2 || res.Simulated != 2 || len(res.Outcomes) != 4 {
+		t.Errorf("pruned=%d simulated=%d outcomes=%d, want 2/2/4", res.PrunedEquiv, res.Simulated, len(res.Outcomes))
+	}
+	// Pruned outcomes carry their own scenario identity but the
+	// representative's class and signature.
+	if res.Outcomes[1].Scenario.ID != "dup-a" || res.Outcomes[1].Signature != res.Outcomes[0].Signature {
+		t.Errorf("pruned outcome = %+v, want dup-a with %#x", res.Outcomes[1], res.Outcomes[0].Signature)
+	}
+	if res.Outcomes[1].Class != res.Outcomes[0].Class {
+		t.Error("pruned outcome class differs from representative")
+	}
+}
+
+// TestAdaptiveBudgetAndHalt: MaxRuns caps simulated runs; Halt stops
+// proposing but in-flight runs still deliver.
+func TestAdaptiveBudgetAndHalt(t *testing.T) {
+	u := adaptiveUniverse(6)
+	c := &AdaptiveCampaign{
+		Name: "ad-budget", Run: sigRunFunc(nil, false),
+		Source: newNoveltySource(u, 1000, 7), MaxRuns: 9,
+	}
+	res, err := c.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Simulated != 9 || res.Halted {
+		t.Errorf("simulated=%d halted=%v, want 9/false", res.Simulated, res.Halted)
+	}
+
+	h := &AdaptiveCampaign{
+		Name: "ad-halt", Run: sigRunFunc(nil, false),
+		Source: newNoveltySource(u, 1000, 7), MaxRuns: 100,
+		Halt: func(completed int) bool { return completed >= 4 },
+	}
+	hres, err := h.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hres.Halted {
+		t.Fatal("campaign did not report Halted")
+	}
+	if len(hres.Outcomes) < 4 || len(hres.Outcomes) >= 100 {
+		t.Errorf("halted after %d outcomes, want a small partial result", len(hres.Outcomes))
+	}
+}
+
+// TestAdaptivePanicRecovery mirrors the fixed-universe engine: a
+// panicking RunFunc yields detected-safe with the standard detail and
+// the campaign continues.
+func TestAdaptivePanicRecovery(t *testing.T) {
+	scs := []fault.Scenario{
+		fault.Single(fault.Descriptor{Name: "ok1", Model: fault.BitFlip, Target: "t"}),
+		fault.Single(fault.Descriptor{Name: "boom", Model: fault.BitFlip, Target: "t", Bit: 1}),
+		fault.Single(fault.Descriptor{Name: "ok2", Model: fault.BitFlip, Target: "t", Bit: 2}),
+	}
+	src := &listSource{scs: scs}
+	c := &AdaptiveCampaign{
+		Name: "ad-panic",
+		Run: func(sc fault.Scenario) fault.Outcome {
+			if sc.ID == "boom" {
+				panic("injected crash")
+			}
+			return fault.Outcome{Scenario: sc, Class: fault.Masked}
+		},
+		Source: src,
+	}
+	res, err := c.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PanicRecoveries != 1 || len(res.Outcomes) != 3 {
+		t.Fatalf("recoveries=%d outcomes=%d, want 1/3", res.PanicRecoveries, len(res.Outcomes))
+	}
+	o := res.Outcomes[1]
+	if o.Class != fault.DetectedSafe || !strings.Contains(o.Detail, "campaign panic recovered") {
+		t.Errorf("panic outcome = %+v", o)
+	}
+	if o.Signature == 0 {
+		t.Error("panic outcome got no fallback signature")
+	}
+}
+
+// TestAdaptiveJournalResume: interrupt an adaptive campaign via Halt,
+// then resume from its journal with an identically configured source —
+// the final result must match an uninterrupted run, with the already-
+// journaled proposals replayed instead of re-simulated.
+func TestAdaptiveJournalResume(t *testing.T) {
+	u := adaptiveUniverse(4)
+	const budget, seed = 24, 99
+	header := journal.Header{
+		Campaign: "ad-resume", Shard: 0, Shards: 1,
+		Total: budget, Universe: "strategyfp", Adaptive: true,
+	}
+	build := func(workers int) *AdaptiveCampaign {
+		return &AdaptiveCampaign{
+			Name: "ad-resume", Run: sigRunFunc(nil, false),
+			Source: newNoveltySource(u, 1000, seed),
+			MaxRuns: budget, Prune: true, Workers: workers,
+			Fingerprint: "strategyfp",
+		}
+	}
+	// Reference: uninterrupted.
+	want, err := build(0).Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "ad.journal")
+	jw, err := journal.Create(path, header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := build(0)
+	first.Journal = jw
+	first.Halt = func(completed int) bool { return completed >= 7 }
+	fres, err := first.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !fres.Halted {
+		t.Fatal("first leg did not halt")
+	}
+
+	j, jw2, err := journal.AppendTo(path, header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls int32
+	second := build(4)
+	second.Run = sigRunFunc(&calls, false)
+	second.Journal = jw2
+	second.Resume = j
+	got, err := second.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jw2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got.ResumedSkips == 0 {
+		t.Fatal("resume replayed nothing")
+	}
+	if int(calls) != want.Simulated-got.ResumedSkips {
+		t.Errorf("second leg simulated %d, want %d (total %d minus %d resumed)",
+			calls, want.Simulated-got.ResumedSkips, want.Simulated, got.ResumedSkips)
+	}
+	if !reflect.DeepEqual(got.Outcomes, want.Outcomes) || !reflect.DeepEqual(got.Tally, want.Tally) {
+		t.Error("resumed result diverged from the uninterrupted run")
+	}
+	if got.UniqueSignatures != want.UniqueSignatures || got.PrunedEquiv != want.PrunedEquiv {
+		t.Errorf("resumed stats %d/%d, want %d/%d",
+			got.UniqueSignatures, got.PrunedEquiv, want.UniqueSignatures, want.PrunedEquiv)
+	}
+	// The completed journal replays into the full result a third time.
+	j2, err := journal.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	third := build(0)
+	third.Resume = j2
+	tres, err := third.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tres.Simulated != 0 {
+		t.Errorf("fully journaled campaign re-simulated %d runs", tres.Simulated)
+	}
+	if !reflect.DeepEqual(tres.Outcomes, want.Outcomes) {
+		t.Error("journal-only replay diverged")
+	}
+}
+
+// TestAdaptiveResumeValidation: stale or foreign journals are refused
+// before any run starts.
+func TestAdaptiveResumeValidation(t *testing.T) {
+	u := adaptiveUniverse(2)
+	good := journal.Header{
+		FormatMarker: journal.Format, Campaign: "ad-v", Shard: 0, Shards: 1,
+		Total: 10, Universe: "fp", Adaptive: true,
+	}
+	cases := []struct {
+		name   string
+		mutate func(*journal.Journal)
+	}{
+		{"not adaptive", func(j *journal.Journal) { j.Header.Adaptive = false }},
+		{"wrong campaign", func(j *journal.Journal) { j.Header.Campaign = "other" }},
+		{"sharded", func(j *journal.Journal) { j.Header.Shards = 2 }},
+		{"wrong budget", func(j *journal.Journal) { j.Header.Total = 11 }},
+		{"wrong fingerprint", func(j *journal.Journal) { j.Header.Universe = "zz" }},
+		{"bad class", func(j *journal.Journal) {
+			j.Entries = append(j.Entries, journal.Entry{Index: 0, ID: "x", Class: "nonsense"})
+		}},
+		{"conflicting entries", func(j *journal.Journal) {
+			j.Entries = append(j.Entries,
+				journal.Entry{Index: 0, ID: "x", Class: "masked"},
+				journal.Entry{Index: 0, ID: "x", Class: "sdc"})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			j := &journal.Journal{Header: good}
+			tc.mutate(j)
+			c := &AdaptiveCampaign{
+				Name: "ad-v", Run: sigRunFunc(nil, false),
+				Source: newNoveltySource(u, 10, 1), MaxRuns: 10,
+				Fingerprint: "fp", Resume: j,
+			}
+			if _, err := c.Execute(); err == nil {
+				t.Fatal("invalid resume journal accepted")
+			}
+		})
+	}
+}
+
+// TestAdaptiveResultConversion checks the Result() bridge used by the
+// CLI summary and daemon result documents.
+func TestAdaptiveResultConversion(t *testing.T) {
+	ar := &AdaptiveResult{
+		Name: "conv",
+		Outcomes: []fault.Outcome{
+			{Class: fault.Masked}, {Class: fault.SDC}, {Class: fault.Masked},
+		},
+		Tally:           fault.Tally{fault.Masked: 2, fault.SDC: 1},
+		PrunedEquiv:     5,
+		PanicRecoveries: 1,
+	}
+	r := ar.Result()
+	if r.RunsToFirstFailure != 2 || r.DedupSavedRuns != 5 || r.PanicRecoveries != 1 {
+		t.Errorf("converted result = %+v", r)
+	}
+}
+
+// TestAdaptiveJournalFailureAborts: an append failure stops the
+// campaign with an error, like the fixed-universe engine.
+func TestAdaptiveJournalFailureAborts(t *testing.T) {
+	u := adaptiveUniverse(2)
+	c := &AdaptiveCampaign{
+		Name: "ad-jfail", Run: sigRunFunc(nil, false),
+		Source:  newNoveltySource(u, 100, 3),
+		MaxRuns: 50,
+		Journal: failAfterSink{},
+	}
+	if _, err := c.Execute(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("err = %v, want the journal failure", err)
+	}
+}
+
+type failAfterSink struct{}
+
+func (failAfterSink) Append(journal.Entry) error { return fmt.Errorf("disk full") }

@@ -689,10 +689,7 @@ func dedupPlan(scenarios []fault.Scenario) (uniq, rep []int) {
 	rep = make([]int, len(scenarios))
 	seen := make(map[string]int, len(scenarios))
 	for i, sc := range scenarios {
-		key := ""
-		for _, d := range sc.Faults {
-			key += descKey(d) + ";"
-		}
+		key := scenarioContentKey(sc)
 		if first, ok := seen[key]; ok {
 			rep[i] = first
 			continue

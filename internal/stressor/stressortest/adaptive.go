@@ -1,0 +1,203 @@
+package stressortest
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/journal"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/stressor"
+)
+
+// AdaptiveConfig describes one adaptive determinism matrix: the same
+// Novelty strategy, seeded identically per cell, driven through
+// stressor.AdaptiveCampaign across worker counts and an
+// interrupt/resume leg. Every cell must reproduce the reference
+// (sequential, fresh) byte-for-byte — the closed feedback loop makes
+// this a much stronger claim than the fixed-universe matrix, because
+// any ordering leak changes what the strategy proposes next, not just
+// the order results are collected in.
+type AdaptiveConfig struct {
+	// Name labels the campaign.
+	Name string
+	// Universe seeds the Novelty strategy; every cell rebuilds the
+	// strategy from it with the same Seed.
+	Universe []fault.Descriptor
+	// NewRun builds the cell's signed RunFunc (the runner's
+	// SignedRunFunc) and a cleanup. Called once per cell.
+	NewRun func(t *testing.T, reuseOff bool) (stressor.RunFunc, func())
+	// Budget is the simulated-run budget per cell (default 24).
+	Budget int
+	// Seed fixes the strategy RNG (default 1).
+	Seed int64
+	// Window bounds mutant retiming (default 1 ms).
+	Window sim.Time
+	// Workers are the worker counts to cross (default {0, 4}).
+	Workers []int
+	// InterruptAfter is the delivered-outcome count at which resumed
+	// cells simulate an interrupt (default 5).
+	InterruptAfter int
+}
+
+// RunAdaptive executes the adaptive matrix: reference = rebuild/
+// sequential/fresh; cells cross {workers} × {rebuild, reuse} ×
+// {fresh, interrupted+resumed} and must all DeepEqual the reference.
+func RunAdaptive(t *testing.T, cfg AdaptiveConfig) {
+	if cfg.Budget == 0 {
+		cfg.Budget = 24
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Window == 0 {
+		cfg.Window = sim.MS(1)
+	}
+	if cfg.Workers == nil {
+		cfg.Workers = []int{0, 4}
+	}
+	if cfg.InterruptAfter == 0 {
+		cfg.InterruptAfter = 5
+	}
+	fingerprint := stressor.UniverseHash(fault.Singles(cfg.Universe))
+
+	// newSource rebuilds the identically-configured strategy for one
+	// cell. The Novelty proposal budget is deliberately larger than
+	// the engine budget so MaxRuns is always the terminating bound and
+	// pruned (budget-free) proposals cannot starve the stream.
+	newSource := func() *scenario.Novelty {
+		n := scenario.NewNovelty(cfg.Universe, 4*cfg.Budget, rand.New(rand.NewSource(cfg.Seed)))
+		n.Mutator().Window = cfg.Window
+		return n
+	}
+
+	header := journal.Header{
+		Campaign: cfg.Name,
+		Total:    cfg.Budget,
+		Shards:   1,
+		Universe: fingerprint,
+		Adaptive: true,
+	}
+
+	// runCell executes one cell, journaled; when interrupt is set it
+	// halts after InterruptAfter delivered outcomes, reopens the
+	// journal and resumes with a fresh, identically-seeded source.
+	runCell := func(t *testing.T, workers int, reuseOff, interrupt bool) *stressor.AdaptiveResult {
+		run, cleanup := cfg.NewRun(t, reuseOff)
+		defer cleanup()
+		path := filepath.Join(t.TempDir(), "adaptive.journal")
+		w, err := journal.Create(path, header)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := &stressor.AdaptiveCampaign{
+			Name:        cfg.Name,
+			Run:         run,
+			Source:      newSource(),
+			Workers:     workers,
+			MaxRuns:     cfg.Budget,
+			Prune:       true,
+			Journal:     w,
+			Fingerprint: fingerprint,
+		}
+		if interrupt {
+			c.Halt = func(done int) bool { return done >= cfg.InterruptAfter }
+		}
+		res, err := c.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cerr := w.Close(); cerr != nil {
+			t.Fatal(cerr)
+		}
+		if !interrupt {
+			return res
+		}
+		if !res.Halted {
+			t.Fatalf("interrupt leg: campaign was not halted (delivered %d)", res.Proposed)
+		}
+		j, w2, err := journal.AppendTo(path, header)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w2.Close()
+		c2 := &stressor.AdaptiveCampaign{
+			Name:        cfg.Name,
+			Run:         run,
+			Source:      newSource(),
+			Workers:     workers,
+			MaxRuns:     cfg.Budget,
+			Prune:       true,
+			Journal:     w2,
+			Resume:      j,
+			Fingerprint: fingerprint,
+		}
+		res2, err := c2.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res2
+	}
+
+	var ref *stressor.AdaptiveResult
+	t.Run("reference", func(t *testing.T) {
+		ref = runCell(t, 0, true, false)
+		if ref.Simulated != cfg.Budget {
+			t.Fatalf("reference simulated %d runs, want the full budget %d", ref.Simulated, cfg.Budget)
+		}
+		if ref.UniqueSignatures < 2 {
+			t.Fatalf("reference found %d unique signatures; the universe is degenerate", ref.UniqueSignatures)
+		}
+	})
+	if ref == nil {
+		t.Fatal("reference cell did not run")
+	}
+
+	// normalize strips the fields that legitimately differ on the
+	// resumed leg: the second Execute simulates only the tail
+	// (Simulated shrinks, ResumedSkips grows by the same amount) and
+	// is never itself halted. Everything behavioral — the outcome
+	// stream, tally, signature census, prune census — must match.
+	normalize := func(r *stressor.AdaptiveResult) stressor.AdaptiveResult {
+		c := *r
+		c.Simulated, c.ResumedSkips, c.Halted = 0, 0, false
+		return c
+	}
+
+	for _, workers := range cfg.Workers {
+		for _, reuseOff := range []bool{true, false} {
+			for _, interrupt := range []bool{false, true} {
+				name := fmt.Sprintf("w%d", workers)
+				if reuseOff {
+					name += "-rebuild"
+				} else {
+					name += "-reuse"
+				}
+				if interrupt {
+					name += "-resumed"
+				} else {
+					name += "-fresh"
+				}
+				t.Run(name, func(t *testing.T) {
+					got := runCell(t, workers, reuseOff, interrupt)
+					if interrupt {
+						if got.Simulated+got.ResumedSkips != ref.Simulated {
+							t.Errorf("resumed cell simulated %d + resumed %d != reference %d",
+								got.Simulated, got.ResumedSkips, ref.Simulated)
+						}
+					} else if got.Simulated != ref.Simulated {
+						t.Errorf("simulated %d runs, reference %d", got.Simulated, ref.Simulated)
+					}
+					gn, rn := normalize(got), normalize(ref)
+					if !reflect.DeepEqual(gn, rn) {
+						t.Errorf("cell diverged from reference:\n got: %+v\nwant: %+v", gn, rn)
+					}
+				})
+			}
+		}
+	}
+}
